@@ -1,0 +1,16 @@
+"""Section 3.1 ablation bench: compact vs raw lattice records."""
+
+from repro.experiments import ablation_lattice_format
+
+
+def test_ablation_lattice_format(benchmark, show):
+    result = benchmark.pedantic(
+        ablation_lattice_format.run, rounds=1, iterations=1
+    )
+    show(result)
+    rows = {r["format"]: r for r in result.rows}
+    compact, raw = rows["compact-8B"], rows["raw-16B"]
+    # Halving the record size must cut token DRAM traffic...
+    assert compact["token_dram_kb"] < raw["token_dram_kb"]
+    # ...and never cost energy.
+    assert compact["energy_mj_per_s"] <= raw["energy_mj_per_s"] * 1.02

@@ -1,0 +1,28 @@
+"""Section 5.1 ablation bench: LM arc-fetch strategies."""
+
+from repro.experiments import ablation_lm_lookup
+
+
+def test_ablation_lm_lookup(benchmark, show):
+    result = benchmark.pedantic(ablation_lm_lookup.run, rounds=1, iterations=1)
+    show(result)
+    rows = {r["strategy"]: r for r in result.rows}
+    # Paper's progression: linear (~10x) > binary (~3x) > OLT (~1.2x).
+    assert (
+        rows["linear"]["slowdown_vs_baseline_x"]
+        > rows["binary"]["slowdown_vs_baseline_x"]
+    )
+    assert (
+        rows["binary"]["slowdown_vs_baseline_x"]
+        > rows["olt"]["slowdown_vs_baseline_x"]
+    )
+    assert (
+        rows["olt+preemptive"]["slowdown_vs_baseline_x"]
+        <= rows["olt"]["slowdown_vs_baseline_x"] + 0.05
+    )
+    # Probe counts follow the same ordering.
+    assert (
+        rows["linear"]["avg_probes_per_lookup"]
+        > rows["binary"]["avg_probes_per_lookup"]
+        > rows["olt"]["avg_probes_per_lookup"]
+    )

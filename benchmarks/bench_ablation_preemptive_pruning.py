@@ -1,0 +1,16 @@
+"""Section 3.3 ablation bench: preemptive back-off pruning."""
+
+from repro.experiments import ablation_preemptive_pruning
+
+
+def test_ablation_preemptive_pruning(benchmark, show):
+    result = benchmark.pedantic(
+        ablation_preemptive_pruning.run, rounds=1, iterations=1
+    )
+    show(result)
+    for row in result.rows:
+        # Paper: pruning discards hypotheses (22.5% average) without
+        # changing the recognition output, and never slows decoding.
+        assert row["hypotheses_pruned_pct"] > 0.0
+        assert row["same_output"] is True
+        assert row["speedup_pct"] > -5.0

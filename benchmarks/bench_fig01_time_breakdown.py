@@ -1,0 +1,14 @@
+"""Figure 1 bench: GPU decode-time breakdown (Viterbi dominates)."""
+
+from repro.experiments import fig01_time_breakdown
+
+
+def test_fig01_time_breakdown(benchmark, show):
+    result = benchmark.pedantic(fig01_time_breakdown.run, rounds=1, iterations=1)
+    show(result)
+    for row in result.rows:
+        # Paper: the Viterbi search is the bottleneck in every decoder.
+        assert row["viterbi_pct"] > 50.0
+        assert row["viterbi_pct"] + row["scorer_pct"] == 100.0 or abs(
+            row["viterbi_pct"] + row["scorer_pct"] - 100.0
+        ) < 1e-6

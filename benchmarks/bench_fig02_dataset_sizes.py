@@ -1,0 +1,11 @@
+"""Figure 2 bench: the WFST dominates the ASR dataset."""
+
+from repro.experiments import fig02_dataset_sizes
+
+
+def test_fig02_dataset_sizes(benchmark, show):
+    result = benchmark.pedantic(fig02_dataset_sizes.run, rounds=1, iterations=1)
+    show(result)
+    for row in result.rows:
+        # Paper: WFST is 87-97% of the dataset.
+        assert row["wfst_share_pct"] > 80.0

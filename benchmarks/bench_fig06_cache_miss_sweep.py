@@ -1,0 +1,16 @@
+"""Figure 6 bench: cache miss ratio vs capacity."""
+
+from repro.experiments import fig06_cache_miss_sweep
+
+
+def test_fig06_cache_miss_sweep(benchmark, show):
+    result = benchmark.pedantic(fig06_cache_miss_sweep.run, rounds=1, iterations=1)
+    show(result)
+    first, last = result.rows[0], result.rows[-1]
+    # Growing capacity cannot hurt, and must help the state/arc caches.
+    for cache in ("state_cache", "am_arc_cache", "lm_arc_cache"):
+        assert last[f"{cache}_miss_pct"] <= first[f"{cache}_miss_pct"] + 1.0
+    assert last["state_cache_miss_pct"] < first["state_cache_miss_pct"]
+    # Paper: the token cache floors on compulsory misses; capacity does
+    # not rescue streamed writes.
+    assert last["token_cache_miss_pct"] > 5.0

@@ -1,0 +1,13 @@
+"""Figure 7 bench: Offset Lookup Table size vs miss ratio and speedup."""
+
+from repro.experiments import fig07_offset_table_sweep
+
+
+def test_fig07_offset_table_sweep(benchmark, show):
+    result = benchmark.pedantic(fig07_offset_table_sweep.run, rounds=1, iterations=1)
+    show(result)
+    first, last = result.rows[0], result.rows[-1]
+    assert last["entries"] > first["entries"]
+    # Bigger table -> fewer misses and no slowdown (paper's Figure 7 trend).
+    assert last["olt_miss_pct"] <= first["olt_miss_pct"] + 1.0
+    assert last["speedup_x"] >= 0.99

@@ -1,0 +1,17 @@
+"""Figure 8 bench: the headline 31x memory reduction."""
+
+from repro.experiments import fig08_memory_reduction
+
+
+def test_fig08_memory_reduction(benchmark, show):
+    result = benchmark.pedantic(fig08_memory_reduction.run, rounds=1, iterations=1)
+    show(result)
+    per_task = [r for r in result.rows if r["task"] != "average"]
+    for row in per_task:
+        assert row["fully_composed_mb"] > row["fully_composed_comp_mb"]
+        assert row["fully_composed_comp_mb"] > row["onthefly_comp_mb"]
+        assert row["onthefly_mb"] > row["onthefly_comp_mb"]
+        # Paper range: 23.3x-34.7x; our scaled-down tasks land >10x.
+        assert row["reduction_x"] > 10.0
+    average = next(r for r in result.rows if r["task"] == "average")
+    assert average["reduction_x"] > 15.0

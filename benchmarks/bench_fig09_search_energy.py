@@ -1,0 +1,17 @@
+"""Figure 9 bench: Viterbi search energy per platform."""
+
+from repro.experiments import fig09_search_energy
+
+
+def test_fig09_search_energy(benchmark, show):
+    result = benchmark.pedantic(fig09_search_energy.run, rounds=1, iterations=1)
+    show(result)
+    per_task = [r for r in result.rows if r["task"] != "average"]
+    for row in per_task:
+        # Paper: the GPU costs an order of magnitude more than either
+        # accelerator.
+        assert row["tegra_mj"] > 3 * row["unfold_mj"]
+        assert row["tegra_mj"] > 3 * row["reza_mj"]
+    # Paper: 28% average saving for UNFOLD over the baseline.
+    average = next(r for r in result.rows if r["task"] == "average")
+    assert average["saving_pct"] > 0.0

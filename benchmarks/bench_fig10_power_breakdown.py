@@ -1,0 +1,16 @@
+"""Figure 10 bench: component power breakdown."""
+
+from repro.experiments import fig10_power_breakdown
+
+
+def test_fig10_power_breakdown(benchmark, show):
+    result = benchmark.pedantic(fig10_power_breakdown.run, rounds=1, iterations=1)
+    show(result)
+    rows = {r["component"]: r for r in result.rows}
+    # Paper: the saving comes chiefly from main-memory power.
+    assert rows["main_memory"]["unfold_mw"] < rows["main_memory"]["reza_mw"]
+    # Paper: the OLT is a small overhead (~5% of UNFOLD's power).
+    olt_share = rows["offset_lookup_table"]["unfold_mw"] / rows["total"]["unfold_mw"]
+    assert olt_share < 0.15
+    # The baseline has no OLT at all.
+    assert rows["offset_lookup_table"]["reza_mw"] == 0.0

@@ -1,0 +1,17 @@
+"""Figure 11 bench: off-chip bandwidth by traffic class."""
+
+from repro.experiments import fig11_bandwidth
+
+
+def test_fig11_bandwidth(benchmark, show):
+    result = benchmark.pedantic(fig11_bandwidth.run, rounds=1, iterations=1)
+    show(result)
+    by_task: dict[str, dict[str, dict]] = {}
+    for row in result.rows:
+        by_task.setdefault(row["task"], {})[row["platform"]] = row
+    for task, platforms in by_task.items():
+        reza, unfold = platforms["reza"], platforms["unfold"]
+        # Paper: UNFOLD reduces total bandwidth on every decoder.
+        assert unfold["total_mbs"] < reza["total_mbs"], task
+        # Arcs dominate the traffic in both designs.
+        assert reza["arcs_mbs"] >= reza["states_mbs"]

@@ -1,0 +1,16 @@
+"""Figure 12 bench: overall ASR decode time per platform."""
+
+from repro.experiments import fig12_overall_time
+
+
+def test_fig12_overall_time(benchmark, show):
+    result = benchmark.pedantic(fig12_overall_time.run, rounds=1, iterations=1)
+    show(result)
+    for row in result.rows:
+        # Paper: hardware search makes the pipeline faster than GPU-only
+        # (~3.4x), and both accelerated configs land close together.
+        assert row["unfold_ms"] < row["tegra_ms"]
+        assert row["reza_ms"] < row["tegra_ms"]
+        assert row["speedup_vs_gpu_x"] > 1.0
+        # All platforms remain real-time (under 1000 ms per second).
+        assert row["tegra_ms"] < 1000.0

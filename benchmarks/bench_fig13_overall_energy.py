@@ -1,0 +1,14 @@
+"""Figure 13 bench: overall ASR energy per platform."""
+
+from repro.experiments import fig13_overall_energy
+
+
+def test_fig13_overall_energy(benchmark, show):
+    result = benchmark.pedantic(fig13_overall_energy.run, rounds=1, iterations=1)
+    show(result)
+    for row in result.rows:
+        # Paper: accelerated pipelines save energy over GPU-only (~1.5x),
+        # and UNFOLD/Reza end up close because the GPU scorer dominates.
+        assert row["unfold_mj"] < row["tegra_mj"]
+        assert row["reza_mj"] < row["tegra_mj"]
+        assert row["saving_vs_gpu_x"] > 1.0

@@ -1,0 +1,12 @@
+"""Table 1 bench: offline composition's multiplicative blow-up."""
+
+from repro.experiments import table1_wfst_sizes
+
+
+def test_table1_wfst_sizes(benchmark, show):
+    result = benchmark.pedantic(table1_wfst_sizes.run, rounds=1, iterations=1)
+    show(result)
+    for row in result.rows:
+        # Paper: composed WFST is 5.5x-11x the separate models.
+        assert row["blowup_x"] > 2.5
+        assert row["composed_mb"] > row["am_mb"] + row["lm_mb"]

@@ -1,0 +1,14 @@
+"""Table 2 bench: compressed on-the-fly beats compressed fully-composed."""
+
+from repro.experiments import table2_compressed_sizes
+
+
+def test_table2_compressed_sizes(benchmark, show):
+    result = benchmark.pedantic(table2_compressed_sizes.run, rounds=1, iterations=1)
+    show(result)
+    per_task = [r for r in result.rows if r["task"] != "average"]
+    average = next(r for r in result.rows if r["task"] == "average")
+    for row in per_task:
+        assert row["ratio_x"] > 2.0
+    # Paper: 8.8x average advantage for the on-the-fly representation.
+    assert average["ratio_x"] > 3.0

@@ -1,0 +1,13 @@
+"""Table 5 bench: per-utterance decode latency."""
+
+from repro.experiments import table5_latency
+
+
+def test_table5_latency(benchmark, show):
+    result = benchmark.pedantic(table5_latency.run, rounds=1, iterations=1)
+    show(result)
+    for row in result.rows:
+        # Paper: both accelerators respond far faster than the GPU.
+        assert row["unfold_avg"] < row["tegra_avg"]
+        assert row["reza_avg"] < row["tegra_avg"]
+        assert row["unfold_max"] >= row["unfold_avg"]

@@ -1,0 +1,15 @@
+"""Table 6 bench: word error rate and the accuracy-preservation claim."""
+
+from repro.experiments import table6_wer
+
+
+def test_table6_wer(benchmark, show):
+    result = benchmark.pedantic(table6_wer.run, rounds=1, iterations=1)
+    show(result)
+    for row in result.rows:
+        # Recognition works: WER far below the 100% of a broken decoder.
+        assert row["unfold_wer_pct"] < 60.0
+        # Paper: on-the-fly vs fully-composed accuracy matches.
+        assert row["delta_pct"] <= 2.0
+        # Paper: 6-bit weight quantization changes WER negligibly.
+        assert row["quant_delta_pct"] <= 5.0

@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures through
+``repro.experiments`` and prints the paper-style rows (run with ``-s``
+to see them).  ``benchmark.pedantic`` with a single round is used
+throughout: the experiments are deterministic end-to-end simulations,
+so wall-clock variance across rounds is not the quantity of interest —
+the printed rows are.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print an experiment result so it survives pytest's capture."""
+
+    def _show(result):
+        with capsys.disabled():
+            print()
+            print(result.render())
+        return result
+
+    return _show

@@ -1,0 +1,61 @@
+"""Deployment round-trip: train once, ship the bundle, decode anywhere.
+
+Section 5.3: "the same hardware can be used for any speech recognition
+task, just by replacing the AM and LM WFSTs."  This example builds a
+recognizer, saves the deployable bundle (graphs + scorer parameters),
+reloads it as a fresh process would, and verifies the reloaded
+recognizer decodes identically — then reports the bundle's on-disk
+footprint against the in-memory uncompressed graphs.
+
+Run:
+    python examples/deploy_recognizer.py
+"""
+
+import os
+import tempfile
+
+from repro.asr import build_scorer, build_task, load_recognizer, save_recognizer
+from repro.asr.task import KALDI_VOXFORGE
+from repro.core import DecoderConfig, OnTheFlyDecoder
+from repro.wfst import uncompressed_size_bytes
+
+
+def main() -> None:
+    task = build_task(KALDI_VOXFORGE)
+    scorer = build_scorer(task, oracle_gmm=True)
+    utterances = task.test_set(5, max_words=5)
+
+    with tempfile.TemporaryDirectory() as directory:
+        save_recognizer(directory, task.am, task.lm, scorer)
+        files = {
+            name: os.path.getsize(os.path.join(directory, name))
+            for name in sorted(os.listdir(directory))
+        }
+        print("deployable bundle:")
+        for name, size in files.items():
+            print(f"  {name:14s} {size / 1024:8.1f} KB")
+        total = sum(files.values())
+        graphs = uncompressed_size_bytes(task.am.fst) + uncompressed_size_bytes(
+            task.lm.fst
+        )
+        print(f"  {'total':14s} {total / 1024:8.1f} KB "
+              f"(graphs alone would be {graphs / 1024:.1f} KB uncompressed)")
+
+        bundle = load_recognizer(directory)
+
+    original = OnTheFlyDecoder(task.am, task.lm, DecoderConfig(beam=14.0))
+    reloaded = OnTheFlyDecoder(bundle.am, bundle.lm, DecoderConfig(beam=14.0))
+    agree = 0
+    for utterance in utterances:
+        scores = scorer.score(utterance.features)
+        a = original.decode(scores)
+        b = reloaded.decode(bundle.scorer.score(utterance.features))
+        marker = "=" if a.words == b.words else "!"
+        print(f"  {marker} {' '.join(a.words)}")
+        agree += a.words == b.words
+    print(f"\nreloaded recognizer agreed on {agree}/{len(utterances)} utterances")
+    assert agree == len(utterances)
+
+
+if __name__ == "__main__":
+    main()

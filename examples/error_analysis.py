@@ -1,0 +1,64 @@
+"""Error analysis: where does the recognizer fail, and does more
+search help?
+
+Decodes the noisy TEDLIUM-scale task, breaks errors down by type and
+utterance length, lists the top word confusions, and measures the
+oracle n-best headroom at several beam widths — the workflow that
+follows any Table 6.
+
+Run:
+    python examples/error_analysis.py
+"""
+
+from repro.asr import build_scorer, build_task
+from repro.asr.analysis import analyze_errors
+from repro.asr.task import KALDI_TEDLIUM
+from repro.asr.wer import oracle_word_error_rate, word_error_rate
+from repro.core import DecoderConfig, OnTheFlyDecoder
+
+
+def main() -> None:
+    task = build_task(KALDI_TEDLIUM)
+    scorer = build_scorer(task, training_utterances=40, hidden=256)
+    utterances = task.test_set(12, max_words=7)
+    refs = [u.words for u in utterances]
+    scores = [scorer.score(u.features) for u in utterances]
+
+    print(f"task: {task.name} (noise {task.config.noise_scale})\n")
+    print(f"{'beam':>6s} {'WER':>7s} {'oracle-8':>9s} {'headroom':>9s}")
+    for beam in (8.0, 12.0, 16.0):
+        decoder = OnTheFlyDecoder(
+            task.am, task.lm, DecoderConfig(beam=beam, max_active=600)
+        )
+        hyps, nbests = [], []
+        for matrix in scores:
+            result = decoder.decode(matrix)
+            hyps.append(result.words)
+            nbests.append(
+                [
+                    [task.words.symbol_of(w) for w in ids]
+                    for _, ids in result.nbest(8)
+                ]
+            )
+        wer = word_error_rate(refs, hyps)
+        oracle = oracle_word_error_rate(refs, nbests)
+        print(f"{beam:6.1f} {wer:7.1%} {oracle:9.1%} {wer - oracle:9.1%}")
+        if beam == 12.0:
+            report = analyze_errors(refs, hyps)
+
+    print("\nerror breakdown at beam 12:")
+    total = report.total
+    print(
+        f"  substitutions {total.substitutions}, deletions {total.deletions}, "
+        f"insertions {total.insertions} over {total.reference_words} words"
+    )
+    print("  top confusions:")
+    for (ref, hyp), count in report.top_confusions(5):
+        print(f"    {ref!r} -> {hyp!r}  x{count}")
+    print("  WER by utterance length:")
+    for length, rate in report.wer_by_length().items():
+        print(f"    {length:2d} words: {rate:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 517 editable installs (which build an editable wheel) fail.  This
+shim lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+fall back to ``setup.py develop``, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

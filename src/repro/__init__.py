@@ -1,0 +1,34 @@
+"""UNFOLD reproduction: memory-efficient ASR via on-the-fly WFST composition.
+
+A pure-Python, repository-scale reproduction of *UNFOLD: A
+Memory-Efficient Speech Recognizer Using On-The-Fly WFST Composition*
+(Yazdani, Arnau, Gonzalez - MICRO-50, 2017).
+
+Package map:
+
+* :mod:`repro.wfst` - weighted finite-state transducer substrate;
+* :mod:`repro.lm` - corpora, back-off n-gram models, LM WFSTs;
+* :mod:`repro.am` - lexicon, HMMs, AM WFSTs, GMM/DNN/RNN scorers;
+* :mod:`repro.core` - the paper's contribution: the on-the-fly
+  composition Viterbi decoder, plus the fully-composed baseline;
+* :mod:`repro.compress` - Section 3.4's compressed formats and the
+  dataset sizing models;
+* :mod:`repro.accel` - cycle-level simulators: UNFOLD, the MICRO-49
+  baseline, the Tegra X1 GPU;
+* :mod:`repro.asr` - end-to-end system assembly, tasks, WER;
+* :mod:`repro.experiments` - one driver per evaluated table/figure.
+
+Quickstart::
+
+    from repro.asr import build_task, build_scorer, TINY
+    from repro.core import OnTheFlyDecoder
+
+    task = build_task(TINY)
+    scorer = build_scorer(task, oracle_gmm=True)
+    utterance = task.test_set(1)[0]
+    decoder = OnTheFlyDecoder(task.am, task.lm)
+    result = decoder.decode(scorer.score(utterance.features))
+    print(utterance.words, "->", result.words)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,57 @@
+"""Accelerator simulators: UNFOLD, the fully-composed baseline, the GPU."""
+
+from repro.accel.cache import Cache, CacheConfig, CacheStats, WriteBuffer
+from repro.accel.config import (
+    PAPER_DATASET_BYTES,
+    REZA,
+    UNFOLD,
+    AcceleratorConfig,
+    GpuConfig,
+)
+from repro.accel.dram import DramConfig, DramModel, Traffic
+from repro.accel.energy import (
+    EnergyBreakdown,
+    mj_per_second_of_speech,
+    sram_area_mm2,
+    sram_leakage_mw,
+    sram_read_energy_pj,
+)
+from repro.accel.fully_composed import FullyComposedSimulator
+from repro.accel.gpu import GpuKernelReport, GpuModel
+from repro.accel.layout import ComposedLayout, OnTheFlyLayout
+from repro.accel.pipeline import CycleReport, cycles_for
+from repro.accel.sink import ComposedSink, UnfoldSink
+from repro.accel.stats import RunReport, UtteranceTiming
+from repro.accel.unfold import UnfoldSimulator
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "WriteBuffer",
+    "DramModel",
+    "DramConfig",
+    "Traffic",
+    "AcceleratorConfig",
+    "GpuConfig",
+    "UNFOLD",
+    "REZA",
+    "PAPER_DATASET_BYTES",
+    "sram_read_energy_pj",
+    "sram_leakage_mw",
+    "sram_area_mm2",
+    "EnergyBreakdown",
+    "mj_per_second_of_speech",
+    "OnTheFlyLayout",
+    "ComposedLayout",
+    "UnfoldSink",
+    "ComposedSink",
+    "CycleReport",
+    "cycles_for",
+    "RunReport",
+    "UtteranceTiming",
+    "UnfoldSimulator",
+    "FullyComposedSimulator",
+    "GpuModel",
+    "GpuKernelReport",
+]

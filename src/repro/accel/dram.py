@@ -1,0 +1,158 @@
+"""Off-chip memory model (LPDDR4 + memory controller).
+
+Tracks line fills (reads) and write-buffer flushes (writes) per traffic
+class — states, arcs, tokens — so Figure 11's bandwidth breakdown can
+be regenerated.  Latency is amortized over the controller's in-flight
+window (32 requests, Table 3); energy follows the Micron power-model
+structure: per-access energy plus background power.
+
+Constants are representative LPDDR4-scale values; the evaluation only
+relies on their *relative* magnitude versus on-chip accesses (the
+paper's point: a DRAM access costs orders of magnitude more energy than
+an SRAM access).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Traffic(enum.Enum):
+    STATES = "states"
+    ARCS = "arcs"
+    TOKENS = "tokens"
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    line_bytes: int = 64
+    #: Row-miss (activate + read) latency in accelerator cycles @800 MHz.
+    latency_cycles: int = 120
+    #: Row-hit (open-page read) latency in cycles.
+    row_hit_cycles: int = 60
+    #: Memory-controller in-flight window (Table 3: 32 requests).
+    in_flight: int = 32
+    #: Energy per byte transferred, picojoules (LPDDR4 ~ 4-6 pJ/bit).
+    energy_per_byte_pj: float = 40.0
+    #: Extra energy per row activation (ACT + PRE), picojoules.
+    activate_energy_pj: float = 900.0
+    #: Background (static + refresh) power in milliwatts for the device.
+    background_mw: float = 65.0
+    #: Banking geometry for the row-buffer model.
+    num_banks: int = 8
+    row_bytes: int = 2048
+
+
+@dataclass
+class DramModel:
+    """Accumulates off-chip traffic and converts it to time and energy."""
+
+    config: DramConfig = field(default_factory=DramConfig)
+    reads: dict[Traffic, int] = field(
+        default_factory=lambda: {t: 0 for t in Traffic}
+    )
+    writes: dict[Traffic, int] = field(
+        default_factory=lambda: {t: 0 for t in Traffic}
+    )
+    #: Row-buffer bookkeeping: open row per bank (-1 = closed).
+    row_hits: int = 0
+    row_misses: int = 0
+    _open_rows: list[int] = field(default_factory=list, repr=False)
+
+    def read_lines(
+        self, traffic: Traffic, lines: int = 1, address: int | None = None
+    ) -> None:
+        if lines < 0:
+            raise ValueError("lines must be non-negative")
+        self.reads[traffic] += lines
+        self._touch_rows(lines, address)
+
+    def write_lines(
+        self, traffic: Traffic, lines: int = 1, address: int | None = None
+    ) -> None:
+        if lines < 0:
+            raise ValueError("lines must be non-negative")
+        self.writes[traffic] += lines
+        self._touch_rows(lines, address)
+
+    def _touch_rows(self, lines: int, address: int | None) -> None:
+        """Open-page policy: consecutive hits to a bank's open row are
+        cheap; anything else activates a new row.
+
+        Without an address (legacy callers), every line is charged as a
+        row miss — the conservative closed-page assumption.
+        """
+        if address is None:
+            self.row_misses += lines
+            return
+        if not self._open_rows:
+            self._open_rows = [-1] * self.config.num_banks
+        for i in range(lines):
+            line_addr = address + i * self.config.line_bytes
+            row = line_addr // self.config.row_bytes
+            bank = row % self.config.num_banks
+            if self._open_rows[bank] == row:
+                self.row_hits += 1
+            else:
+                self.row_misses += 1
+                self._open_rows[bank] = row
+
+    # -- aggregate views ----------------------------------------------------
+
+    @property
+    def total_lines(self) -> int:
+        return sum(self.reads.values()) + sum(self.writes.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_lines * self.config.line_bytes
+
+    def bytes_by_class(self) -> dict[Traffic, int]:
+        return {
+            t: (self.reads[t] + self.writes[t]) * self.config.line_bytes
+            for t in Traffic
+        }
+
+    def stall_cycles(self) -> float:
+        """Cycles the pipeline waits on DRAM, amortized over the MLP window.
+
+        Row hits pay the open-page latency; misses the full
+        activate+read latency.  (Lines never classified by the
+        row-buffer model — none, in normal operation — fall back to the
+        miss latency.)
+        """
+        classified = self.row_hits + self.row_misses
+        unclassified = max(0, self.total_lines - classified)
+        cycles = (
+            self.row_hits * self.config.row_hit_cycles
+            + (self.row_misses + unclassified) * self.config.latency_cycles
+        )
+        return cycles / self.config.in_flight
+
+    def access_energy_pj(self) -> float:
+        return (
+            self.total_bytes * self.config.energy_per_byte_pj
+            + self.row_misses * self.config.activate_energy_pj
+        )
+
+    def background_energy_pj(self, seconds: float) -> float:
+        return self.config.background_mw * 1e-3 * seconds * 1e12
+
+    def bandwidth_bytes_per_second(self, seconds: float) -> float:
+        if seconds <= 0:
+            return 0.0
+        return self.total_bytes / seconds
+
+    @property
+    def row_hit_ratio(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    def reset(self) -> None:
+        for t in Traffic:
+            self.reads[t] = 0
+            self.writes[t] = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self._open_rows = []

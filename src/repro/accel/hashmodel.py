@@ -1,0 +1,97 @@
+"""Token hash-table model (Section 3.2).
+
+The accelerator keeps the frame's tokens in an on-chip hash table
+indexed by a combination of the AM and LM state ids.  Collisions are
+chained within the table; when a frame's live tokens exceed capacity,
+the excess spills to the Overflow Buffer in main memory (Figure 4) —
+the paper inherits this mechanism from the fully-composed design [34].
+
+This model tracks per-frame occupancy, estimates collision probes from
+the load factor (uniform hashing), and counts overflow spills, which
+become DRAM token traffic in the simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HashTableStats:
+    inserts: int = 0
+    collision_probes: float = 0.0
+    overflow_tokens: int = 0
+    peak_occupancy: int = 0
+    frames: int = 0
+
+    @property
+    def avg_probes_per_insert(self) -> float:
+        if self.inserts == 0:
+            return 0.0
+        return 1.0 + self.collision_probes / self.inserts
+
+    @property
+    def overflow_rate(self) -> float:
+        if self.inserts == 0:
+            return 0.0
+        return self.overflow_tokens / self.inserts
+
+
+class HashTableModel:
+    """Open-addressing token table with overflow accounting.
+
+    With uniform hashing at load factor ``a``, a successful insert
+    probes ``~(1 + 1/(1-a))/2`` slots; the model charges the expected
+    value rather than simulating slot contents (the decoder's token
+    *semantics* are exact elsewhere — this models only the hardware
+    structure's cost).
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self.stats = HashTableStats()
+        self._occupancy = 0
+
+    def insert(self) -> bool:
+        """Record one token insert; returns False if it overflowed."""
+        self.stats.inserts += 1
+        if self._occupancy >= self.entries:
+            self.stats.overflow_tokens += 1
+            return False
+        load = self._occupancy / self.entries
+        self.stats.collision_probes += 0.5 * (1.0 + 1.0 / max(1e-9, 1.0 - load)) - 1.0
+        self._occupancy += 1
+        if self._occupancy > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = self._occupancy
+        return True
+
+    def end_frame(self) -> None:
+        """Frame boundary: the next-frame table becomes current."""
+        self.stats.frames += 1
+        self._occupancy = 0
+
+    @property
+    def occupancy(self) -> int:
+        return self._occupancy
+
+
+@dataclass
+class OverflowBuffer:
+    """Main-memory spill region for tokens beyond hash capacity."""
+
+    token_bytes: int = 18  # paper: compressed token attributes
+    spilled_tokens: int = 0
+    line_bytes: int = 64
+    _pending: int = field(default=0, repr=False)
+
+    def spill(self, tokens: int = 1) -> int:
+        """Record spills; returns DRAM lines written."""
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        self.spilled_tokens += tokens
+        self._pending += tokens * self.token_bytes
+        lines = self._pending // self.line_bytes
+        self._pending -= lines * self.line_bytes
+        return lines

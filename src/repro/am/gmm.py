@@ -1,0 +1,134 @@
+"""GMM acoustic model.
+
+Diagonal-covariance Gaussian mixture per senone, the classical Kaldi
+front-end.  The model can be instantiated directly from the ground-truth
+emission model (oracle parameters) or fitted by maximum likelihood from
+aligned training features, which is how tests confirm the estimator
+recovers the generator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.am.features import SenoneEmissionModel
+from repro.am.scorer import ScorerKind
+
+_LOG_2PI = math.log(2.0 * math.pi)
+_VAR_FLOOR = 1e-3
+
+
+@dataclass
+class GmmAcousticModel:
+    """Per-senone diagonal GMM.
+
+    Attributes:
+        means: (senones, mixtures, dim) component means.
+        variances: (senones, mixtures, dim) diagonal covariances.
+        log_weights: (senones, mixtures) mixture log-weights.
+    """
+
+    means: np.ndarray
+    variances: np.ndarray
+    log_weights: np.ndarray
+    kind: ScorerKind = ScorerKind.GMM
+
+    @classmethod
+    def from_emissions(
+        cls,
+        emissions: SenoneEmissionModel,
+        num_mixtures: int = 2,
+        rng: np.random.Generator | None = None,
+        jitter: float = 0.1,
+        noise_scale: float = 1.0,
+    ) -> "GmmAcousticModel":
+        """Oracle model: components jittered around the true means.
+
+        ``noise_scale`` must match the feature synthesizer's: observed
+        features have variance ``noise_scale**2 * emission_variance``.
+        """
+        rng = rng or np.random.default_rng(0)
+        s, d = emissions.means.shape
+        means = np.repeat(emissions.means[:, None, :], num_mixtures, axis=1)
+        means = means + rng.normal(0.0, jitter, size=means.shape)
+        variances = np.repeat(
+            emissions.variances[:, None, :] * noise_scale**2, num_mixtures, axis=1
+        )
+        log_weights = np.full((s, num_mixtures), -math.log(num_mixtures))
+        return cls(means=means, variances=variances, log_weights=log_weights)
+
+    @classmethod
+    def fit(
+        cls,
+        features: np.ndarray,
+        alignment: np.ndarray,
+        num_senones: int,
+        num_mixtures: int = 1,
+    ) -> "GmmAcousticModel":
+        """Maximum-likelihood fit from aligned frames (single pass).
+
+        Senones with no observations fall back to the global statistics.
+        Multi-mixture fitting duplicates the ML Gaussian with small
+        offsets (sufficient for the synthetic unimodal emissions).
+        """
+        alignment = np.asarray(alignment)
+        dim = features.shape[1]
+        global_mean = features.mean(axis=0)
+        global_var = np.maximum(features.var(axis=0), _VAR_FLOOR)
+        means = np.tile(global_mean, (num_senones, 1))
+        variances = np.tile(global_var, (num_senones, 1))
+        for senone in range(num_senones):
+            rows = features[alignment == senone]
+            if len(rows) >= 2:
+                means[senone] = rows.mean(axis=0)
+                variances[senone] = np.maximum(rows.var(axis=0), _VAR_FLOOR)
+            elif len(rows) == 1:
+                means[senone] = rows[0]
+        offsets = np.linspace(-0.05, 0.05, num_mixtures)[None, :, None]
+        mix_means = means[:, None, :] + offsets
+        mix_vars = np.repeat(variances[:, None, :], num_mixtures, axis=1)
+        log_weights = np.full((num_senones, num_mixtures), -math.log(num_mixtures))
+        return cls(means=mix_means, variances=mix_vars, log_weights=log_weights)
+
+    @property
+    def num_senones(self) -> int:
+        return self.means.shape[0]
+
+    @property
+    def num_mixtures(self) -> int:
+        return self.means.shape[1]
+
+    @property
+    def dim(self) -> int:
+        return self.means.shape[2]
+
+    @property
+    def size_bytes(self) -> int:
+        """float32 deployment footprint (means + variances + weights)."""
+        params = self.means.size + self.variances.size + self.log_weights.size
+        return params * 4
+
+    @property
+    def flops_per_frame(self) -> float:
+        # Per frame: for every senone/mixture/dim, a sub, square, scale, add.
+        return float(4 * self.num_senones * self.num_mixtures * self.dim)
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        """Log-likelihood matrix, shape (frames, senones)."""
+        t, d = features.shape
+        if d != self.dim:
+            raise ValueError(f"feature dim {d} != model dim {self.dim}")
+        # (t, s, m, d) broadcasting, reduced over d then logsumexp over m.
+        diff = features[:, None, None, :] - self.means[None, :, :, :]
+        exponent = -0.5 * np.sum(diff * diff / self.variances[None], axis=3)
+        log_norm = -0.5 * (
+            d * _LOG_2PI + np.sum(np.log(self.variances), axis=2)
+        )
+        component = exponent + log_norm[None] + self.log_weights[None]
+        peak = component.max(axis=2)
+        return peak + np.log(
+            np.sum(np.exp(component - peak[:, :, None]), axis=2)
+        )

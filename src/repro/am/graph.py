@@ -1,0 +1,128 @@
+"""Acoustic-model WFST construction (Figure 3a structure).
+
+The AM transducer maps senone observation sequences to word sequences.
+It is a loop: a shared *loop state* fans out into one left-to-right HMM
+chain per pronunciation, and every chain returns to the loop state
+through a *cross-word transition* — an arc whose output label is the
+word id (the arcs that trigger LM transitions during on-the-fly
+composition).  Chains share nothing, as in the paper's example.
+
+Arc inventory per pronunciation of length K senones:
+
+* one *enter* arc (loop state -> first chain state) consuming the first
+  senone frame, weighted with the HMM forward cost plus the
+  pronunciation prior;
+* a *self-loop* on every chain state consuming one more frame of that
+  state's senone;
+* an *advance* arc between consecutive chain states consuming the first
+  frame of the next senone;
+* one non-emitting *cross-word* arc (epsilon input, word output) back to
+  the loop state — the analogue of Figure 3a's word-final arcs.
+
+An optional silence chain (epsilon output) hangs off the loop state so
+decoders can absorb inter-word pauses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.am.hmm import HmmTopology
+from repro.am.lexicon import Lexicon
+from repro.wfst.fst import EPSILON, SymbolTable, Wfst
+
+
+@dataclass
+class AmGraph:
+    """The AM WFST plus decoding metadata.
+
+    Attributes:
+        fst: The transducer (input: senone labels, output: word ids).
+        words: Word symbol table, shared with the LM graph.
+        topology: HMM shape used to build the graph.
+        loop_state: The shared word-boundary state (always 0).
+        num_senones: Size of the acoustic score vector per frame.
+    """
+
+    fst: Wfst
+    words: SymbolTable
+    topology: HmmTopology
+    loop_state: int
+    num_senones: int
+    chain_state_senone: dict[int, int] = field(default_factory=dict)
+
+    def senone_of_state(self, state: int) -> int | None:
+        """Senone a chain state emits via its self-loop (None for loop state)."""
+        return self.chain_state_senone.get(state)
+
+    def emitting_arcs(self, state: int):
+        return [a for a in self.fst.out_arcs(state) if a.ilabel != EPSILON]
+
+    def epsilon_arcs(self, state: int):
+        return [a for a in self.fst.out_arcs(state) if a.ilabel == EPSILON]
+
+
+def build_am_graph(
+    lexicon: Lexicon,
+    topology: HmmTopology,
+    words: SymbolTable | None = None,
+    silence_cost: float = 1.0,
+    use_silence: bool = True,
+) -> AmGraph:
+    """Build the AM WFST from a lexicon and an HMM topology.
+
+    Args:
+        lexicon: Pronunciations; every word becomes a chain.
+        topology: Shared HMM shape (senone ids derive from it).
+        words: Word symbol table; pass the LM's table so word ids agree
+            between the two graphs (required for composition).
+        silence_cost: -log prior of entering the silence chain.
+        use_silence: Include the optional silence loop.
+    """
+    if words is None:
+        words = SymbolTable("words")
+    phones = lexicon.phones
+    fst = Wfst(output_symbols=words)
+    loop_state = fst.add_state()
+    fst.set_start(loop_state)
+    fst.set_final(loop_state)
+
+    chain_state_senone: dict[int, int] = {}
+
+    def add_chain(
+        senones: list[int], word_label: int, enter_cost: float
+    ) -> None:
+        """One HMM chain from the loop state back to the loop state."""
+        prev = loop_state
+        for position, senone in enumerate(senones):
+            state = fst.add_state()
+            chain_state_senone[state] = senone
+            label = topology.senone_label(senone)
+            cost = topology.forward_cost + (enter_cost if position == 0 else 0.0)
+            fst.add_arc(prev, label, EPSILON, cost, state)  # enter / advance
+            fst.add_arc(state, label, EPSILON, topology.self_loop_cost, state)
+            prev = state
+        # Cross-word transition: non-emitting, carries the word id.
+        fst.add_arc(prev, EPSILON, word_label, topology.forward_cost, loop_state)
+
+    for word in lexicon.words:
+        word_id = words.add(word)
+        variants = lexicon.pronunciations(word)
+        pron_cost = math.log(len(variants))  # -log(1/k)
+        for pron in variants:
+            phone_ids = [phones.id_of(p) for p in pron]
+            add_chain(topology.senone_sequence(phone_ids), word_id, pron_cost)
+
+    if use_silence:
+        sil_senones = topology.senone_sequence([phones.silence_id])
+        add_chain(sil_senones, EPSILON, silence_cost)
+
+    return AmGraph(
+        fst=fst,
+        words=words,
+        topology=topology,
+        loop_state=loop_state,
+        num_senones=topology.num_senones(phones),
+        chain_state_senone=chain_state_senone,
+    )

@@ -1,0 +1,81 @@
+"""HMM topology: phones expand to left-to-right HMM state chains.
+
+Each phone is a Bakis (left-to-right) HMM with ``states_per_phone``
+emitting states, each carrying a self-loop.  The emitting states are the
+*senones* — the units the acoustic scorer produces likelihoods for, and
+the input labels of the AM WFST (offset by one, since WFST label 0 is
+epsilon).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.am.phones import PhoneInventory
+
+
+@dataclass(frozen=True)
+class HmmTopology:
+    """Shared HMM shape for every phone.
+
+    Attributes:
+        states_per_phone: Emitting states per phone (3 in Kaldi models).
+        self_loop_prob: Probability of staying in a state per frame; the
+            expected state duration is ``1 / (1 - self_loop_prob)``.
+    """
+
+    states_per_phone: int = 3
+    self_loop_prob: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.states_per_phone < 1:
+            raise ValueError("states_per_phone must be >= 1")
+        if not 0.0 < self.self_loop_prob < 1.0:
+            raise ValueError("self_loop_prob must be in (0, 1)")
+
+    @property
+    def self_loop_cost(self) -> float:
+        """-log P(stay)."""
+        return -math.log(self.self_loop_prob)
+
+    @property
+    def forward_cost(self) -> float:
+        """-log P(advance)."""
+        return -math.log(1.0 - self.self_loop_prob)
+
+    @property
+    def expected_frames_per_state(self) -> float:
+        return 1.0 / (1.0 - self.self_loop_prob)
+
+    def num_senones(self, phones: PhoneInventory) -> int:
+        return phones.num_phones * self.states_per_phone
+
+    def senone_id(self, phone_id: int, state_index: int) -> int:
+        """Dense senone id for HMM state ``state_index`` of ``phone_id``."""
+        if not 0 <= state_index < self.states_per_phone:
+            raise ValueError(f"state_index {state_index} out of range")
+        return phone_id * self.states_per_phone + state_index
+
+    def phone_of_senone(self, senone: int) -> int:
+        return senone // self.states_per_phone
+
+    def state_of_senone(self, senone: int) -> int:
+        return senone % self.states_per_phone
+
+    def senone_sequence(self, phone_ids: list[int]) -> list[int]:
+        """Senones visited when each HMM state is held exactly once."""
+        out = []
+        for phone in phone_ids:
+            for j in range(self.states_per_phone):
+                out.append(self.senone_id(phone, j))
+        return out
+
+    def senone_label(self, senone: int) -> int:
+        """WFST input label for a senone (0 is reserved for epsilon)."""
+        return senone + 1
+
+    def senone_of_label(self, label: int) -> int:
+        if label < 1:
+            raise ValueError("label 0 is epsilon, not a senone")
+        return label - 1

@@ -1,0 +1,61 @@
+"""Phone inventory.
+
+A fixed ARPAbet-style phone set plus a silence phone.  Phone ids are
+dense integers; HMM state (senone) ids are derived from them by the
+topology (``repro.am.hmm``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: ARPAbet-like inventory (39 phones), the scale Kaldi models use.
+STANDARD_PHONES = [
+    "aa", "ae", "ah", "ao", "aw", "ay", "b", "ch", "d", "dh",
+    "eh", "er", "ey", "f", "g", "hh", "ih", "iy", "jh", "k",
+    "l", "m", "n", "ng", "ow", "oy", "p", "r", "s", "sh",
+    "t", "th", "uh", "uw", "v", "w", "y", "z", "zh",
+]
+
+SILENCE_PHONE = "sil"
+
+
+@dataclass(frozen=True)
+class PhoneInventory:
+    """Dense phone-id space: real phones first, silence last."""
+
+    phones: tuple[str, ...] = field(default=tuple(STANDARD_PHONES))
+
+    @classmethod
+    def standard(cls) -> "PhoneInventory":
+        return cls()
+
+    @classmethod
+    def reduced(cls, count: int) -> "PhoneInventory":
+        """A smaller inventory for fast tests (first ``count`` phones)."""
+        if not 1 <= count <= len(STANDARD_PHONES):
+            raise ValueError(f"count must be in [1, {len(STANDARD_PHONES)}]")
+        return cls(phones=tuple(STANDARD_PHONES[:count]))
+
+    @property
+    def num_phones(self) -> int:
+        """Total phones including silence."""
+        return len(self.phones) + 1
+
+    @property
+    def silence_id(self) -> int:
+        return len(self.phones)
+
+    def id_of(self, phone: str) -> int:
+        if phone == SILENCE_PHONE:
+            return self.silence_id
+        return self.phones.index(phone)
+
+    def name_of(self, phone_id: int) -> str:
+        if phone_id == self.silence_id:
+            return SILENCE_PHONE
+        return self.phones[phone_id]
+
+    def real_phones(self) -> tuple[str, ...]:
+        """Phones usable in pronunciations (excludes silence)."""
+        return self.phones

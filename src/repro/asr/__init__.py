@@ -1,0 +1,51 @@
+"""End-to-end ASR system assembly: tasks, datasets, pipeline, metrics."""
+
+from repro.asr.dataset import ComponentSizes, build_scorer, measure_component_sizes
+from repro.asr.persist import RecognizerBundle, load_recognizer, save_recognizer
+from repro.asr.streaming import PartialHypothesis, StreamingSession, decode_streaming
+from repro.asr.system import AsrSystem, OverallReport
+from repro.asr.task import (
+    EESEN_TEDLIUM,
+    KALDI_LIBRISPEECH,
+    KALDI_TEDLIUM,
+    KALDI_VOXFORGE,
+    PAPER_TASKS,
+    TINY,
+    AsrTask,
+    TaskConfig,
+    build_task,
+)
+
+from repro.asr.wer import (
+    EditCounts,
+    align_counts,
+    corpus_edit_counts,
+    word_error_rate,
+)
+
+__all__ = [
+    "build_scorer",
+    "measure_component_sizes",
+    "ComponentSizes",
+    "AsrSystem",
+    "StreamingSession",
+    "PartialHypothesis",
+    "decode_streaming",
+    "save_recognizer",
+    "load_recognizer",
+    "RecognizerBundle",
+    "OverallReport",
+    "EditCounts",
+    "align_counts",
+    "corpus_edit_counts",
+    "word_error_rate",
+    "TaskConfig",
+    "AsrTask",
+    "build_task",
+    "TINY",
+    "KALDI_VOXFORGE",
+    "KALDI_LIBRISPEECH",
+    "KALDI_TEDLIUM",
+    "EESEN_TEDLIUM",
+    "PAPER_TASKS",
+]

@@ -1,0 +1,109 @@
+"""Recognition error analysis.
+
+Tools a practitioner reaches for after Table 6: which words confuse
+which, where deletions/insertions concentrate, and how error rate
+varies with utterance length.  All built on the same Levenshtein
+alignment as the WER metric, so the numbers reconcile exactly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.asr.wer import EditCounts, align_counts
+
+
+@dataclass
+class AlignmentOps:
+    """The aligned operation sequence for one utterance pair."""
+
+    ops: list[tuple[str, str | None, str | None]]  # (op, ref, hyp)
+
+    @property
+    def counts(self) -> EditCounts:
+        subs = sum(1 for op, _, _ in self.ops if op == "sub")
+        ins = sum(1 for op, _, _ in self.ops if op == "ins")
+        dels = sum(1 for op, _, _ in self.ops if op == "del")
+        refs = sum(1 for op, _, _ in self.ops if op in ("match", "sub", "del"))
+        return EditCounts(subs, ins, dels, refs)
+
+
+def align_ops(reference: list[str], hypothesis: list[str]) -> AlignmentOps:
+    """Full alignment with back-traced operations."""
+    rows, cols = len(reference) + 1, len(hypothesis) + 1
+    cost = [[0] * cols for _ in range(rows)]
+    for i in range(1, rows):
+        cost[i][0] = i
+    for j in range(1, cols):
+        cost[0][j] = j
+    for i in range(1, rows):
+        for j in range(1, cols):
+            if reference[i - 1] == hypothesis[j - 1]:
+                cost[i][j] = cost[i - 1][j - 1]
+            else:
+                cost[i][j] = 1 + min(
+                    cost[i - 1][j - 1], cost[i][j - 1], cost[i - 1][j]
+                )
+    ops: list[tuple[str, str | None, str | None]] = []
+    i, j = len(reference), len(hypothesis)
+    while i > 0 or j > 0:
+        if i > 0 and j > 0 and reference[i - 1] == hypothesis[j - 1]:
+            ops.append(("match", reference[i - 1], hypothesis[j - 1]))
+            i, j = i - 1, j - 1
+        elif i > 0 and j > 0 and cost[i][j] == cost[i - 1][j - 1] + 1:
+            ops.append(("sub", reference[i - 1], hypothesis[j - 1]))
+            i, j = i - 1, j - 1
+        elif j > 0 and cost[i][j] == cost[i][j - 1] + 1:
+            ops.append(("ins", None, hypothesis[j - 1]))
+            j -= 1
+        else:
+            ops.append(("del", reference[i - 1], None))
+            i -= 1
+    ops.reverse()
+    return AlignmentOps(ops=ops)
+
+
+@dataclass
+class ErrorReport:
+    """Aggregated error analysis over a test set."""
+
+    total: EditCounts
+    confusions: Counter = field(default_factory=Counter)  # (ref, hyp) -> n
+    deletions: Counter = field(default_factory=Counter)  # ref word -> n
+    insertions: Counter = field(default_factory=Counter)  # hyp word -> n
+    by_length: dict[int, EditCounts] = field(default_factory=dict)
+
+    def top_confusions(self, n: int = 10) -> list[tuple[tuple[str, str], int]]:
+        return self.confusions.most_common(n)
+
+    def wer_by_length(self) -> dict[int, float]:
+        return {
+            length: counts.error_rate
+            for length, counts in sorted(self.by_length.items())
+        }
+
+
+def analyze_errors(
+    references: list[list[str]], hypotheses: list[list[str]]
+) -> ErrorReport:
+    """Build a full error report for a decoded test set."""
+    if len(references) != len(hypotheses):
+        raise ValueError("references and hypotheses must be parallel")
+    report = ErrorReport(total=EditCounts(0, 0, 0, 0))
+    for ref, hyp in zip(references, hypotheses):
+        alignment = align_ops(ref, hyp)
+        counts = alignment.counts
+        report.total = report.total + counts
+        length = len(ref)
+        report.by_length[length] = (
+            report.by_length.get(length, EditCounts(0, 0, 0, 0)) + counts
+        )
+        for op, r, h in alignment.ops:
+            if op == "sub":
+                report.confusions[(r, h)] += 1
+            elif op == "del":
+                report.deletions[r] += 1
+            elif op == "ins":
+                report.insertions[h] += 1
+    return report

@@ -1,0 +1,196 @@
+"""Recognizer persistence.
+
+The paper's deployment model (Section 5.3): the hardware is fixed; a
+recognition task ships as data — the AM and LM WFSTs plus the acoustic
+scorer's parameters.  This module saves and loads exactly that bundle:
+
+    directory/
+      manifest.json     # versions, scorer kind, graph metadata
+      words.txt         # symbol table (OpenFst format)
+      am.fst            # AM graph (binary layout of repro.wfst.io)
+      lm.fst            # LM graph
+      scorer.npz        # acoustic model parameters
+
+``load_recognizer`` returns (AmGraph, LmGraph, scorer) ready to hand to
+:class:`~repro.core.decoder.OnTheFlyDecoder`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.am.dnn import MlpAcousticModel
+from repro.am.gmm import GmmAcousticModel
+from repro.am.graph import AmGraph
+from repro.am.hmm import HmmTopology
+from repro.am.rnn import RnnAcousticModel
+from repro.am.scorer import AcousticScorer, ScorerKind
+from repro.lm.graph import LmGraph
+from repro.wfst.io import deserialize, serialize
+from repro.wfst.text_format import read_symbol_table, write_symbol_table
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RecognizerBundle:
+    """A loaded, decode-ready recognizer."""
+
+    am: AmGraph
+    lm: LmGraph
+    scorer: AcousticScorer
+
+
+def save_recognizer(
+    directory: str | Path,
+    am: AmGraph,
+    lm: LmGraph,
+    scorer: AcousticScorer,
+) -> None:
+    """Write the deployable bundle to ``directory`` (created if needed)."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    with open(path / "words.txt", "w") as stream:
+        write_symbol_table(lm.words, stream)
+    (path / "am.fst").write_bytes(serialize(am.fst))
+    (path / "lm.fst").write_bytes(serialize(lm.fst))
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "scorer_kind": scorer.kind.value,
+        "am": {
+            "loop_state": am.loop_state,
+            "num_senones": am.num_senones,
+            "chain_state_senone": {
+                str(k): v for k, v in am.chain_state_senone.items()
+            },
+            "topology": {
+                "states_per_phone": am.topology.states_per_phone,
+                "self_loop_prob": am.topology.self_loop_prob,
+            },
+        },
+        "lm": {
+            "backoff_label": lm.backoff_label,
+            "contexts": [
+                [list(context), state]
+                for context, state in lm.state_of_context.items()
+            ],
+        },
+    }
+    (path / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    np.savez_compressed(path / "scorer.npz", **_scorer_arrays(scorer))
+
+
+def load_recognizer(directory: str | Path) -> RecognizerBundle:
+    """Load a bundle previously written by :func:`save_recognizer`."""
+    path = Path(directory)
+    manifest = json.loads((path / "manifest.json").read_text())
+    if manifest["format_version"] != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported bundle version {manifest['format_version']}"
+        )
+    with open(path / "words.txt") as stream:
+        words = read_symbol_table(stream, name="words")
+
+    am_fst = deserialize((path / "am.fst").read_bytes())
+    am_fst.output_symbols = words
+    am_meta = manifest["am"]
+    am = AmGraph(
+        fst=am_fst,
+        words=words,
+        topology=HmmTopology(
+            states_per_phone=am_meta["topology"]["states_per_phone"],
+            self_loop_prob=am_meta["topology"]["self_loop_prob"],
+        ),
+        loop_state=am_meta["loop_state"],
+        num_senones=am_meta["num_senones"],
+        chain_state_senone={
+            int(k): v for k, v in am_meta["chain_state_senone"].items()
+        },
+    )
+
+    lm_fst = deserialize((path / "lm.fst").read_bytes())
+    lm_fst.input_symbols = words
+    lm_fst.output_symbols = words
+    lm_meta = manifest["lm"]
+    state_of_context = {
+        tuple(context): state for context, state in lm_meta["contexts"]
+    }
+    context_of_state = [()] * lm_fst.num_states
+    for context, state in state_of_context.items():
+        context_of_state[state] = context
+    lm = LmGraph(
+        fst=lm_fst,
+        words=words,
+        backoff_label=lm_meta["backoff_label"],
+        state_of_context=state_of_context,
+        context_of_state=context_of_state,
+    )
+
+    scorer = _scorer_from_arrays(
+        ScorerKind(manifest["scorer_kind"]), np.load(path / "scorer.npz")
+    )
+    return RecognizerBundle(am=am, lm=lm, scorer=scorer)
+
+
+def _scorer_arrays(scorer: AcousticScorer) -> dict[str, np.ndarray]:
+    if scorer.kind is ScorerKind.GMM:
+        return {
+            "means": scorer.means,
+            "variances": scorer.variances,
+            "log_weights": scorer.log_weights,
+        }
+    if scorer.kind is ScorerKind.DNN:
+        return {
+            "w_in": scorer.w_in,
+            "b_in": scorer.b_in,
+            "w_out": scorer.w_out,
+            "log_priors": scorer.log_priors,
+            "seen_mask": _mask_or_all(scorer),
+        }
+    if scorer.kind is ScorerKind.RNN:
+        return {
+            "w_in": scorer.w_in,
+            "w_rec": scorer.w_rec,
+            "w_out": scorer.w_out,
+            "log_priors": scorer.log_priors,
+            "seen_mask": _mask_or_all(scorer),
+        }
+    raise ValueError(f"cannot persist scorer kind {scorer.kind}")
+
+
+def _mask_or_all(scorer) -> np.ndarray:
+    if scorer.seen_mask is not None:
+        return scorer.seen_mask
+    return np.ones(scorer.num_senones, dtype=bool)
+
+
+def _scorer_from_arrays(kind: ScorerKind, arrays) -> AcousticScorer:
+    if kind is ScorerKind.GMM:
+        return GmmAcousticModel(
+            means=arrays["means"],
+            variances=arrays["variances"],
+            log_weights=arrays["log_weights"],
+        )
+    if kind is ScorerKind.DNN:
+        return MlpAcousticModel(
+            w_in=arrays["w_in"],
+            b_in=arrays["b_in"],
+            w_out=arrays["w_out"],
+            log_priors=arrays["log_priors"],
+            seen_mask=arrays["seen_mask"],
+        )
+    if kind is ScorerKind.RNN:
+        return RnnAcousticModel(
+            w_in=arrays["w_in"],
+            w_rec=arrays["w_rec"],
+            w_out=arrays["w_out"],
+            log_priors=arrays["log_priors"],
+            seen_mask=arrays["seen_mask"],
+        )
+    raise ValueError(f"cannot load scorer kind {kind}")

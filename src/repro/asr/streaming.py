@@ -1,0 +1,129 @@
+"""Streaming decoding sessions (Section 5.2's batched operation).
+
+In the deployed system the GPU scores speech in batches of N frames
+while the accelerator decodes the previous batch.  That requires the
+decoder to accept scores *incrementally* and to surface partial
+hypotheses between batches — this module provides that session API on
+top of the one-pass decoder's internals.
+
+    session = StreamingSession(decoder)
+    for batch in score_batches:          # (n_frames, senones) chunks
+        partial = session.push(batch)    # best hypothesis so far
+    result = session.finish()            # final DecodeResult
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.beam import prune
+from repro.core.decoder import DecodeResult, DecoderStats, OnTheFlyDecoder
+from repro.core.lattice import WordLattice
+from repro.core.tokens import TokenTable
+
+
+@dataclass
+class PartialHypothesis:
+    """Best in-flight hypothesis after a batch."""
+
+    words: list[str]
+    cost: float
+    frames_consumed: int
+    active_tokens: int
+
+
+class StreamingSession:
+    """Incremental decoding over one utterance."""
+
+    def __init__(self, decoder: OnTheFlyDecoder) -> None:
+        self.decoder = decoder
+        self._table = TokenTable()
+        self._table.insert(
+            decoder.am.loop_state, decoder.lm.fst.start, 0.0, -1
+        )
+        self._lattice = WordLattice()
+        self._stats = DecoderStats()
+        self._frames = 0
+        self._finished = False
+
+    @property
+    def frames_consumed(self) -> int:
+        return self._frames
+
+    def push(self, scores: np.ndarray) -> PartialHypothesis:
+        """Consume one batch of frames; returns the running best guess."""
+        if self._finished:
+            raise RuntimeError("session already finished")
+        if scores.ndim != 2 or scores.shape[1] < self.decoder.am.num_senones:
+            raise ValueError(f"bad score batch shape {scores.shape}")
+        decoder = self.decoder
+        beam_config = decoder.config.beam_config()
+        for frame_scores in scores:
+            survivors, pruned = prune(self._table, beam_config)
+            self._stats.beam_pruned += pruned
+            next_table = TokenTable()
+            row = frame_scores.tolist()
+            scale = decoder.config.acoustic_scale
+            for token in survivors:
+                self._stats.am_state_fetches += 1
+                for _, arc in decoder._emitting[token.am_state]:
+                    self._stats.expansions += 1
+                    self._stats.am_arc_fetches += 1
+                    cost = token.cost + arc.weight - scale * row[arc.ilabel - 1]
+                    next_table.insert(
+                        arc.nextstate, token.lm_state, cost, token.lattice_node
+                    )
+            decoder._epsilon_phase(
+                next_table, self._frames, self._lattice, self._stats, beam_config
+            )
+            self._stats.tokens_created += next_table.inserts
+            self._stats.active_history.append(len(next_table))
+            self._table = next_table
+            self._frames += 1
+        return self._partial()
+
+    def _partial(self) -> PartialHypothesis:
+        best_cost = math.inf
+        best_node = -1
+        for token in self._table:
+            if token.cost < best_cost:
+                best_cost = token.cost
+                best_node = token.lattice_node
+        words = (
+            [
+                self.decoder.lm.words.symbol_of(w)
+                for w in self._lattice.backtrace(best_node)
+            ]
+            if best_node >= 0
+            else []
+        )
+        return PartialHypothesis(
+            words=words,
+            cost=best_cost,
+            frames_consumed=self._frames,
+            active_tokens=len(self._table),
+        )
+
+    def finish(self) -> DecodeResult:
+        """Terminate the utterance and return the final result."""
+        if self._finished:
+            raise RuntimeError("session already finished")
+        self._finished = True
+        self._stats.frames = self._frames
+        return self.decoder._finalize(self._table, self._lattice, self._stats)
+
+
+def decode_streaming(
+    decoder: OnTheFlyDecoder, scores: np.ndarray, batch_frames: int = 32
+) -> tuple[DecodeResult, list[PartialHypothesis]]:
+    """Decode in fixed-size batches, as the GPU+accelerator pipeline does."""
+    if batch_frames <= 0:
+        raise ValueError("batch_frames must be positive")
+    session = StreamingSession(decoder)
+    partials = []
+    for start in range(0, scores.shape[0], batch_frames):
+        partials.append(session.push(scores[start : start + batch_frames]))
+    return session.finish(), partials

@@ -1,0 +1,196 @@
+"""ASR task construction.
+
+A *task* bundles everything one of the paper's benchmark rows needs:
+vocabulary, lexicon, reference grammar, trained n-gram model, the AM
+and LM WFSTs (sharing one word symbol table), the ground-truth emission
+model and a feature synthesizer.
+
+Presets mirror the paper's four decoders in miniature — the absolute
+sizes scale down (pure-Python reproduction), but the *relationships*
+the evaluation measures (composed-graph blow-up, back-off traffic,
+cache locality) are preserved:
+
+* ``KALDI_VOXFORGE``: small vocabulary, GMM scoring (the paper's
+  smallest task, 37 MB composed WFST).
+* ``KALDI_LIBRISPEECH``: medium vocabulary, DNN scoring, clean speech.
+* ``KALDI_TEDLIUM``: larger vocabulary, GMM scoring, noisy speech.
+* ``EESEN_TEDLIUM``: larger vocabulary, RNN scoring, noisy speech,
+  heavier LM (EESEN's LM WFST is the largest of the four in Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.am.features import FeatureSynthesizer, SenoneEmissionModel, Utterance
+from repro.am.graph import AmGraph, build_am_graph
+from repro.am.hmm import HmmTopology
+from repro.am.lexicon import Lexicon, generate_lexicon
+from repro.am.phones import PhoneInventory
+from repro.am.scorer import ScorerKind
+from repro.lm.corpus import ReferenceGrammar, make_vocabulary
+from repro.lm.graph import LmGraph, build_lm_graph
+from repro.lm.ngram import BackoffNGramModel, train_ngram_model
+from repro.wfst.fst import SymbolTable
+
+
+@dataclass(frozen=True)
+class TaskConfig:
+    """Knobs defining one synthetic ASR task."""
+
+    name: str = "tiny"
+    vocab_size: int = 12
+    phone_count: int = 8
+    corpus_sentences: int = 100
+    lm_order: int = 3
+    lm_cutoffs: tuple[int, ...] = (1, 1, 1)
+    grammar_branching: int = 4
+    feature_dim: int = 16
+    noise_scale: float = 0.6
+    #: Average distance between senone emission means; together with
+    #: noise_scale this sets acoustic confusability (and hence WER).
+    emission_separation: float = 2.5
+    scorer_kind: ScorerKind = ScorerKind.GMM
+    seed: int = 0
+
+    def with_overrides(self, **kwargs) -> "TaskConfig":
+        return replace(self, **kwargs)
+
+
+#: Presets named after the paper's evaluated decoders (Table 1 rows).
+KALDI_VOXFORGE = TaskConfig(
+    name="kaldi-voxforge",
+    vocab_size=120,
+    phone_count=24,
+    corpus_sentences=1200,
+    lm_cutoffs=(1, 1, 2),
+    noise_scale=1.8,
+    emission_separation=0.6,
+    scorer_kind=ScorerKind.GMM,
+    seed=101,
+)
+KALDI_LIBRISPEECH = TaskConfig(
+    name="kaldi-librispeech",
+    vocab_size=260,
+    phone_count=32,
+    corpus_sentences=3000,
+    lm_cutoffs=(1, 1, 2),
+    grammar_branching=6,
+    noise_scale=1.2,
+    emission_separation=0.6,
+    scorer_kind=ScorerKind.DNN,
+    seed=202,
+)
+KALDI_TEDLIUM = TaskConfig(
+    name="kaldi-tedlium",
+    vocab_size=360,
+    phone_count=39,
+    corpus_sentences=4200,
+    lm_cutoffs=(1, 1, 2),
+    grammar_branching=7,
+    noise_scale=1.7,
+    emission_separation=0.6,
+    scorer_kind=ScorerKind.GMM,
+    seed=303,
+)
+EESEN_TEDLIUM = TaskConfig(
+    name="eesen-tedlium",
+    vocab_size=400,
+    phone_count=39,
+    corpus_sentences=6000,
+    lm_cutoffs=(1, 1, 1),
+    grammar_branching=8,
+    noise_scale=1.0,
+    emission_separation=0.6,
+    scorer_kind=ScorerKind.RNN,
+    seed=404,
+)
+TINY = TaskConfig()
+
+PAPER_TASKS = (KALDI_TEDLIUM, KALDI_LIBRISPEECH, KALDI_VOXFORGE, EESEN_TEDLIUM)
+
+
+@dataclass
+class AsrTask:
+    """Everything a decoder run needs, built from one :class:`TaskConfig`."""
+
+    config: TaskConfig
+    phones: PhoneInventory
+    lexicon: Lexicon
+    grammar: ReferenceGrammar
+    corpus: list[list[str]]
+    ngram: BackoffNGramModel
+    words: SymbolTable
+    lm: LmGraph
+    am: AmGraph
+    topology: HmmTopology
+    emissions: SenoneEmissionModel
+    synthesizer: FeatureSynthesizer
+    rng: np.random.Generator = field(repr=False, default_factory=np.random.default_rng)
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def num_senones(self) -> int:
+        return self.am.num_senones
+
+    def test_set(self, num_utterances: int, max_words: int = 10) -> list[Utterance]:
+        """Sample reference sentences and synthesize their features."""
+        utterances = []
+        for _ in range(num_utterances):
+            words = self.grammar.sample_sentence(max_len=max_words)
+            utterances.append(self.synthesizer.synthesize(words))
+        return utterances
+
+
+def build_task(config: TaskConfig) -> AsrTask:
+    """Construct a full task deterministically from its config."""
+    rng = np.random.default_rng(config.seed)
+    phones = PhoneInventory.reduced(config.phone_count)
+    vocabulary = make_vocabulary(config.vocab_size, rng)
+    lexicon = generate_lexicon(vocabulary, phones, rng)
+    grammar = ReferenceGrammar.random(
+        vocabulary, rng, branching=config.grammar_branching
+    )
+    corpus = grammar.sample_corpus(config.corpus_sentences)
+    ngram = train_ngram_model(
+        corpus, vocabulary, order=config.lm_order, cutoffs=config.lm_cutoffs
+    )
+    words = SymbolTable("words")
+    for word in vocabulary:
+        words.add(word)
+    lm = build_lm_graph(ngram, words=words)
+    topology = HmmTopology()
+    am = build_am_graph(lexicon, topology, words=words)
+    emissions = SenoneEmissionModel.random(
+        topology.num_senones(phones),
+        config.feature_dim,
+        rng,
+        separation=config.emission_separation,
+    )
+    synthesizer = FeatureSynthesizer(
+        lexicon=lexicon,
+        topology=topology,
+        emissions=emissions,
+        rng=rng,
+        noise_scale=config.noise_scale,
+    )
+    return AsrTask(
+        config=config,
+        phones=phones,
+        lexicon=lexicon,
+        grammar=grammar,
+        corpus=corpus,
+        ngram=ngram,
+        words=words,
+        lm=lm,
+        am=am,
+        topology=topology,
+        emissions=emissions,
+        synthesizer=synthesizer,
+        rng=rng,
+    )

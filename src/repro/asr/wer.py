@@ -1,0 +1,107 @@
+"""Word error rate.
+
+Standard Levenshtein alignment at the word level:
+``WER = (substitutions + insertions + deletions) / reference words``,
+aggregated over a test set by summing edits and reference lengths
+(the convention Kaldi's scoring uses, and Table 6 reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EditCounts:
+    substitutions: int
+    insertions: int
+    deletions: int
+    reference_words: int
+
+    @property
+    def total_edits(self) -> int:
+        return self.substitutions + self.insertions + self.deletions
+
+    @property
+    def error_rate(self) -> float:
+        if self.reference_words == 0:
+            return 0.0 if self.total_edits == 0 else float("inf")
+        return self.total_edits / self.reference_words
+
+    def __add__(self, other: "EditCounts") -> "EditCounts":
+        return EditCounts(
+            self.substitutions + other.substitutions,
+            self.insertions + other.insertions,
+            self.deletions + other.deletions,
+            self.reference_words + other.reference_words,
+        )
+
+
+def align_counts(reference: list[str], hypothesis: list[str]) -> EditCounts:
+    """Minimum-edit alignment between one reference and one hypothesis."""
+    rows = len(reference) + 1
+    cols = len(hypothesis) + 1
+    # cost[i][j] = (edits, subs, ins, dels) for ref[:i] vs hyp[:j].
+    cost = [[(0, 0, 0, 0)] * cols for _ in range(rows)]
+    for i in range(1, rows):
+        cost[i][0] = (i, 0, 0, i)
+    for j in range(1, cols):
+        cost[0][j] = (j, 0, j, 0)
+    for i in range(1, rows):
+        for j in range(1, cols):
+            if reference[i - 1] == hypothesis[j - 1]:
+                cost[i][j] = cost[i - 1][j - 1]
+                continue
+            sub_e, sub_s, sub_i, sub_d = cost[i - 1][j - 1]
+            ins_e, ins_s, ins_i, ins_d = cost[i][j - 1]
+            del_e, del_s, del_i, del_d = cost[i - 1][j]
+            best = min(sub_e, ins_e, del_e)
+            if best == sub_e:
+                cost[i][j] = (sub_e + 1, sub_s + 1, sub_i, sub_d)
+            elif best == ins_e:
+                cost[i][j] = (ins_e + 1, ins_s, ins_i + 1, ins_d)
+            else:
+                cost[i][j] = (del_e + 1, del_s, del_i, del_d + 1)
+    _, subs, ins, dels = cost[-1][-1]
+    return EditCounts(subs, ins, dels, len(reference))
+
+
+def word_error_rate(
+    references: list[list[str]], hypotheses: list[list[str]]
+) -> float:
+    """Aggregate WER over a test set (Table 6's metric)."""
+    return corpus_edit_counts(references, hypotheses).error_rate
+
+
+def corpus_edit_counts(
+    references: list[list[str]], hypotheses: list[list[str]]
+) -> EditCounts:
+    if len(references) != len(hypotheses):
+        raise ValueError("references and hypotheses must be parallel")
+    total = EditCounts(0, 0, 0, 0)
+    for ref, hyp in zip(references, hypotheses):
+        total = total + align_counts(ref, hyp)
+    return total
+
+
+def oracle_word_error_rate(
+    references: list[list[str]], nbest_lists: list[list[list[str]]]
+) -> float:
+    """Best achievable WER if an oracle picked from each n-best list.
+
+    The standard lattice/n-best quality diagnostic: the gap between
+    1-best WER and oracle WER is the headroom a better LM or rescoring
+    pass could recover.
+    """
+    if len(references) != len(nbest_lists):
+        raise ValueError("references and nbest_lists must be parallel")
+    total = EditCounts(0, 0, 0, 0)
+    for ref, candidates in zip(references, nbest_lists):
+        if not candidates:
+            candidates = [[]]
+        best = min(
+            (align_counts(ref, hyp) for hyp in candidates),
+            key=lambda c: c.total_edits,
+        )
+        total = total + best
+    return total.error_rate

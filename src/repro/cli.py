@@ -1,0 +1,131 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro sizes   [task ...]   # Figure 8 storage table
+    python -m repro decode  [task]       # decode a sample batch, show WER
+    python -m repro experiment <id>      # regenerate one table/figure
+
+Task names: tiny, kaldi-voxforge, kaldi-librispeech, kaldi-tedlium,
+eesen-tedlium.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.asr.task import (
+    EESEN_TEDLIUM,
+    KALDI_LIBRISPEECH,
+    KALDI_TEDLIUM,
+    KALDI_VOXFORGE,
+    TINY,
+    TaskConfig,
+)
+
+TASKS: dict[str, TaskConfig] = {
+    config.name: config
+    for config in (TINY, KALDI_VOXFORGE, KALDI_LIBRISPEECH, KALDI_TEDLIUM, EESEN_TEDLIUM)
+}
+
+
+def _task_config(name: str) -> TaskConfig:
+    if name not in TASKS:
+        raise SystemExit(
+            f"unknown task {name!r}; choose from: {', '.join(TASKS)}"
+        )
+    return TASKS[name]
+
+
+def cmd_sizes(args: argparse.Namespace) -> int:
+    from repro.asr import build_task
+    from repro.compress import measure_dataset_sizing
+
+    names = args.tasks or ["kaldi-voxforge"]
+    header = (
+        f"{'task':20s} {'composed':>10s} {'comp+Price':>11s} "
+        f"{'AM+LM':>9s} {'UNFOLD':>9s} {'reduction':>10s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        sizing = measure_dataset_sizing(build_task(_task_config(name)))
+        mb = 1 / 2**20
+        print(
+            f"{name:20s} {sizing.composed_bytes * mb:9.2f}M "
+            f"{sizing.composed_comp_bytes * mb:10.2f}M "
+            f"{sizing.onthefly_bytes * mb:8.2f}M "
+            f"{sizing.onthefly_comp_bytes * mb:8.3f}M "
+            f"{sizing.unfold_reduction:9.1f}x"
+        )
+    return 0
+
+
+def cmd_decode(args: argparse.Namespace) -> int:
+    from repro.asr import build_scorer, build_task
+    from repro.asr.wer import word_error_rate
+    from repro.core import DecoderConfig, OnTheFlyDecoder
+
+    task = build_task(_task_config(args.task))
+    scorer = build_scorer(task)
+    decoder = OnTheFlyDecoder(task.am, task.lm, DecoderConfig(beam=args.beam))
+    utterances = task.test_set(args.utterances, max_words=8)
+    hypotheses = []
+    for utterance in utterances:
+        result = decoder.decode(scorer.score(utterance.features))
+        hypotheses.append(result.words)
+        marker = "=" if result.words == utterance.words else "!"
+        print(f"ref{marker} {' '.join(utterance.words)}")
+        print(f"hyp{marker} {' '.join(result.words)}")
+    wer = word_error_rate([u.words for u in utterances], hypotheses)
+    print(f"\nWER: {wer:.1%} over {len(utterances)} utterances")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import run_experiment
+
+    result = run_experiment(args.id)
+    print(result.render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import main as report_main
+
+    return report_main([args.output])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="UNFOLD reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sizes = sub.add_parser("sizes", help="Figure 8 storage configurations")
+    p_sizes.add_argument("tasks", nargs="*", help="task names")
+    p_sizes.set_defaults(func=cmd_sizes)
+
+    p_decode = sub.add_parser("decode", help="decode a sample batch")
+    p_decode.add_argument("task", nargs="?", default="tiny")
+    p_decode.add_argument("--utterances", type=int, default=5)
+    p_decode.add_argument("--beam", type=float, default=14.0)
+    p_decode.set_defaults(func=cmd_decode)
+
+    p_exp = sub.add_parser("experiment", help="regenerate one table/figure")
+    p_exp.add_argument("id", help="e.g. fig08, table1, ablation-lookup")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md (runs every experiment)"
+    )
+    p_report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    p_report.set_defaults(func=cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,252 @@
+"""Size and layout model of the offline-composed WFST.
+
+The baseline decoders (Kaldi's HCLG, the MICRO-49 accelerator) search a
+*determinized* composition of the lexicon/HMM transducer with the LM:
+each LM state grows a prefix-shared tree of the HMM chains of the words
+it has explicit arcs for, with back-off epsilon arcs preserved between
+LM levels.  That graph — not the naive product of the two machines — is
+what Table 1 reports at gigabyte scale, so it is what we size.
+
+The model counts, exactly for our constructed AM/LM pairs:
+
+* ``states``: one backbone state per LM state, plus the per-LM-state
+  pronunciation-trie nodes (prefix sharing computed via a global senone
+  prefix trie and a stamped union pass);
+* ``arcs``: a self-loop and an incoming tree edge per trie node, one
+  word-end arc per explicit (LM state, pronunciation) pair, one back-off
+  arc per non-initial LM state, and the optional silence chain per
+  backbone state;
+* short/long arc classes for Price-style compression (short = self-loop
+  or depth-first-adjacent tree edge).
+
+It also provides the dense address layout the baseline accelerator
+simulator uses: per-LM-state blocks of trie-node state records, so
+token addresses exhibit the same kind of spread over the huge dataset
+that makes the baseline's caches miss.
+
+Validated in tests against real (materialized) composition on tiny
+tasks: the model must land between the trimmed composition's size and
+the naive product bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.am.graph import AmGraph
+from repro.lm.graph import LmGraph
+from repro.wfst.io import ARC_RECORD_BYTES, STATE_RECORD_BYTES
+
+
+class PronunciationTrie:
+    """Global prefix trie over senone sequences of all pronunciations."""
+
+    def __init__(self) -> None:
+        self.children: list[dict[int, int]] = [{}]  # node -> senone -> node
+        self.parent: list[int] = [-1]
+        self.first_child_of_parent: list[bool] = [False]
+
+    def insert(self, senones: list[int]) -> list[int]:
+        """Intern a senone sequence; returns the node path (excl. root)."""
+        node = 0
+        path: list[int] = []
+        for senone in senones:
+            nxt = self.children[node].get(senone)
+            if nxt is None:
+                nxt = len(self.children)
+                self.first_child_of_parent.append(not self.children[node])
+                self.children[node][senone] = nxt
+                self.children.append({})
+                self.parent.append(node)
+            node = nxt
+            path.append(node)
+        return path
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes excluding the root."""
+        return len(self.children) - 1
+
+
+@dataclass
+class ComposedSizeModel:
+    """Exact structural accounting of the det(L o G)-style graph."""
+
+    states: int
+    arcs: int
+    short_arcs: int  # self-loops + depth-first-adjacent tree edges
+    long_arcs: int
+    lm_state_base: list[int] = field(repr=False, default_factory=list)
+    lm_state_nodes: list[int] = field(repr=False, default_factory=list)
+
+    @property
+    def state_bytes(self) -> int:
+        return self.states * STATE_RECORD_BYTES
+
+    @property
+    def arc_bytes(self) -> int:
+        return self.arcs * ARC_RECORD_BYTES
+
+    @property
+    def total_bytes(self) -> int:
+        """Uncompressed footprint (the Fully-Composed configuration)."""
+        return self.state_bytes + self.arc_bytes
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / 2**20
+
+
+def build_composed_model(am: AmGraph, lm: LmGraph) -> ComposedSizeModel:
+    """Count the composed graph's states and arcs without building it."""
+    lexicon_paths, trie = _pronunciation_paths(am)
+    num_trie_nodes = trie.num_nodes
+
+    sil_senones = am.topology.states_per_phone  # silence chain length
+    stamp = [-1] * (num_trie_nodes + 1)
+
+    total_nodes = 0
+    total_word_ends = 0
+    total_first_child_edges = 0
+    lm_state_base: list[int] = []
+    lm_state_nodes: list[int] = []
+
+    fst = lm.fst
+    for lm_state in fst.states():
+        lm_state_base.append(total_nodes)
+        nodes_here = 0
+        first_child_here = 0
+        arcs = fst.out_arcs(lm_state)
+        for arc in arcs:
+            if arc.ilabel == lm.backoff_label:
+                continue
+            for path in lexicon_paths.get(arc.ilabel, ()):  # pron variants
+                total_word_ends += 1
+                for node in path:
+                    if stamp[node] != lm_state:
+                        stamp[node] = lm_state
+                        nodes_here += 1
+                        if trie.first_child_of_parent[node]:
+                            first_child_here += 1
+        lm_state_nodes.append(nodes_here)
+        total_nodes += nodes_here
+        total_first_child_edges += first_child_here
+
+    num_lm_states = fst.num_states
+    backoff_count = sum(
+        1 for s in fst.states() if lm.backoff_arc(s) is not None
+    )
+    # Optional silence chain per backbone state: nodes + entry/exit arcs.
+    silence_nodes = sil_senones * num_lm_states
+    silence_arcs = (2 * sil_senones + 1) * num_lm_states
+
+    states = num_lm_states + total_nodes + silence_nodes
+    self_loops = total_nodes
+    tree_edges = total_nodes  # each node has exactly one incoming edge
+    arcs = self_loops + tree_edges + total_word_ends + backoff_count + silence_arcs
+
+    short = self_loops + total_first_child_edges + 2 * silence_nodes
+    return ComposedSizeModel(
+        states=states,
+        arcs=arcs,
+        short_arcs=short,
+        long_arcs=arcs - short,
+        lm_state_base=lm_state_base,
+        lm_state_nodes=lm_state_nodes,
+    )
+
+
+def _pronunciation_paths(
+    am: AmGraph,
+) -> tuple[dict[int, list[list[int]]], PronunciationTrie]:
+    """Trie node paths per word id, derived from the AM graph chains."""
+    trie = PronunciationTrie()
+    paths: dict[int, list[list[int]]] = {}
+    # Walk each chain from the loop state: enter arc, then advances,
+    # collecting self-loop senone labels until the cross-word arc.
+    fst = am.fst
+    for enter in fst.out_arcs(am.loop_state):
+        senones: list[int] = []
+        state = enter.nextstate
+        word = None
+        while True:
+            senone = am.senone_of_state(state)
+            senones.append(senone)
+            advance = None
+            for arc in fst.out_arcs(state):
+                if arc.nextstate == state:
+                    continue  # self-loop
+                advance = arc
+                break
+            assert advance is not None, "chain must return to the loop state"
+            if advance.nextstate == am.loop_state:
+                word = advance.olabel
+                break
+            state = advance.nextstate
+        path = trie.insert(senones)
+        paths.setdefault(word, []).append(path)
+    # Silence (word id 0) chains are handled separately by the caller.
+    paths.pop(0, None)
+    return paths, trie
+
+
+@dataclass
+class ComposedAddressMap:
+    """Maps baseline-decoder tokens to addresses in the composed layout.
+
+    State records live in per-LM-state blocks (backbone states first,
+    then each block's trie nodes); arc records are contiguous per state.
+    The map needs only the AM-state -> trie-node table and the per-block
+    bases, so it stays small even when the composed graph would be huge.
+    """
+
+    model: ComposedSizeModel
+    am_state_node: list[int]  # AM chain state -> global trie node id
+    num_lm_states: int
+
+    def state_index(self, am_state: int, lm_state: int) -> int:
+        if am_state == 0:  # loop state -> LM backbone state
+            return lm_state
+        node = self.am_state_node[am_state]
+        base = self.num_lm_states + self.model.lm_state_base[lm_state]
+        span = max(1, self.model.lm_state_nodes[lm_state])
+        return base + (node * 2654435761) % span
+
+    def state_address(self, am_state: int, lm_state: int) -> int:
+        return self.state_index(am_state, lm_state) * STATE_RECORD_BYTES
+
+    def arc_address(self, am_state: int, lm_state: int, ordinal: int) -> int:
+        base = self.model.state_bytes
+        avg_arc_bytes = ARC_RECORD_BYTES
+        state_idx = self.state_index(am_state, lm_state)
+        # Arc blocks laid out in state order, ~2 arcs per state on average.
+        arcs_before = state_idx * max(
+            1, self.model.arcs // max(1, self.model.states)
+        )
+        return base + (arcs_before + ordinal) * avg_arc_bytes
+
+
+def build_address_map(am: AmGraph, lm: LmGraph) -> ComposedAddressMap:
+    model = build_composed_model(am, lm)
+    _, trie = _pronunciation_paths(am)
+    # Re-walk chains to assign each AM chain state its trie node.
+    am_state_node = [0] * am.fst.num_states
+    fst = am.fst
+    for enter in fst.out_arcs(am.loop_state):
+        senones: list[int] = []
+        state = enter.nextstate
+        while True:
+            senones.append(am.senone_of_state(state))
+            path = trie.insert(senones)
+            am_state_node[state] = path[-1]
+            advance = next(
+                a for a in fst.out_arcs(state) if a.nextstate != state
+            )
+            if advance.nextstate == am.loop_state:
+                break
+            state = advance.nextstate
+    return ComposedAddressMap(
+        model=model,
+        am_state_node=am_state_node,
+        num_lm_states=lm.fst.num_states,
+    )

@@ -1,0 +1,51 @@
+"""Compression model for the fully-composed WFST (Price et al. [23]).
+
+The Fully-Composed+Comp baseline in Figure 8 / Table 2 applies, to the
+offline-composed graph, the same family of techniques UNFOLD applies to
+the separate models: 6-bit k-means weights, minimal-width labels, and
+tag-encoded destinations for arcs that point to an adjacent state in a
+depth-first layout.  The composed graph is sized by the structural model
+(``repro.compress.composed_model``), so this module converts its arc
+class counts into compressed bytes:
+
+* short arc (self-loop or first-child tree edge): 12-bit senone +
+  6-bit weight + 2-bit tag = 20 bits;
+* long arc: short fields + 18-bit word id + 24-bit destination
+  (the composed graph has millions of states, so destinations need more
+  bits than in the separate models) = 62 bits;
+* states: the base+delta table of the bandwidth-reduction scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compress.composed_model import ComposedSizeModel
+from repro.compress.quantize import CENTROID_TABLE_BYTES
+from repro.compress.state_pack import packed_state_bits_estimate
+
+SHORT_ARC_BITS = 20
+LONG_ARC_BITS = 62
+
+
+@dataclass(frozen=True)
+class PackedComposedSize:
+    """Compressed footprint of the composed graph."""
+
+    arc_bits: int
+    state_bits: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (self.arc_bits + self.state_bits + 7) // 8 + CENTROID_TABLE_BYTES
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / 2**20
+
+
+def pack_composed_size(model: ComposedSizeModel) -> PackedComposedSize:
+    """Price-style compressed size from the structural model."""
+    arc_bits = model.short_arcs * SHORT_ARC_BITS + model.long_arcs * LONG_ARC_BITS
+    state_bits = packed_state_bits_estimate(model.states)
+    return PackedComposedSize(arc_bits=arc_bits, state_bits=state_bits)

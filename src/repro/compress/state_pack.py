@@ -1,0 +1,109 @@
+"""State-table compression (the bandwidth-reduction scheme of [34]).
+
+A raw state record is two 32-bit words: first-arc offset and arc count.
+The compressed layout groups states and stores one wide base offset per
+group plus narrow per-state deltas and counts — the same
+base-plus-delta trick the MICRO-49 accelerator uses to cut state-fetch
+bandwidth, which the paper notes is "also very effective for reducing
+the size of the states' information" (Section 3.4).
+
+Delta and count widths are chosen per table from the actual data, and
+recorded in the header; the format is exactly invertible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compress.bits import BitReader, BitWriter, bits_needed
+
+GROUP_SIZE = 16
+BASE_BITS = 40
+#: Raw layout for comparison: 32-bit offset + 32-bit count.
+RAW_STATE_BITS = 64
+
+
+@dataclass
+class PackedStates:
+    """Compressed (offset, count) table."""
+
+    data: bytes
+    bit_length: int
+    num_states: int
+    delta_bits: int
+    count_bits: int
+
+    @property
+    def size_bytes(self) -> int:
+        return (self.bit_length + 7) // 8
+
+    @property
+    def raw_bytes(self) -> int:
+        return self.num_states * RAW_STATE_BITS // 8
+
+    @property
+    def bits_per_state(self) -> float:
+        if self.num_states == 0:
+            return 0.0
+        return self.bit_length / self.num_states
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.bit_length == 0:
+            return 1.0
+        return self.raw_bytes * 8 / self.bit_length
+
+
+def pack_states(offsets: list[int], counts: list[int]) -> PackedStates:
+    """Pack parallel offset/count arrays with group base + delta coding."""
+    if len(offsets) != len(counts):
+        raise ValueError("offsets and counts must be parallel")
+    num_states = len(offsets)
+    max_delta = 0
+    for group_start in range(0, num_states, GROUP_SIZE):
+        base = offsets[group_start]
+        for i in range(group_start, min(group_start + GROUP_SIZE, num_states)):
+            if offsets[i] < base:
+                raise ValueError("offsets must be non-decreasing within a group")
+            max_delta = max(max_delta, offsets[i] - base)
+    delta_bits = bits_needed(max_delta)
+    count_bits = bits_needed(max(counts, default=0))
+
+    writer = BitWriter()
+    for group_start in range(0, num_states, GROUP_SIZE):
+        base = offsets[group_start]
+        writer.write(base, BASE_BITS)
+        for i in range(group_start, min(group_start + GROUP_SIZE, num_states)):
+            writer.write(offsets[i] - base, delta_bits)
+            writer.write(counts[i], count_bits)
+    return PackedStates(
+        data=writer.getvalue(),
+        bit_length=writer.bit_length,
+        num_states=num_states,
+        delta_bits=delta_bits,
+        count_bits=count_bits,
+    )
+
+
+def unpack_states(packed: PackedStates) -> tuple[list[int], list[int]]:
+    """Recover the exact offset/count arrays."""
+    reader = BitReader(packed.data, packed.bit_length)
+    offsets: list[int] = []
+    counts: list[int] = []
+    remaining = packed.num_states
+    while remaining > 0:
+        base = reader.read(BASE_BITS)
+        group = min(GROUP_SIZE, remaining)
+        for _ in range(group):
+            offsets.append(base + reader.read(packed.delta_bits))
+            counts.append(reader.read(packed.count_bits))
+        remaining -= group
+    return offsets, counts
+
+
+def packed_state_bits_estimate(num_states: int, delta_bits: int = 20, count_bits: int = 12) -> int:
+    """Analytic size for state tables we do not materialize (composed graph)."""
+    if num_states == 0:
+        return 0
+    groups = (num_states + GROUP_SIZE - 1) // GROUP_SIZE
+    return groups * BASE_BITS + num_states * (delta_bits + count_bits)

@@ -1,0 +1,56 @@
+"""The paper's core: on-the-fly WFST composition decoding."""
+
+from repro.core.beam import BeamConfig, frame_threshold, prune
+from repro.core.composition import (
+    LmLookup,
+    LookupStats,
+    LookupStrategy,
+    OffsetLookupTable,
+    ResolveResult,
+)
+from repro.core.decoder import (
+    DecodeResult,
+    DecoderConfig,
+    DecoderStats,
+    OnTheFlyDecoder,
+)
+from repro.core.lattice import (
+    COMPACT_RECORD_BYTES,
+    RAW_RECORD_BYTES,
+    LatticeNode,
+    WordLattice,
+)
+from repro.core.offline_decoder import FullyComposedDecoder
+from repro.core.tokens import Token, TokenTable
+from repro.core.trace import GraphSide, NullSink, TraceSink
+from repro.core.two_pass import TwoPassDecoder, TwoPassStats
+from repro.core.virtual import ComposedArc, VirtualComposedGraph
+
+__all__ = [
+    "Token",
+    "TokenTable",
+    "WordLattice",
+    "LatticeNode",
+    "COMPACT_RECORD_BYTES",
+    "RAW_RECORD_BYTES",
+    "BeamConfig",
+    "prune",
+    "frame_threshold",
+    "LookupStrategy",
+    "LookupStats",
+    "LmLookup",
+    "OffsetLookupTable",
+    "ResolveResult",
+    "DecoderConfig",
+    "DecoderStats",
+    "DecodeResult",
+    "OnTheFlyDecoder",
+    "FullyComposedDecoder",
+    "TwoPassDecoder",
+    "TwoPassStats",
+    "VirtualComposedGraph",
+    "ComposedArc",
+    "GraphSide",
+    "TraceSink",
+    "NullSink",
+]

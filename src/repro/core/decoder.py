@@ -1,0 +1,336 @@
+"""The on-the-fly composition Viterbi decoder (the paper's core).
+
+Frame-synchronous beam search over the pair graph (AM state, LM state)
+— Figure 3c.  The AM drives the search: emitting arcs consume acoustic
+scores; when a cross-word transition is reached, the LM lookup engine
+(``repro.core.composition``) locates the matching LM arc, walking
+back-off arcs as needed, and the hypothesis is rescored.  The
+fully-composed WFST is never materialized.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.am.graph import AmGraph
+from repro.core.beam import BeamConfig, prune
+from repro.core.composition import LmLookup, LookupStats, LookupStrategy
+from repro.core.lattice import COMPACT_RECORD_BYTES, RAW_RECORD_BYTES, WordLattice
+from repro.core.tokens import TokenTable
+from repro.core.trace import GraphSide, NullSink, TraceSink
+from repro.lm.graph import LmGraph
+from repro.wfst.fst import EPSILON
+
+
+@dataclass(frozen=True)
+class DecoderConfig:
+    """Search parameters shared by the on-the-fly and baseline decoders."""
+
+    beam: float = 12.0
+    max_active: int = 0
+    acoustic_scale: float = 1.0
+    lookup_strategy: LookupStrategy = LookupStrategy.OFFSET_TABLE
+    offset_table_entries: int = 32 * 1024
+    preemptive_pruning: bool = True
+    #: Word-lattice record format: compact (Price [22], UNFOLD's choice)
+    #: or the raw 16-byte records of the MICRO-49 baseline.
+    compact_lattice: bool = True
+
+    def beam_config(self) -> BeamConfig:
+        return BeamConfig(beam=self.beam, max_active=self.max_active)
+
+
+@dataclass
+class DecoderStats:
+    """Aggregate activity of one decode (feeds the accelerator model)."""
+
+    frames: int = 0
+    tokens_created: int = 0
+    tokens_recombined: int = 0
+    beam_pruned: int = 0
+    preemptive_pruned: int = 0
+    expansions: int = 0
+    words_emitted: int = 0
+    am_state_fetches: int = 0
+    am_arc_fetches: int = 0
+    token_writes: int = 0
+    active_history: list[int] = field(default_factory=list)
+    #: Per-frame (survivors, expansions, lm_probes, token_writes) — the
+    #: work vectors the throughput pipeline model consumes.
+    frame_work: list[tuple[int, int, int, int]] = field(default_factory=list)
+    lookup: LookupStats = field(default_factory=LookupStats)
+
+    @property
+    def avg_active_tokens(self) -> float:
+        if not self.active_history:
+            return 0.0
+        return sum(self.active_history) / len(self.active_history)
+
+    @property
+    def total_hypotheses(self) -> int:
+        """Hypotheses considered: expansions plus preemptively pruned ones."""
+        return self.expansions + self.preemptive_pruned
+
+
+@dataclass
+class DecodeResult:
+    """Output of one utterance decode."""
+
+    word_ids: list[int]
+    words: list[str]
+    cost: float
+    stats: DecoderStats
+    lattice: WordLattice
+    #: Final hypotheses as (total cost, lattice node), best first.
+    finals: list[tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        return math.isfinite(self.cost)
+
+    def nbest(self, n: int) -> list[tuple[float, list[int]]]:
+        """Up to ``n`` distinct word sequences, best first.
+
+        Viterbi recombination keeps one token per (AM, LM) state pair,
+        so alternatives are the surviving word-boundary hypotheses —
+        the same n-best a lattice consumer would extract.
+        """
+        out: list[tuple[float, list[int]]] = []
+        seen: set[tuple[int, ...]] = set()
+        for cost, node in self.finals:
+            words = self.lattice.backtrace(node) if node >= 0 else []
+            key = tuple(words)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append((cost, words))
+            if len(out) >= n:
+                break
+        return out
+
+
+class OnTheFlyDecoder:
+    """UNFOLD's decoding algorithm, functionally modelled.
+
+    The decoder is reusable across utterances; the Offset Lookup Table
+    persists between utterances (as the hardware table would), while
+    token tables and lattices are per-utterance.
+    """
+
+    def __init__(
+        self,
+        am: AmGraph,
+        lm: LmGraph,
+        config: DecoderConfig | None = None,
+        sink: TraceSink | None = None,
+    ) -> None:
+        self.am = am
+        self.lm = lm
+        self.config = config or DecoderConfig()
+        self.sink = sink or NullSink()
+        # Purely functional runs skip per-event sink calls in the hot loop.
+        self._tracing = not isinstance(self.sink, NullSink)
+        self.lookup = LmLookup(
+            lm,
+            strategy=self.config.lookup_strategy,
+            offset_table_entries=self.config.offset_table_entries,
+            sink=self.sink,
+        )
+        # Dense per-state arc views for the hot loop.
+        fst = am.fst
+        self._emitting = [
+            [(i, a) for i, a in enumerate(fst.out_arcs(s)) if a.ilabel != EPSILON]
+            for s in fst.states()
+        ]
+        self._epsilon = [
+            [(i, a) for i, a in enumerate(fst.out_arcs(s)) if a.ilabel == EPSILON]
+            for s in fst.states()
+        ]
+
+    def decode(self, scores: np.ndarray) -> DecodeResult:
+        """Decode one utterance from its acoustic score matrix."""
+        if scores.ndim != 2 or scores.shape[1] < self.am.num_senones:
+            raise ValueError(
+                f"score matrix shape {scores.shape} incompatible with "
+                f"{self.am.num_senones} senones"
+            )
+        config = self.config
+        beam_config = config.beam_config()
+        stats = DecoderStats()
+        start_lookup = self._snapshot_lookup()
+        lattice = WordLattice()
+        sink = self.sink
+
+        current = TokenTable()
+        current.insert(self.am.loop_state, self.lm.fst.start, 0.0, -1)
+
+        num_frames = scores.shape[0]
+        tracing = self._tracing
+        emitting = self._emitting
+        scale = config.acoustic_scale
+        for frame in range(num_frames):
+            survivors, pruned = prune(current, beam_config)
+            stats.beam_pruned += pruned
+            # Plain-list scores: per-element numpy indexing dominates the
+            # hot loop otherwise.
+            frame_scores = scores[frame].tolist()
+            next_table = TokenTable()
+            insert = next_table.insert
+            frame_expansions = 0
+            for token in survivors:
+                am_state = token.am_state
+                lm_state = token.lm_state
+                token_cost = token.cost
+                lattice_node = token.lattice_node
+                if tracing:
+                    sink.on_state_fetch(GraphSide.AM, am_state)
+                    sink.on_token_hash_access(am_state, lm_state)
+                arcs = emitting[am_state]
+                frame_expansions += len(arcs)
+                for ordinal, arc in arcs:
+                    if tracing:
+                        sink.on_arc_fetch(GraphSide.AM, am_state, ordinal)
+                    cost = (
+                        token_cost
+                        + arc.weight
+                        - scale * frame_scores[arc.ilabel - 1]
+                    )
+                    insert(arc.nextstate, lm_state, cost, lattice_node)
+            stats.am_state_fetches += len(survivors)
+            stats.am_arc_fetches += frame_expansions
+            stats.expansions += frame_expansions
+            expansions_before = stats.expansions
+            probes_before = self.lookup.stats.arc_probes
+            writes_before = stats.token_writes
+            self._epsilon_phase(next_table, frame, lattice, stats, beam_config)
+            stats.frame_work.append(
+                (
+                    len(survivors),
+                    frame_expansions + (stats.expansions - expansions_before),
+                    self.lookup.stats.arc_probes - probes_before,
+                    stats.token_writes - writes_before,
+                )
+            )
+            stats.tokens_created += next_table.inserts
+            stats.tokens_recombined += next_table.recombinations
+            stats.active_history.append(len(next_table))
+            sink.on_frame_end(frame, len(next_table))
+            current = next_table
+        stats.frames = num_frames
+        stats.lookup = self._lookup_delta(start_lookup)
+        return self._finalize(current, lattice, stats)
+
+    def _epsilon_phase(
+        self,
+        table: TokenTable,
+        frame: int,
+        lattice: WordLattice,
+        stats: DecoderStats,
+        beam_config: BeamConfig,
+    ) -> None:
+        """Propagate tokens across non-emitting arcs within the frame.
+
+        Cross-word arcs trigger the on-the-fly LM transition; this is
+        where the composition actually happens.
+        """
+        config = self.config
+        sink = self.sink
+        worklist = [t for t in list(table) if self._epsilon[t.am_state]]
+        while worklist:
+            token = worklist.pop()
+            live = table.tokens.get((token.am_state, token.lm_state))
+            if live is not token:  # superseded by a better token
+                continue
+            threshold = table.best_cost + beam_config.beam
+            if token.cost > threshold:
+                stats.beam_pruned += 1
+                continue
+            for ordinal, arc in self._epsilon[token.am_state]:
+                sink.on_arc_fetch(GraphSide.AM, token.am_state, ordinal)
+                stats.am_arc_fetches += 1
+                stats.expansions += 1
+                base_cost = token.cost + arc.weight
+                if arc.olabel == EPSILON:
+                    # Silence (or other non-word) epsilon arc.
+                    inserted = table.insert(
+                        arc.nextstate, token.lm_state, base_cost, token.lattice_node
+                    )
+                    dest_eps = self._epsilon[arc.nextstate]
+                    if inserted and dest_eps:
+                        worklist.append(table.tokens[(arc.nextstate, token.lm_state)])
+                    continue
+                # Cross-word transition: transition in the LM too.
+                result = self.lookup.resolve(
+                    token.lm_state,
+                    arc.olabel,
+                    entry_cost=base_cost,
+                    threshold=threshold,
+                    preemptive=config.preemptive_pruning,
+                )
+                if result.pruned:
+                    stats.preemptive_pruned += 1
+                    continue
+                cost = base_cost + result.weight
+                node = lattice.add(arc.olabel, frame, cost, token.lattice_node)
+                sink.on_token_write(
+                    COMPACT_RECORD_BYTES
+                    if config.compact_lattice
+                    else RAW_RECORD_BYTES
+                )
+                stats.token_writes += 1
+                stats.words_emitted += 1
+                inserted = table.insert(arc.nextstate, result.next_state, cost, node)
+                if inserted and self._epsilon[arc.nextstate]:
+                    worklist.append(table.tokens[(arc.nextstate, result.next_state)])
+
+    def _finalize(
+        self, table: TokenTable, lattice: WordLattice, stats: DecoderStats
+    ) -> DecodeResult:
+        finals: list[tuple[float, int]] = []
+        for token in table:
+            if token.am_state != self.am.loop_state:
+                continue  # mid-word hypotheses cannot end the utterance
+            final = self.lm.fst.final_weight(token.lm_state)
+            total = token.cost + final
+            if math.isfinite(total):
+                finals.append((total, token.lattice_node))
+        finals.sort()
+        if finals:
+            best_cost, best_node = finals[0]
+            word_ids = lattice.backtrace(best_node) if best_node >= 0 else []
+        else:
+            best_cost, word_ids = math.inf, []
+        words = [self.lm.words.symbol_of(w) for w in word_ids]
+        return DecodeResult(
+            word_ids=word_ids,
+            words=words,
+            cost=best_cost,
+            stats=stats,
+            lattice=lattice,
+            finals=finals,
+        )
+
+    def _snapshot_lookup(self) -> LookupStats:
+        s = self.lookup.stats
+        return LookupStats(
+            lookups=s.lookups,
+            arc_probes=s.arc_probes,
+            olt_hits=s.olt_hits,
+            olt_misses=s.olt_misses,
+            backoff_arcs_taken=s.backoff_arcs_taken,
+            preemptive_prunes=s.preemptive_prunes,
+        )
+
+    def _lookup_delta(self, before: LookupStats) -> LookupStats:
+        s = self.lookup.stats
+        return LookupStats(
+            lookups=s.lookups - before.lookups,
+            arc_probes=s.arc_probes - before.arc_probes,
+            olt_hits=s.olt_hits - before.olt_hits,
+            olt_misses=s.olt_misses - before.olt_misses,
+            backoff_arcs_taken=s.backoff_arcs_taken - before.backoff_arcs_taken,
+            preemptive_prunes=s.preemptive_prunes - before.preemptive_prunes,
+        )

@@ -1,0 +1,211 @@
+"""Fully-composed baseline Viterbi decoder (Reza et al. [34]).
+
+The same frame-synchronous beam search as the on-the-fly decoder, but
+over the single offline-composed WFST: one state id per token, one arc
+fetch per expansion, no LM lookups, no back-off walks at decode time —
+and, correspondingly, the gigabyte-scale dataset the paper is built to
+eliminate.
+
+Runs over a :class:`~repro.core.virtual.VirtualComposedGraph`, which is
+path-identical to the materialized composition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.beam import BeamConfig
+from repro.core.decoder import DecodeResult, DecoderConfig, DecoderStats
+from repro.core.lattice import COMPACT_RECORD_BYTES, RAW_RECORD_BYTES, WordLattice
+from repro.core.trace import GraphSide, NullSink, TraceSink
+from repro.core.virtual import VirtualComposedGraph
+from repro.wfst.fst import EPSILON
+
+
+@dataclass(slots=True)
+class _Token:
+    state: int
+    cost: float
+    lattice_node: int
+
+
+@dataclass
+class _Table:
+    tokens: dict[int, _Token] = field(default_factory=dict)
+    best_cost: float = math.inf
+    inserts: int = 0
+    recombinations: int = 0
+
+    def insert(self, state: int, cost: float, lattice_node: int) -> bool:
+        existing = self.tokens.get(state)
+        if existing is None:
+            self.tokens[state] = _Token(state, cost, lattice_node)
+            self.inserts += 1
+        elif cost < existing.cost:
+            existing.cost = cost
+            existing.lattice_node = lattice_node
+        else:
+            self.recombinations += 1
+            return False
+        if cost < self.best_cost:
+            self.best_cost = cost
+        return True
+
+
+class FullyComposedDecoder:
+    """Beam search over the offline-composed graph."""
+
+    def __init__(
+        self,
+        graph: VirtualComposedGraph,
+        config: DecoderConfig | None = None,
+        sink: TraceSink | None = None,
+        compact_lattice: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.config = config or DecoderConfig()
+        self.sink = sink or NullSink()
+        self._tracing = not isinstance(self.sink, NullSink)
+        # The MICRO-49 baseline predates the compact lattice format.
+        self._lattice_record = (
+            COMPACT_RECORD_BYTES if compact_lattice else RAW_RECORD_BYTES
+        )
+
+    def decode(self, scores: np.ndarray) -> DecodeResult:
+        if scores.ndim != 2 or scores.shape[1] < self.graph.am.num_senones:
+            raise ValueError(
+                f"score matrix shape {scores.shape} incompatible with "
+                f"{self.graph.am.num_senones} senones"
+            )
+        config = self.config
+        beam = BeamConfig(beam=config.beam, max_active=config.max_active)
+        stats = DecoderStats()
+        lattice = WordLattice()
+        sink = self.sink
+        graph = self.graph
+
+        current = _Table()
+        current.insert(graph.start, 0.0, -1)
+
+        num_frames = scores.shape[0]
+        tracing = self._tracing
+        scale = config.acoustic_scale
+        for frame in range(num_frames):
+            survivors, pruned = self._prune(current, beam)
+            stats.beam_pruned += pruned
+            frame_scores = scores[frame].tolist()
+            next_table = _Table()
+            insert = next_table.insert
+            frame_expansions = 0
+            for token in survivors:
+                state = token.state
+                token_cost = token.cost
+                lattice_node = token.lattice_node
+                if tracing:
+                    sink.on_state_fetch(GraphSide.COMPOSED, state)
+                    am_state, lm_state = graph.decode_state(state)
+                    sink.on_token_hash_access(am_state, lm_state)
+                for arc in graph.out_arcs(state):
+                    if arc.ilabel == EPSILON:
+                        continue
+                    if tracing:
+                        sink.on_arc_fetch(GraphSide.COMPOSED, state, arc.ordinal)
+                    frame_expansions += 1
+                    cost = (
+                        token_cost
+                        + arc.weight
+                        - scale * frame_scores[arc.ilabel - 1]
+                    )
+                    insert(arc.nextstate, cost, lattice_node)
+            stats.am_state_fetches += len(survivors)
+            stats.am_arc_fetches += frame_expansions
+            stats.expansions += frame_expansions
+            self._epsilon_phase(next_table, frame, lattice, stats, beam)
+            stats.tokens_created += next_table.inserts
+            stats.tokens_recombined += next_table.recombinations
+            stats.active_history.append(len(next_table.tokens))
+            sink.on_frame_end(frame, len(next_table.tokens))
+            current = next_table
+        stats.frames = num_frames
+        return self._finalize(current, lattice, stats)
+
+    def _prune(self, table: _Table, beam: BeamConfig) -> tuple[list[_Token], int]:
+        total = len(table.tokens)
+        if total == 0:
+            return [], 0
+        threshold = table.best_cost + beam.beam
+        survivors = [t for t in table.tokens.values() if t.cost <= threshold]
+        if beam.max_active and len(survivors) > beam.max_active:
+            import heapq
+
+            survivors = heapq.nsmallest(
+                beam.max_active, survivors, key=lambda t: t.cost
+            )
+        return survivors, total - len(survivors)
+
+    def _epsilon_phase(
+        self,
+        table: _Table,
+        frame: int,
+        lattice: WordLattice,
+        stats: DecoderStats,
+        beam: BeamConfig,
+    ) -> None:
+        graph = self.graph
+        sink = self.sink
+        worklist = [
+            t
+            for t in list(table.tokens.values())
+            if any(a.ilabel == EPSILON for a in graph.out_arcs(t.state))
+        ]
+        while worklist:
+            token = worklist.pop()
+            threshold = table.best_cost + beam.beam
+            if token.cost > threshold:
+                stats.beam_pruned += 1
+                continue
+            for arc in graph.out_arcs(token.state):
+                if arc.ilabel != EPSILON:
+                    continue
+                sink.on_arc_fetch(GraphSide.COMPOSED, token.state, arc.ordinal)
+                stats.am_arc_fetches += 1
+                stats.expansions += 1
+                cost = token.cost + arc.weight
+                node = token.lattice_node
+                if arc.olabel != EPSILON:
+                    node = lattice.add(arc.olabel, frame, cost, token.lattice_node)
+                    sink.on_token_write(self._lattice_record)
+                    stats.token_writes += 1
+                    stats.words_emitted += 1
+                inserted = table.insert(arc.nextstate, cost, node)
+                if inserted and any(
+                    a.ilabel == EPSILON for a in graph.out_arcs(arc.nextstate)
+                ):
+                    worklist.append(table.tokens[arc.nextstate])
+
+    def _finalize(
+        self, table: _Table, lattice: WordLattice, stats: DecoderStats
+    ) -> DecodeResult:
+        best_cost = math.inf
+        best_node = -1
+        for token in table.tokens.values():
+            if not self.graph.is_final(token.state):
+                continue
+            total = token.cost + self.graph.final_weight(token.state)
+            if total < best_cost:
+                best_cost = total
+                best_node = token.lattice_node
+        word_ids = lattice.backtrace(best_node) if best_node >= 0 else []
+        if math.isinf(best_cost):
+            word_ids = []
+        words = [self.graph.lm.words.symbol_of(w) for w in word_ids]
+        return DecodeResult(
+            word_ids=word_ids,
+            words=words,
+            cost=best_cost,
+            stats=stats,
+            lattice=lattice,
+        )

@@ -1,0 +1,82 @@
+"""Tokens and per-frame token tables.
+
+A *token* is one search hypothesis: a pair of states — one in the AM
+graph, one in the LM graph (Figure 3c's ``(am, lm)`` nodes) — plus the
+accumulated path cost and a back-pointer into the word lattice.
+
+The decoder keeps two token tables, one for the frame being consumed
+and one being filled for the next frame, mirroring the accelerator's
+two hash tables (Figure 4).  Recombination is Viterbi: inserting a
+token that collides with a better one is a no-op.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class Token:
+    """One active hypothesis."""
+
+    am_state: int
+    lm_state: int
+    cost: float
+    lattice_node: int = -1
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.am_state, self.lm_state)
+
+
+@dataclass
+class TokenTable:
+    """Best-cost token per (am_state, lm_state) pair.
+
+    Tracks the running best cost so beam thresholds are available
+    without a separate pass.
+    """
+
+    tokens: dict[tuple[int, int], Token] = field(default_factory=dict)
+    best_cost: float = math.inf
+    inserts: int = 0
+    improvements: int = 0
+    recombinations: int = 0
+
+    def insert(
+        self, am_state: int, lm_state: int, cost: float, lattice_node: int
+    ) -> bool:
+        """Insert or Viterbi-recombine; returns True if the token survives."""
+        key = (am_state, lm_state)
+        existing = self.tokens.get(key)
+        if existing is None:
+            self.tokens[key] = Token(am_state, lm_state, cost, lattice_node)
+            self.inserts += 1
+        elif cost < existing.cost:
+            existing.cost = cost
+            existing.lattice_node = lattice_node
+            self.improvements += 1
+        else:
+            self.recombinations += 1
+            return False
+        if cost < self.best_cost:
+            self.best_cost = cost
+        return True
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __iter__(self):
+        return iter(self.tokens.values())
+
+    def clear(self) -> None:
+        self.tokens.clear()
+        self.best_cost = math.inf
+        self.inserts = 0
+        self.improvements = 0
+        self.recombinations = 0
+
+    def survivors(self, threshold: float) -> list[Token]:
+        """Tokens whose cost beats ``threshold`` (beam pruning)."""
+        return [t for t in self.tokens.values() if t.cost <= threshold]

@@ -1,0 +1,116 @@
+"""Virtual fully-composed WFST.
+
+The baseline accelerator (Reza et al. [34]) searches the offline
+composition AM ∘ LM.  Materializing that graph is exactly the memory
+explosion the paper is about — for the larger tasks it does not fit
+comfortably even in simulation.  ``VirtualComposedGraph`` exposes the
+composed machine *by contract*: composed states are (AM state, LM
+state) pairs encoded as dense integers, and ``out_arcs`` computes each
+state's composed arcs on demand with exact back-off (phi) semantics.
+
+A decoder running over this object explores precisely the graph offline
+composition would have produced (tests verify this against a real
+materialized composition on small tasks), while the size of the full
+graph is computed separately by ``repro.compress.sizing``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.am.graph import AmGraph
+from repro.core.composition import LmLookup, LookupStrategy
+from repro.lm.graph import LmGraph
+from repro.wfst.fst import EPSILON
+
+
+@dataclass(frozen=True)
+class ComposedArc:
+    """A composed arc, annotated with its provenance for addressing."""
+
+    ilabel: int
+    olabel: int
+    weight: float
+    nextstate: int  # encoded composite id
+    ordinal: int  # arc index within the source composite state
+
+
+class VirtualComposedGraph:
+    """AM ∘ LM, computed lazily, addressed densely."""
+
+    def __init__(self, am: AmGraph, lm: LmGraph) -> None:
+        self.am = am
+        self.lm = lm
+        self._num_lm = lm.fst.num_states
+        # Exact-semantics lookup; BINARY avoids OLT state in the baseline.
+        self._lookup = LmLookup(lm, strategy=LookupStrategy.BINARY)
+        self._cache: dict[int, list[ComposedArc]] = {}
+
+    # -- state encoding ----------------------------------------------------
+
+    def encode(self, am_state: int, lm_state: int) -> int:
+        return am_state * self._num_lm + lm_state
+
+    def decode_state(self, state: int) -> tuple[int, int]:
+        return divmod(state, self._num_lm)
+
+    @property
+    def start(self) -> int:
+        return self.encode(self.am.fst.start, self.lm.fst.start)
+
+    @property
+    def num_states_bound(self) -> int:
+        """Dense id-space size (upper bound on reachable states)."""
+        return self.am.fst.num_states * self._num_lm
+
+    def final_weight(self, state: int) -> float:
+        am_state, lm_state = self.decode_state(state)
+        am_final = self.am.fst.final_weight(am_state)
+        lm_final = self.lm.fst.final_weight(lm_state)
+        return am_final + lm_final
+
+    def is_final(self, state: int) -> bool:
+        am_state, lm_state = self.decode_state(state)
+        return self.am.fst.is_final(am_state) and self.lm.fst.is_final(lm_state)
+
+    # -- lazy arc expansion --------------------------------------------------
+
+    def out_arcs(self, state: int) -> list[ComposedArc]:
+        cached = self._cache.get(state)
+        if cached is not None:
+            return cached
+        am_state, lm_state = self.decode_state(state)
+        arcs: list[ComposedArc] = []
+        for ordinal, arc in enumerate(self.am.fst.out_arcs(am_state)):
+            if arc.olabel == EPSILON:
+                arcs.append(
+                    ComposedArc(
+                        ilabel=arc.ilabel,
+                        olabel=EPSILON,
+                        weight=arc.weight,
+                        nextstate=self.encode(arc.nextstate, lm_state),
+                        ordinal=ordinal,
+                    )
+                )
+            else:
+                result = self._lookup.resolve(lm_state, arc.olabel)
+                arcs.append(
+                    ComposedArc(
+                        ilabel=arc.ilabel,
+                        olabel=arc.olabel,
+                        weight=arc.weight + result.weight,
+                        nextstate=self.encode(arc.nextstate, result.next_state),
+                        ordinal=ordinal,
+                    )
+                )
+        self._cache[state] = arcs
+        return arcs
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def materialize_equivalent(self) -> "Wfst":  # noqa: F821 - doc type
+        """Reference composition via the generic phi composer (tests only)."""
+        from repro.wfst.compose import compose
+
+        return compose(self.am.fst, self.lm.fst, phi_label=self.lm.backoff_label)

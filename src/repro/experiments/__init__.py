@@ -1,0 +1,15 @@
+"""Experiment drivers: one module per table/figure of the evaluation."""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    TaskBundle,
+    get_bundle,
+    paper_bundles,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "TaskBundle",
+    "get_bundle",
+    "paper_bundles",
+]

@@ -1,0 +1,52 @@
+"""Figure 9: Viterbi-search energy per second of speech.
+
+Three platforms per task: the Tegra X1 software decoder, the
+fully-composed baseline accelerator (Reza et al.) and UNFOLD.  Paper:
+UNFOLD saves 28% on average versus the baseline (range 2.5%-77%) and
+an order of magnitude versus the GPU.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, TaskBundle, paper_bundles
+
+EXPERIMENT_ID = "fig09"
+TITLE = "Search energy (mJ per second of speech)"
+
+
+def run(bundles: list[TaskBundle] | None = None) -> ExperimentResult:
+    bundles = bundles or paper_bundles()
+    rows = []
+    savings = []
+    for bundle in bundles:
+        gpu = bundle.gpu_search_report()
+        reza = bundle.reza_report()
+        unfold = bundle.unfold_report()
+        saving = 1 - (
+            unfold.energy_mj_per_speech_second / reza.energy_mj_per_speech_second
+        )
+        savings.append(saving)
+        rows.append(
+            {
+                "task": bundle.name,
+                "tegra_mj": gpu.energy_mj_per_speech_second,
+                "reza_mj": reza.energy_mj_per_speech_second,
+                "unfold_mj": unfold.energy_mj_per_speech_second,
+                "saving_pct": 100 * saving,
+            }
+        )
+    rows.append(
+        {
+            "task": "average",
+            "tegra_mj": None,
+            "reza_mj": None,
+            "unfold_mj": None,
+            "saving_pct": 100 * sum(savings) / len(savings),
+        }
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        notes="paper: 28% average saving vs Reza et al.; ~10x vs the GPU",
+    )

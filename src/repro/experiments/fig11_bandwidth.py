@@ -1,0 +1,51 @@
+"""Figure 11: off-chip memory bandwidth by traffic class.
+
+States / arcs / tokens bandwidth for the baseline and UNFOLD.  Paper:
+UNFOLD cuts bandwidth by 71% on average (2.8x on the most demanding
+decoder, EESEN-Tedlium).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, TaskBundle, paper_bundles
+
+EXPERIMENT_ID = "fig11"
+TITLE = "Memory bandwidth (MB/s) by traffic class"
+
+
+def run(bundles: list[TaskBundle] | None = None) -> ExperimentResult:
+    bundles = bundles or paper_bundles()
+    rows = []
+    reductions = []
+    for bundle in bundles:
+        reza = bundle.reza_report()
+        unfold = bundle.unfold_report()
+        reza_bw = reza.bandwidth_by_class_mb_per_second()
+        unfold_bw = unfold.bandwidth_by_class_mb_per_second()
+        if reza.bandwidth_mb_per_second > 0:
+            reductions.append(
+                1 - unfold.bandwidth_mb_per_second / reza.bandwidth_mb_per_second
+            )
+        for platform, bw, total in (
+            ("reza", reza_bw, reza.bandwidth_mb_per_second),
+            ("unfold", unfold_bw, unfold.bandwidth_mb_per_second),
+        ):
+            rows.append(
+                {
+                    "task": bundle.name,
+                    "platform": platform,
+                    "states_mbs": bw["states"],
+                    "arcs_mbs": bw["arcs"],
+                    "tokens_mbs": bw["tokens"],
+                    "total_mbs": total,
+                }
+            )
+    notes = "paper: 71% average bandwidth reduction"
+    if reductions:
+        notes += (
+            f"; measured average reduction "
+            f"{100 * sum(reductions) / len(reductions):.0f}%"
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, rows=rows, notes=notes
+    )

@@ -1,0 +1,43 @@
+"""Figure 12: overall ASR decode time per second of speech.
+
+Whole pipeline (acoustic scoring + search) on the three platforms, with
+the GPU+accelerator assemblies overlapping stages across batches.
+Paper: the accelerated configurations are ~3.4x faster than GPU-only
+and roughly equal to each other.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, TaskBundle, paper_bundles
+
+EXPERIMENT_ID = "fig12"
+TITLE = "Overall decode time (ms per second of speech)"
+
+
+def run(bundles: list[TaskBundle] | None = None) -> ExperimentResult:
+    bundles = bundles or paper_bundles()
+    rows = []
+    speedups = []
+    for bundle in bundles:
+        reports = bundle.overall_reports()
+        gpu = reports["tegra"]
+        unfold = reports["unfold"]
+        reza = reports["reza"]
+        speedups.append(
+            gpu.decode_ms_per_speech_second / unfold.decode_ms_per_speech_second
+        )
+        rows.append(
+            {
+                "task": bundle.name,
+                "tegra_ms": gpu.decode_ms_per_speech_second,
+                "reza_ms": reza.decode_ms_per_speech_second,
+                "unfold_ms": unfold.decode_ms_per_speech_second,
+                "speedup_vs_gpu_x": speedups[-1],
+            }
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        notes="paper: accelerated pipelines ~3.4x faster than GPU-only",
+    )

@@ -1,0 +1,43 @@
+"""Figure 13: overall ASR energy per second of speech.
+
+Whole-pipeline energy on the three platforms.  Paper: the accelerated
+assemblies save ~1.5x versus GPU-only and are close to each other,
+because the GPU-resident scorer dominates once the search is in
+hardware.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, TaskBundle, paper_bundles
+
+EXPERIMENT_ID = "fig13"
+TITLE = "Overall decode energy (mJ per second of speech)"
+
+
+def run(bundles: list[TaskBundle] | None = None) -> ExperimentResult:
+    bundles = bundles or paper_bundles()
+    rows = []
+    savings = []
+    for bundle in bundles:
+        reports = bundle.overall_reports()
+        gpu = reports["tegra"]
+        unfold = reports["unfold"]
+        reza = reports["reza"]
+        savings.append(
+            gpu.energy_mj_per_speech_second / unfold.energy_mj_per_speech_second
+        )
+        rows.append(
+            {
+                "task": bundle.name,
+                "tegra_mj": gpu.energy_mj_per_speech_second,
+                "reza_mj": reza.energy_mj_per_speech_second,
+                "unfold_mj": unfold.energy_mj_per_speech_second,
+                "saving_vs_gpu_x": savings[-1],
+            }
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        notes="paper: ~1.5x energy saving vs the GPU-only pipeline",
+    )

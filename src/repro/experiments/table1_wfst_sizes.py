@@ -1,0 +1,35 @@
+"""Table 1: AM and LM sizes versus the fully-composed WFST.
+
+The offline composition's multiplicative blow-up: the paper's tasks
+show 5-11x (e.g. Kaldi-TEDLIUM: 33 + 66 MB separate vs 1090 MB
+composed).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, TaskBundle, paper_bundles
+
+EXPERIMENT_ID = "table1"
+TITLE = "WFST sizes (MB): AM, LM, composed"
+
+
+def run(bundles: list[TaskBundle] | None = None) -> ExperimentResult:
+    bundles = bundles or paper_bundles()
+    rows = []
+    for bundle in bundles:
+        sizing = bundle.sizing
+        rows.append(
+            {
+                "task": bundle.name,
+                "am_mb": sizing.am_bytes / 2**20,
+                "lm_mb": sizing.lm_bytes / 2**20,
+                "composed_mb": sizing.composed_bytes / 2**20,
+                "blowup_x": sizing.composition_blowup,
+            }
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        notes="paper blow-up: 5.5x-11x depending on the task",
+    )

@@ -1,0 +1,39 @@
+"""Table 5: per-utterance decode latency (max and average).
+
+All three platforms decode the same utterances; both accelerators
+answer in a small fraction of the GPU's latency, and all are far faster
+than real time.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, TaskBundle, paper_bundles
+
+EXPERIMENT_ID = "table5"
+TITLE = "Decode latency per utterance (ms)"
+
+
+def run(bundles: list[TaskBundle] | None = None) -> ExperimentResult:
+    bundles = bundles or paper_bundles()
+    rows = []
+    for bundle in bundles:
+        gpu = bundle.gpu_search_report()
+        reza = bundle.reza_report()
+        unfold = bundle.unfold_report()
+        rows.append(
+            {
+                "task": bundle.name,
+                "tegra_max": gpu.max_latency_ms,
+                "tegra_avg": gpu.avg_latency_ms,
+                "reza_max": reza.max_latency_ms,
+                "reza_avg": reza.avg_latency_ms,
+                "unfold_max": unfold.max_latency_ms,
+                "unfold_avg": unfold.avg_latency_ms,
+            }
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        notes="paper: accelerators answer in tens of ms; GPU in seconds",
+    )

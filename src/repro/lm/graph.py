@@ -1,0 +1,167 @@
+"""Language-model WFST construction (Figure 3b structure).
+
+One state per n-gram context that holds explicit successors: state 0 is
+the unigram (empty-history) state, then bigram states (one-word
+history), then trigram states (two-word history).  Word arcs carry the
+word id as both input and output label and the explicit n-gram cost as
+weight; every non-unigram state additionally has one *back-off arc* —
+conventionally its last outgoing arc (Section 3.4) — pointing to the
+state of its shortened history with the back-off penalty as weight.
+
+Sentence-end probability is folded into state final weights, as in
+standard decoding graphs, so composing with an acoustic model multiplies
+in ``P(</s> | history)`` at utterance end.
+
+The back-off label is interned *after* every vocabulary word, so its id
+is larger than any word id and an ilabel arc-sort naturally places the
+back-off arc last — the invariant the compressed layout and the
+accelerator's binary search both rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.lm.corpus import SENTENCE_END, SENTENCE_START
+from repro.lm.ngram import BackoffNGramModel, Context
+from repro.wfst.fst import EPSILON, SymbolTable, Wfst
+
+#: Symbol used for back-off (failure) arcs in the word symbol table.
+BACKOFF_SYMBOL = "#phi"
+
+
+@dataclass
+class LmGraph:
+    """A language-model WFST plus the metadata decoders need.
+
+    Attributes:
+        fst: The LM acceptor (word ids in = word ids out).
+        words: Symbol table mapping word ids to strings.
+        backoff_label: Input label marking back-off arcs (> any word id).
+        state_of_context: Maps each n-gram context to its state id.
+        context_of_state: Inverse of ``state_of_context``.
+        unigram_state: The empty-history state (always 0).
+    """
+
+    fst: Wfst
+    words: SymbolTable
+    backoff_label: int
+    state_of_context: dict[Context, int]
+    context_of_state: list[Context] = field(default_factory=list)
+
+    @property
+    def unigram_state(self) -> int:
+        return self.state_of_context[()]
+
+    def word_id(self, word: str) -> int:
+        return self.words.id_of(word)
+
+    def state_level(self, state: int) -> int:
+        """History length of ``state`` (0 = unigram, 1 = bigram, ...)."""
+        return len(self.context_of_state[state])
+
+    def num_states_by_level(self) -> dict[int, int]:
+        levels: dict[int, int] = {}
+        for context in self.state_of_context:
+            levels[len(context)] = levels.get(len(context), 0) + 1
+        return levels
+
+    def backoff_arc(self, state: int):
+        """The back-off arc of ``state`` or None (unigram state has none).
+
+        After construction the back-off arc is the last outgoing arc.
+        """
+        arcs = self.fst.out_arcs(state)
+        if arcs and arcs[-1].ilabel == self.backoff_label:
+            return arcs[-1]
+        return None
+
+
+def build_lm_graph(
+    model: BackoffNGramModel,
+    words: SymbolTable | None = None,
+) -> LmGraph:
+    """Convert a back-off n-gram model into its WFST (Figure 3b)."""
+    if words is None:
+        words = SymbolTable("words")
+    for word in model.vocabulary:
+        words.add(word)
+    backoff_label = words.add(BACKOFF_SYMBOL)
+    if any(words.id_of(w) > backoff_label for w in model.vocabulary):
+        raise ValueError("back-off label must sort after every word id")
+
+    fst = Wfst(input_symbols=words, output_symbols=words)
+
+    # Intern states: unigram context first so it becomes state 0.
+    state_of_context: dict[Context, int] = {}
+    contexts: list[Context] = [()]
+    for k in range(1, model.order):
+        contexts.extend(sorted(model.explicit_contexts(k)))
+    for context in contexts:
+        state_of_context[context] = fst.add_state()
+
+    def resolve_state(context: Context) -> int:
+        """Longest-suffix state for ``context`` (the empty context always exists)."""
+        while context not in state_of_context:
+            context = context[1:]
+        return state_of_context[context]
+
+    max_history = model.order - 1
+
+    for k in range(model.order):
+        for entry in model.entries(k):
+            if entry.word in (SENTENCE_END, SENTENCE_START):
+                continue  # handled via final weights / start state
+            src = state_of_context[entry.context]
+            word_id = words.id_of(entry.word)
+            next_context = (entry.context + (entry.word,))[-max_history:] if max_history else ()
+            dst = resolve_state(next_context)
+            fst.add_arc(src, word_id, word_id, -entry.log_prob, dst)
+
+    # Back-off arcs: from each non-empty context to its suffix state.
+    for context, src in state_of_context.items():
+        if not context:
+            continue
+        weight = -model.backoff_log_weight(context)
+        dst = resolve_state(context[1:])
+        fst.add_arc(src, backoff_label, EPSILON, weight, dst)
+
+    # Final weights: P(</s> | context), resolved with full back-off.
+    for context, state in state_of_context.items():
+        log_p = model.log_prob(SENTENCE_END, context)
+        if log_p > -math.inf:
+            fst.set_final(state, -log_p)
+
+    start_context = (SENTENCE_START,) * max_history
+    fst.set_start(resolve_state(start_context))
+
+    fst.arcsort("ilabel")
+    graph = LmGraph(
+        fst=fst,
+        words=words,
+        backoff_label=backoff_label,
+        state_of_context=state_of_context,
+        context_of_state=[ctx for ctx, _ in sorted(state_of_context.items(), key=lambda kv: kv[1])],
+    )
+    _check_invariants(graph)
+    return graph
+
+
+def _check_invariants(graph: LmGraph) -> None:
+    """Structural invariants the decoder and compressor rely on."""
+    fst = graph.fst
+    for state in fst.states():
+        arcs = fst.out_arcs(state)
+        backoffs = [a for a in arcs if a.ilabel == graph.backoff_label]
+        if len(backoffs) > 1:
+            raise AssertionError(f"state {state} has {len(backoffs)} back-off arcs")
+        if backoffs and arcs[-1].ilabel != graph.backoff_label:
+            raise AssertionError(f"back-off arc of state {state} is not last")
+        word_labels = [a.ilabel for a in arcs if a.ilabel != graph.backoff_label]
+        if word_labels != sorted(word_labels):
+            raise AssertionError(f"state {state} arcs not sorted by word id")
+        if len(set(word_labels)) != len(word_labels):
+            raise AssertionError(f"state {state} has duplicate word arcs")
+    if graph.state_of_context[()] != 0:
+        raise AssertionError("unigram context must be state 0")

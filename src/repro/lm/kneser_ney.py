@@ -1,0 +1,102 @@
+"""Kneser-Ney smoothing (interpolated, back-off form).
+
+The paper's LMs are standard back-off n-grams; Kneser-Ney is the
+stronger estimator modern toolkits default to.  It differs from plain
+absolute discounting in the *lower-order* distributions: instead of raw
+frequency, a word's lower-order probability is proportional to the
+number of distinct contexts it completes (its continuation count) —
+"Francisco" is frequent but only ever follows "San", so its unigram
+back-off probability should be tiny.
+
+The estimate is expressed in the same back-off form as
+:class:`~repro.lm.ngram.BackoffNGramModel` (explicit probabilities plus
+back-off weights), so LM graph construction, the on-the-fly decoder,
+the compression formats and ARPA export all work unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.lm.ngram import BackoffNGramModel, NGramCounts
+
+
+class KneserNeyModel(BackoffNGramModel):
+    """Interpolated Kneser-Ney in back-off form.
+
+    The highest order uses raw counts; every lower order uses
+    continuation counts.  Both levels apply absolute discounting and
+    redistribute the reserved mass through the back-off weights.
+    """
+
+    def _estimate(self, counts: NGramCounts) -> None:
+        continuation = _continuation_counts(counts)
+        self._estimate_unigrams_kn(continuation)
+        for k in range(1, self.order):
+            source = (
+                counts.counts[k]
+                if k == self.order - 1
+                else continuation[k]
+            )
+            for context, counter in source.items():
+                self._estimate_context(k, context, counter)
+
+    def _estimate_unigrams_kn(
+        self, continuation: list[dict[tuple, Counter]]
+    ) -> None:
+        if self.order == 1:
+            # Degenerate case: no higher order to draw continuations from.
+            raise ValueError("Kneser-Ney needs order >= 2")
+        counter = continuation[0].get((), Counter())
+        total = sum(counter.values())
+        if total == 0:
+            raise ValueError("empty corpus: no continuation counts")
+        distinct = len(counter)
+        floor_mass = self.discount * distinct / total
+        floor = floor_mass / len(self._events)
+        probs = {}
+        for event in self._events:
+            seen = max(counter.get(event, 0) - self.discount, 0.0) / total
+            probs[event] = seen + floor
+        norm = sum(probs.values())
+        self._unigram = {w: p / norm for w, p in probs.items()}
+        self._explicit[0][()] = dict(self._unigram)
+
+
+def _continuation_counts(
+    counts: NGramCounts,
+) -> list[dict[tuple, Counter]]:
+    """Continuation counts per order below the model's top order.
+
+    ``continuation[k][ctx][w]`` is the number of *distinct* one-word
+    left-extensions of the (k+1)-gram ``ctx + (w,)`` observed in the
+    corpus — the Kneser-Ney substitute for raw counts at order k+1.
+    """
+    order = counts.order
+    continuation: list[dict[tuple, Counter]] = [
+        defaultdict(Counter) for _ in range(order)
+    ]
+    for k in range(1, order):
+        # Each (k+1)-gram (context of len k, word) contributes one
+        # distinct left-extension to the k-gram (context[1:], word).
+        for context, counter in counts.counts[k].items():
+            shortened = context[1:]
+            for word in counter:
+                continuation[k - 1][shortened][word] += 1
+    return [dict(c) for c in continuation]
+
+
+def train_kneser_ney(
+    corpus: list[list[str]],
+    vocabulary: list[str],
+    order: int = 3,
+    cutoffs: tuple[int, ...] = (1, 1, 2),
+    discount: float = 0.75,
+) -> KneserNeyModel:
+    """Count, prune and estimate a Kneser-Ney model in one call."""
+    counts = NGramCounts.from_corpus(corpus, order)
+    counts.apply_cutoffs(cutoffs)
+    return KneserNeyModel(vocabulary, counts, discount=discount)
+
+
+__all__ = ["KneserNeyModel", "train_kneser_ney"]

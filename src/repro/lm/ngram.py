@@ -1,0 +1,243 @@
+"""Back-off n-gram language models.
+
+Implements the standard Katz-style back-off estimator with absolute
+discounting: an explicit probability ``P*(w | ctx)`` for every n-gram
+kept in the model, plus a back-off weight ``alpha(ctx)`` applied when a
+word was never seen in the context — exactly the structure the paper's
+LM WFST encodes (Section 2: unigram/bigram/trigram states with back-off
+arcs between levels).
+
+Count cutoffs mirror the paper's observation that "combinations whose
+likelihood is smaller than a threshold are pruned to keep the size of
+the LM manageable": pruned combinations are precisely the ones that make
+decoders traverse back-off arcs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.lm.corpus import SENTENCE_END, SENTENCE_START
+
+Context = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class NGramEntry:
+    """One explicit n-gram: ``P*(word | context)`` in the back-off model."""
+
+    context: Context
+    word: str
+    log_prob: float  # natural log
+
+
+@dataclass
+class NGramCounts:
+    """Raw counts of n-grams up to ``order``, with ``<s>``/``</s>`` padding."""
+
+    order: int
+    counts: list[dict[Context, Counter]] = field(default_factory=list)
+
+    @classmethod
+    def from_corpus(cls, corpus: list[list[str]], order: int) -> "NGramCounts":
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        counts: list[dict[Context, Counter]] = [
+            defaultdict(Counter) for _ in range(order)
+        ]
+        for sentence in corpus:
+            padded = [SENTENCE_START] * (order - 1) + sentence + [SENTENCE_END]
+            start = order - 1 if order > 1 else 0
+            for i in range(start, len(padded)):
+                word = padded[i]
+                for k in range(order):
+                    context = tuple(padded[i - k : i])
+                    counts[k][context][word] += 1
+        return cls(order=order, counts=[dict(c) for c in counts])
+
+    def apply_cutoffs(self, cutoffs: tuple[int, ...]) -> None:
+        """Drop n-grams below their order's count cutoff.
+
+        ``cutoffs[k]`` applies to (k+1)-grams; unigrams are never pruned
+        so the back-off floor always exists (Section 3.3 guarantee).
+        """
+        for k in range(1, self.order):
+            cutoff = cutoffs[k] if k < len(cutoffs) else 1
+            if cutoff <= 1:
+                continue
+            pruned: dict[Context, Counter] = {}
+            for context, counter in self.counts[k].items():
+                kept = Counter(
+                    {w: c for w, c in counter.items() if c >= cutoff}
+                )
+                if kept:
+                    pruned[context] = kept
+            self.counts[k] = pruned
+
+    def total_ngrams(self, k: int) -> int:
+        """Number of distinct (k+1)-grams kept."""
+        return sum(len(c) for c in self.counts[k].values())
+
+
+class BackoffNGramModel:
+    """A back-off n-gram model with absolute discounting.
+
+    For a context with total count ``T``, ``D`` distinct successors and
+    discount ``d``::
+
+        P*(w | ctx)  = (c(ctx, w) - d) / T          for kept n-grams
+        alpha(ctx)   = (d * D / T) / missing_mass   back-off weight
+        P(w | ctx)   = P*(w | ctx)            if (ctx, w) kept
+                     = alpha(ctx) * P(w | ctx[1:])  otherwise
+
+    Unigrams are interpolated with a uniform floor over the vocabulary so
+    every word (and ``</s>``) has nonzero probability from the empty
+    context — the "any word ID can be found in an arc departing from
+    state 0" guarantee the decoder's back-off walk relies on.
+    """
+
+    def __init__(
+        self,
+        vocabulary: list[str],
+        counts: NGramCounts,
+        discount: float = 0.5,
+    ) -> None:
+        if not 0.0 < discount < 1.0:
+            raise ValueError("discount must be in (0, 1)")
+        self.vocabulary = list(vocabulary)
+        self.order = counts.order
+        self.discount = discount
+        self._events = self.vocabulary + [SENTENCE_END]
+        self._unigram: dict[str, float] = {}
+        self._explicit: list[dict[Context, dict[str, float]]] = [
+            {} for _ in range(self.order)
+        ]
+        self._alpha: list[dict[Context, float]] = [{} for _ in range(self.order)]
+        self._estimate(counts)
+
+    # -- estimation ------------------------------------------------------
+
+    def _estimate(self, counts: NGramCounts) -> None:
+        self._estimate_unigrams(counts)
+        for k in range(1, self.order):
+            for context, counter in counts.counts[k].items():
+                self._estimate_context(k, context, counter)
+
+    def _estimate_unigrams(self, counts: NGramCounts) -> None:
+        counter = counts.counts[0].get((), Counter())
+        total = sum(counter.values())
+        if total == 0:
+            raise ValueError("empty corpus: no unigram counts")
+        distinct = len(counter)
+        floor_mass = self.discount * distinct / total
+        floor = floor_mass / len(self._events)
+        probs = {}
+        for event in self._events:
+            seen = max(counter.get(event, 0) - self.discount, 0.0) / total
+            probs[event] = seen + floor
+        # Exact renormalization (words seen zero times only get the floor).
+        norm = sum(probs.values())
+        self._unigram = {w: p / norm for w, p in probs.items()}
+        self._explicit[0][()] = dict(self._unigram)
+
+    def _estimate_context(self, k: int, context: Context, counter: Counter) -> None:
+        total = sum(counter.values())
+        distinct = len(counter)
+        explicit = {
+            w: (c - self.discount) / total for w, c in counter.items()
+        }
+        reserved = self.discount * distinct / total
+        # Mass of the lower-order distribution over words NOT seen here.
+        seen_lower = sum(self._prob(w, context[1:]) for w in counter)
+        missing = max(1.0 - seen_lower, 1e-12)
+        self._explicit[k][context] = explicit
+        self._alpha[k][context] = reserved / missing
+
+    # -- queries ---------------------------------------------------------
+
+    def _prob(self, word: str, context: Context) -> float:
+        context = self._truncate(context)
+        k = len(context)
+        table = self._explicit[k].get(context)
+        if table is not None and word in table:
+            return table[word]
+        if k == 0:
+            return self._unigram.get(word, 0.0)
+        alpha = self._alpha[k].get(context)
+        if alpha is None:
+            alpha = 1.0  # context unseen entirely: no discounted mass held
+        return alpha * self._prob(word, context[1:])
+
+    def prob(self, word: str, context: tuple[str, ...] = ()) -> float:
+        """``P(word | context)`` with back-off."""
+        return self._prob(word, tuple(context))
+
+    def log_prob(self, word: str, context: tuple[str, ...] = ()) -> float:
+        p = self.prob(word, context)
+        return math.log(p) if p > 0 else -math.inf
+
+    def _truncate(self, context: Context) -> Context:
+        if len(context) >= self.order:
+            return context[-(self.order - 1):] if self.order > 1 else ()
+        return context
+
+    def score_sentence(self, words: list[str]) -> float:
+        """Total natural-log probability of ``words`` plus ``</s>``."""
+        history: list[str] = [SENTENCE_START] * (self.order - 1)
+        total = 0.0
+        for word in words + [SENTENCE_END]:
+            total += self.log_prob(word, tuple(history))
+            history = (history + [word])[-(self.order - 1):] if self.order > 1 else []
+        return total
+
+    def perplexity(self, corpus: list[list[str]]) -> float:
+        log_total = 0.0
+        tokens = 0
+        for sentence in corpus:
+            log_total += self.score_sentence(sentence)
+            tokens += len(sentence) + 1  # count </s>
+        return math.exp(-log_total / max(tokens, 1))
+
+    # -- model structure (for WFST conversion and ARPA output) -----------
+
+    def explicit_contexts(self, k: int) -> list[Context]:
+        """Contexts of length ``k`` holding explicit n-grams."""
+        return list(self._explicit[k].keys())
+
+    def entries(self, k: int) -> list[NGramEntry]:
+        """All explicit (k+1)-grams as :class:`NGramEntry`."""
+        out = []
+        for context, table in self._explicit[k].items():
+            for word, p in table.items():
+                out.append(NGramEntry(context, word, math.log(p)))
+        return out
+
+    def backoff_log_weight(self, context: Context) -> float:
+        """``log alpha(context)``; 0.0 for the empty context."""
+        k = len(context)
+        if k == 0:
+            return 0.0
+        alpha = self._alpha[k].get(context, 1.0)
+        return math.log(alpha) if alpha > 0 else -math.inf
+
+    def has_context(self, context: Context) -> bool:
+        k = len(context)
+        return k < self.order and context in self._explicit[k]
+
+    def num_ngrams(self, k: int) -> int:
+        return sum(len(t) for t in self._explicit[k].values())
+
+
+def train_ngram_model(
+    corpus: list[list[str]],
+    vocabulary: list[str],
+    order: int = 3,
+    cutoffs: tuple[int, ...] = (1, 1, 2),
+    discount: float = 0.5,
+) -> BackoffNGramModel:
+    """Count, prune and estimate in one call."""
+    counts = NGramCounts.from_corpus(corpus, order)
+    counts.apply_cutoffs(cutoffs)
+    return BackoffNGramModel(vocabulary, counts, discount=discount)

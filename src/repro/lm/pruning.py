@@ -1,0 +1,124 @@
+"""Relative-entropy (Stolcke) LM pruning.
+
+The paper's LMs are pruned by count cutoffs ("combinations whose
+likelihood is smaller than a threshold are pruned to keep the size of
+the LM manageable").  Stolcke pruning is the principled version: drop an
+explicit n-gram if removing it — letting the model back off instead —
+changes the model distribution by less than a threshold in weighted
+relative entropy.
+
+Pruning trades LM WFST size against perplexity, which directly moves
+the Table 1/Figure 8 storage numbers: a more aggressively pruned LM
+shrinks both the on-the-fly dataset and the composed graph while
+*increasing* back-off traffic during decoding — the §3.3 mechanism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.lm.ngram import BackoffNGramModel, Context
+
+
+@dataclass(frozen=True)
+class PruningReport:
+    """What pruning removed, per order."""
+
+    threshold: float
+    removed_by_order: dict[int, int]
+    kept_by_order: dict[int, int]
+
+    @property
+    def total_removed(self) -> int:
+        return sum(self.removed_by_order.values())
+
+    def removal_rate(self, order: int) -> float:
+        removed = self.removed_by_order.get(order, 0)
+        kept = self.kept_by_order.get(order, 0)
+        total = removed + kept
+        return removed / total if total else 0.0
+
+
+def prune_model(
+    model: BackoffNGramModel, threshold: float = 1e-6
+) -> PruningReport:
+    """Prune explicit n-grams in place by relative-entropy impact.
+
+    For each explicit n-gram (context, w) of order >= 2, the impact of
+    dropping it is approximated as::
+
+        D = P(context) * P(w | context) *
+            (log P(w | context) - log P'(w | context))
+
+    where ``P'`` is the back-off estimate that would replace it and
+    ``P(context)`` is estimated from the chain of explicit
+    probabilities.  N-grams with ``D < threshold`` are removed, highest
+    order first (removing a trigram can only increase its bigram's
+    usefulness, not decrease it); back-off weights are re-normalized
+    afterwards.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    removed_by_order: dict[int, int] = {}
+    kept_by_order: dict[int, int] = {}
+
+    for k in range(model.order - 1, 0, -1):
+        removed = 0
+        kept = 0
+        for context in list(model._explicit[k].keys()):
+            table = model._explicit[k][context]
+            context_prob = _context_probability(model, context)
+            for word in list(table.keys()):
+                p_explicit = table[word]
+                alpha = model._alpha[k].get(context, 1.0)
+                p_backoff = alpha * model._prob(word, context[1:])
+                if p_backoff <= 0:
+                    kept += 1
+                    continue
+                divergence = (
+                    context_prob
+                    * p_explicit
+                    * (math.log(p_explicit) - math.log(p_backoff))
+                )
+                if abs(divergence) < threshold:
+                    del table[word]
+                    removed += 1
+                else:
+                    kept += 1
+            if not table:
+                del model._explicit[k][context]
+                model._alpha[k].pop(context, None)
+            else:
+                _renormalize_alpha(model, k, context)
+        removed_by_order[k + 1] = removed
+        kept_by_order[k + 1] = kept
+    return PruningReport(
+        threshold=threshold,
+        removed_by_order=removed_by_order,
+        kept_by_order=kept_by_order,
+    )
+
+
+def _context_probability(model: BackoffNGramModel, context: Context) -> float:
+    """P(context) approximated by chaining explicit probabilities."""
+    prob = 1.0
+    history: Context = ()
+    for word in context:
+        if word.startswith("<"):  # sentence-boundary pseudo-words
+            continue
+        prob *= max(model._prob(word, history), 1e-12)
+        history = (history + (word,))[-(model.order - 1):]
+    return prob
+
+
+def _renormalize_alpha(
+    model: BackoffNGramModel, k: int, context: Context
+) -> None:
+    """Recompute the back-off weight so the context sums to one again."""
+    table = model._explicit[k][context]
+    explicit_mass = sum(table.values())
+    seen_lower = sum(model._prob(w, context[1:]) for w in table)
+    missing = max(1.0 - seen_lower, 1e-12)
+    reserved = max(1.0 - explicit_mass, 0.0)
+    model._alpha[k][context] = reserved / missing

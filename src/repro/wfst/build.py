@@ -1,0 +1,139 @@
+"""Rational operations over WFSTs: union, concatenation, closure,
+epsilon removal.
+
+These complete the substrate as a usable FST library.  The recognizer
+itself composes and searches, but grammar construction workflows
+(command grammars for the voice-assistant example, keyword loops,
+test fixtures) are naturally expressed with rational operations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.wfst.fst import EPSILON, Wfst
+
+
+def _copy_into(dest: Wfst, src: Wfst) -> list[int]:
+    """Append ``src``'s states/arcs into ``dest``; returns the id map."""
+    mapping = [dest.add_state() for _ in src.states()]
+    for state in src.states():
+        for arc in src.out_arcs(state):
+            dest.add_arc(
+                mapping[state],
+                arc.ilabel,
+                arc.olabel,
+                arc.weight,
+                mapping[arc.nextstate],
+            )
+    return mapping
+
+
+def union(a: Wfst, b: Wfst) -> Wfst:
+    """Accepts anything either machine accepts."""
+    _require_start(a, b)
+    out = Wfst(semiring=a.semiring, input_symbols=a.input_symbols,
+               output_symbols=a.output_symbols)
+    start = out.add_state()
+    out.set_start(start)
+    for machine in (a, b):
+        mapping = _copy_into(out, machine)
+        out.add_arc(start, EPSILON, EPSILON, 0.0, mapping[machine.start])
+        for state, weight in machine.finals.items():
+            out.set_final(mapping[state], _min_final(out, mapping[state], weight))
+    return out
+
+
+def concat(a: Wfst, b: Wfst) -> Wfst:
+    """Accepts a path of ``a`` followed by a path of ``b``."""
+    _require_start(a, b)
+    out = Wfst(semiring=a.semiring, input_symbols=a.input_symbols,
+               output_symbols=b.output_symbols)
+    map_a = _copy_into(out, a)
+    map_b = _copy_into(out, b)
+    out.set_start(map_a[a.start])
+    for state, weight in a.finals.items():
+        out.add_arc(map_a[state], EPSILON, EPSILON, weight, map_b[b.start])
+    for state, weight in b.finals.items():
+        out.set_final(map_b[state], weight)
+    return out
+
+
+def closure(a: Wfst) -> Wfst:
+    """Kleene star: zero or more repetitions of ``a``."""
+    _require_start(a)
+    out = Wfst(semiring=a.semiring, input_symbols=a.input_symbols,
+               output_symbols=a.output_symbols)
+    start = out.add_state()
+    out.set_start(start)
+    out.set_final(start)  # zero repetitions
+    mapping = _copy_into(out, a)
+    out.add_arc(start, EPSILON, EPSILON, 0.0, mapping[a.start])
+    for state, weight in a.finals.items():
+        out.set_final(mapping[state], weight)
+        out.add_arc(mapping[state], EPSILON, EPSILON, weight, mapping[a.start])
+    return out
+
+
+def remove_epsilon(a: Wfst) -> Wfst:
+    """Eliminate eps:eps arcs by closing over their tropical distances.
+
+    Arcs whose input OR output label is non-epsilon are preserved; only
+    fully-epsilon transitions are folded into their successors.  The
+    result is path-equivalent under the tropical semiring.
+    """
+    _require_start(a)
+    closures = [_epsilon_closure(a, s) for s in a.states()]
+    out = Wfst(semiring=a.semiring, input_symbols=a.input_symbols,
+               output_symbols=a.output_symbols)
+    out.add_states(a.num_states)
+    out.set_start(a.start)
+    for state in a.states():
+        best_final = math.inf
+        for reachable, dist in closures[state].items():
+            final = a.final_weight(reachable)
+            if dist + final < best_final:
+                best_final = dist + final
+            for arc in a.out_arcs(reachable):
+                if arc.ilabel == EPSILON and arc.olabel == EPSILON:
+                    continue
+                out.add_arc(
+                    state, arc.ilabel, arc.olabel, dist + arc.weight, arc.nextstate
+                )
+        if math.isfinite(best_final):
+            out.set_final(state, best_final)
+    return out
+
+
+def _epsilon_closure(a: Wfst, start: int) -> dict[int, float]:
+    """Tropical shortest eps:eps distance from ``start`` to each state."""
+    import heapq
+
+    dist = {start: 0.0}
+    heap = [(0.0, start)]
+    while heap:
+        d, state = heapq.heappop(heap)
+        if d > dist.get(state, math.inf):
+            continue
+        for arc in a.out_arcs(state):
+            if arc.ilabel != EPSILON or arc.olabel != EPSILON:
+                continue
+            nd = d + arc.weight
+            if nd < dist.get(arc.nextstate, math.inf):
+                dist[arc.nextstate] = nd
+                heapq.heappush(heap, (nd, arc.nextstate))
+    return dist
+
+
+def _min_final(out: Wfst, state: int, weight: float) -> float:
+    existing = out.final_weight(state)
+    return min(existing, weight) if math.isfinite(existing) else weight
+
+
+def _require_start(*machines: Wfst) -> None:
+    for machine in machines:
+        if machine.start < 0:
+            raise ValueError("operand needs a start state")
+    semirings = {m.semiring.name for m in machines}
+    if len(semirings) > 1:
+        raise ValueError(f"mixed semirings: {semirings}")

@@ -1,0 +1,89 @@
+"""Graphviz DOT export for WFSTs and word lattices.
+
+Debugging aid matching the paper's Figure 3 diagrams: render the AM
+graph, the LM graph with its back-off arcs, or a decoded word lattice
+and inspect them with any DOT viewer.
+"""
+
+from __future__ import annotations
+
+from repro.core.lattice import WordLattice
+from repro.wfst.fst import EPSILON, SymbolTable, Wfst
+
+
+def fst_to_dot(
+    fst: Wfst,
+    title: str = "wfst",
+    max_states: int = 200,
+    highlight_label: int | None = None,
+) -> str:
+    """Render a WFST as a DOT digraph string.
+
+    Args:
+        fst: Machine to render.
+        title: Graph name.
+        max_states: Safety bound; larger machines raise (render a
+            trimmed or composed-down view instead).
+        highlight_label: Input label drawn dashed (e.g. the LM's
+            back-off label, matching Figure 3b's dashed arcs).
+    """
+    if fst.num_states > max_states:
+        raise ValueError(
+            f"{fst.num_states} states exceed max_states={max_states}"
+        )
+
+    def sym(label: int, table: SymbolTable | None) -> str:
+        if label == EPSILON:
+            return "ε"
+        if table is not None:
+            return table.symbol_of(label)
+        return str(label)
+
+    lines = [f'digraph "{title}" {{', "  rankdir = LR;"]
+    for state in fst.states():
+        shape = "doublecircle" if fst.is_final(state) else "circle"
+        label = str(state)
+        if fst.is_final(state) and fst.final_weight(state) != 0.0:
+            label += f"/{fst.final_weight(state):.2f}"
+        lines.append(f'  {state} [shape = {shape}, label = "{label}"];')
+    if fst.start >= 0:
+        lines.append("  __start [shape = point];")
+        lines.append(f"  __start -> {fst.start};")
+    for state, arc in fst.all_arcs():
+        text = (
+            f"{sym(arc.ilabel, fst.input_symbols)}:"
+            f"{sym(arc.olabel, fst.output_symbols)}/{arc.weight:.2f}"
+        )
+        style = (
+            ', style = dashed'
+            if highlight_label is not None and arc.ilabel == highlight_label
+            else ""
+        )
+        lines.append(
+            f'  {state} -> {arc.nextstate} [label = "{text}"{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def lattice_to_dot(
+    lattice: WordLattice,
+    words: SymbolTable | None = None,
+    title: str = "lattice",
+    max_nodes: int = 500,
+) -> str:
+    """Render a word lattice's back-pointer DAG as DOT."""
+    if len(lattice) > max_nodes:
+        raise ValueError(f"{len(lattice)} nodes exceed max_nodes={max_nodes}")
+    lines = [f'digraph "{title}" {{', "  rankdir = LR;"]
+    lines.append('  root [shape = point, label = ""];')
+    for node_id, node in enumerate(lattice.nodes):
+        word = words.symbol_of(node.word) if words else str(node.word)
+        lines.append(
+            f'  n{node_id} [shape = box, label = "{word}\\n'
+            f't={node.frame} c={node.cost:.1f}"];'
+        )
+        parent = f"n{node.backpointer}" if node.backpointer >= 0 else "root"
+        lines.append(f"  {parent} -> n{node_id};")
+    lines.append("}")
+    return "\n".join(lines)

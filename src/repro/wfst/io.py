@@ -1,0 +1,104 @@
+"""Binary serialization and byte accounting for WFSTs.
+
+The memory layout follows Choi et al. [3], the layout the paper adopts
+(Section 3.4): two flat arrays, one for states and one for arcs.  Each
+state record holds the offset of its first outgoing arc and its arc
+count; each *uncompressed* arc is a 128-bit record of four 32-bit
+fields — destination state, input label, output label and IEEE-754
+weight — exactly the structure Section 3.4 describes before compression.
+
+``serialize``/``deserialize`` are a real round-trippable binary codec
+(used to validate the accounting), and ``uncompressed_size_bytes`` is
+the sizing rule used by Table 1 / Figure 2 / Figure 8 experiments.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.wfst.fst import Wfst
+from repro.wfst.semiring import TROPICAL
+
+_MAGIC = b"UWF1"
+_HEADER = struct.Struct("<4siii")  # magic, num_states, num_finals, start
+_STATE = struct.Struct("<ii")  # first arc offset, arc count
+_ARC = struct.Struct("<iiif")  # nextstate, ilabel, olabel, weight
+_FINAL = struct.Struct("<if")  # state, final weight
+
+#: Bytes per record in the uncompressed Choi et al. layout.
+ARC_RECORD_BYTES = _ARC.size  # 16 bytes == 128 bits
+STATE_RECORD_BYTES = _STATE.size  # 8 bytes
+
+
+@dataclass(frozen=True)
+class SizeBreakdown:
+    """Byte accounting for one serialized WFST."""
+
+    state_bytes: int
+    arc_bytes: int
+    final_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.state_bytes + self.arc_bytes + self.final_bytes
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / (1024.0 * 1024.0)
+
+
+def uncompressed_size(fst: Wfst) -> SizeBreakdown:
+    """Size of ``fst`` in the uncompressed two-array layout."""
+    return SizeBreakdown(
+        state_bytes=fst.num_states * STATE_RECORD_BYTES,
+        arc_bytes=fst.num_arcs * ARC_RECORD_BYTES,
+        final_bytes=len(fst.finals) * _FINAL.size,
+    )
+
+
+def uncompressed_size_bytes(fst: Wfst) -> int:
+    return uncompressed_size(fst).total_bytes
+
+
+def serialize(fst: Wfst) -> bytes:
+    """Encode ``fst`` into the two-array binary layout."""
+    chunks = [_HEADER.pack(_MAGIC, fst.num_states, len(fst.finals), fst.start)]
+    offset = 0
+    for state in fst.states():
+        arcs = fst.out_arcs(state)
+        chunks.append(_STATE.pack(offset, len(arcs)))
+        offset += len(arcs)
+    for _, arc in fst.all_arcs():
+        chunks.append(_ARC.pack(arc.nextstate, arc.ilabel, arc.olabel, arc.weight))
+    for state, weight in sorted(fst.finals.items()):
+        chunks.append(_FINAL.pack(state, weight))
+    return b"".join(chunks)
+
+
+def deserialize(data: bytes) -> Wfst:
+    """Decode a WFST previously produced by :func:`serialize`."""
+    magic, num_states, num_finals, start = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise ValueError("not a serialized WFST (bad magic)")
+    fst = Wfst(semiring=TROPICAL)
+    fst.add_states(num_states)
+
+    pos = _HEADER.size
+    counts = []
+    for _ in range(num_states):
+        _, count = _STATE.unpack_from(data, pos)
+        counts.append(count)
+        pos += _STATE.size
+    for state, count in enumerate(counts):
+        for _ in range(count):
+            nextstate, ilabel, olabel, weight = _ARC.unpack_from(data, pos)
+            fst.add_arc(state, ilabel, olabel, weight, nextstate)
+            pos += _ARC.size
+    for _ in range(num_finals):
+        state, weight = _FINAL.unpack_from(data, pos)
+        fst.set_final(state, weight)
+        pos += _FINAL.size
+    if start >= 0:
+        fst.set_start(start)
+    return fst

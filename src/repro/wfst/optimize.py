@@ -1,0 +1,232 @@
+"""Classic WFST optimizations: weight pushing, determinization,
+minimization.
+
+These are the operations behind the paper's baseline: Kaldi's HCLG is
+*determinized and minimized* after composition, which is why Table 1's
+composed graphs are ~10x the separate models rather than the raw
+product's thousands-fold blow-up.  Having them here lets the composed
+size model be validated against a real det+min pipeline on small tasks.
+
+Scope notes (documented limitations, standard for this family):
+
+* Determinization treats a transducer as an acceptor over
+  (input, output) label pairs — sufficient for comparing machines and
+  optimizing acceptors; true transducer determinization with delayed
+  outputs is not implemented.
+* Determinization requires a machine without fully-epsilon arcs (run
+  :func:`~repro.wfst.build.remove_epsilon` first) and may not terminate
+  on machines that are not determinizable (cycle guard raises).
+* Minimization requires a deterministic machine; weights are pushed
+  first so weight placement cannot block state merging.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro.wfst.fst import EPSILON, Wfst
+from repro.wfst.ops import shortest_distance
+
+
+def push_weights(fst: Wfst) -> Wfst:
+    """Push weights toward the start state (tropical potentials).
+
+    Each state's potential is its shortest distance to a final state;
+    arcs are reweighted as ``w + V(dst) - V(src)`` and final weights as
+    ``fw - V(state)``.  Path weights are preserved exactly; along every
+    path the cost is incurred as early as possible, the canonical form
+    minimization needs.
+    """
+    potentials = _distance_to_final(fst)
+    out = Wfst(semiring=fst.semiring, input_symbols=fst.input_symbols,
+               output_symbols=fst.output_symbols)
+    out.add_states(fst.num_states)
+    if fst.start >= 0:
+        out.set_start(fst.start)
+    start_potential = (
+        potentials[fst.start] if fst.start >= 0 and math.isfinite(potentials[fst.start])
+        else 0.0
+    )
+    for state in fst.states():
+        v_src = potentials[state]
+        if not math.isfinite(v_src):
+            continue  # dead state: drop its arcs
+        for arc in fst.out_arcs(state):
+            v_dst = potentials[arc.nextstate]
+            if not math.isfinite(v_dst):
+                continue
+            weight = arc.weight + v_dst - v_src
+            out.add_arc(state, arc.ilabel, arc.olabel, weight, arc.nextstate)
+    for state, fw in fst.finals.items():
+        if math.isfinite(potentials[state]):
+            out.set_final(state, fw - potentials[state])
+    # Re-inject the start potential so total path weights are unchanged.
+    if fst.start >= 0 and start_potential != 0.0:
+        _add_to_start(out, start_potential)
+    return out
+
+
+def _add_to_start(fst: Wfst, weight: float) -> None:
+    """Uniformly shift every path by ``weight`` at the start state."""
+    start = fst.start
+    fst.arcs[start] = [
+        type(a)(a.ilabel, a.olabel, a.weight + weight, a.nextstate)
+        for a in fst.out_arcs(start)
+    ]
+    if fst.is_final(start):
+        fst.set_final(start, fst.final_weight(start) + weight)
+
+
+def _distance_to_final(fst: Wfst) -> list[float]:
+    """Shortest distance from each state to any final state."""
+    reverse = Wfst(semiring=fst.semiring)
+    reverse.add_states(fst.num_states)
+    super_final = reverse.add_state()
+    for state, arc in fst.all_arcs():
+        reverse.add_arc(arc.nextstate, arc.ilabel, arc.olabel, arc.weight, state)
+    for state, fw in fst.finals.items():
+        reverse.add_arc(super_final, EPSILON, EPSILON, fw, state)
+    reverse.set_start(super_final)
+    # Distances from the super-final in the reversed machine equal the
+    # forward distances to a final state.
+    distances = shortest_distance(reverse)
+    return distances[: fst.num_states]
+
+
+def determinize(fst: Wfst, max_states: int | None = None) -> Wfst:
+    """Weighted subset determinization over (ilabel, olabel) pairs.
+
+    The result accepts the same weighted language (over label pairs)
+    with at most one arc per label pair per state.  Residual weights are
+    carried in the subsets, as in Mohri's construction.
+    """
+    if fst.start < 0:
+        raise ValueError("machine needs a start state")
+    limit = max_states if max_states is not None else 4 * fst.num_states + 1024
+
+    out = Wfst(semiring=fst.semiring, input_symbols=fst.input_symbols,
+               output_symbols=fst.output_symbols)
+    # A subset is a frozenset of (state, residual weight).
+    start_subset = frozenset({(fst.start, 0.0)})
+    ids: dict[frozenset, int] = {start_subset: out.add_state()}
+    out.set_start(0)
+    queue = [start_subset]
+
+    while queue:
+        subset = queue.pop()
+        src = ids[subset]
+        # Final weight: best residual + final weight over members.
+        best_final = math.inf
+        transitions: dict[tuple[int, int], list[tuple[int, float]]] = defaultdict(list)
+        for state, residual in subset:
+            fw = fst.final_weight(state)
+            if residual + fw < best_final:
+                best_final = residual + fw
+            for arc in fst.out_arcs(state):
+                if arc.ilabel == EPSILON and arc.olabel == EPSILON:
+                    raise ValueError(
+                        "determinize requires epsilon-free machines; "
+                        "run remove_epsilon first"
+                    )
+                transitions[(arc.ilabel, arc.olabel)].append(
+                    (arc.nextstate, residual + arc.weight)
+                )
+        if math.isfinite(best_final):
+            out.set_final(src, best_final)
+        for (ilabel, olabel), targets in transitions.items():
+            common = min(weight for _, weight in targets)
+            # Keep the best residual per destination state.
+            best: dict[int, float] = {}
+            for dest, weight in targets:
+                residual = weight - common
+                if residual < best.get(dest, math.inf):
+                    best[dest] = residual
+            next_subset = frozenset(best.items())
+            if next_subset not in ids:
+                if len(ids) >= limit:
+                    raise MemoryError(
+                        "determinization exceeded the state limit; the "
+                        "machine may not be determinizable"
+                    )
+                ids[next_subset] = out.add_state()
+                queue.append(next_subset)
+            out.add_arc(src, ilabel, olabel, common, ids[next_subset])
+    return out
+
+
+def minimize(fst: Wfst) -> Wfst:
+    """Minimize a deterministic machine (partition refinement).
+
+    Weights are pushed first so that equivalent states have identical
+    outgoing (label, weight, block) signatures.  Raises if the machine
+    is non-deterministic over (ilabel, olabel) pairs.
+    """
+    _check_deterministic(fst)
+    pushed = push_weights(fst)
+
+    def final_key(state: int) -> tuple:
+        return (pushed.is_final(state), round(pushed.final_weight(state), 9))
+
+    # Initial partition by finality signature.
+    blocks: dict[tuple, set[int]] = defaultdict(set)
+    for state in pushed.states():
+        blocks[final_key(state)].add(state)
+    block_of = {}
+    for i, members in enumerate(blocks.values()):
+        for state in members:
+            block_of[state] = i
+
+    changed = True
+    while changed:
+        changed = False
+        signature: dict[int, tuple] = {}
+        for state in pushed.states():
+            arcs = tuple(
+                sorted(
+                    (a.ilabel, a.olabel, round(a.weight, 9), block_of[a.nextstate])
+                    for a in pushed.out_arcs(state)
+                )
+            )
+            signature[state] = (block_of[state], arcs)
+        remap: dict[tuple, int] = {}
+        new_block_of = {}
+        for state in pushed.states():
+            sig = signature[state]
+            if sig not in remap:
+                remap[sig] = len(remap)
+            new_block_of[state] = remap[sig]
+        if new_block_of != block_of:
+            block_of = new_block_of
+            changed = True
+
+    num_blocks = len(set(block_of.values()))
+    out = Wfst(semiring=pushed.semiring, input_symbols=pushed.input_symbols,
+               output_symbols=pushed.output_symbols)
+    out.add_states(num_blocks)
+    out.set_start(block_of[pushed.start])
+    emitted: set[int] = set()
+    for state in pushed.states():
+        block = block_of[state]
+        if block in emitted:
+            continue
+        emitted.add(block)
+        for arc in pushed.out_arcs(state):
+            out.add_arc(block, arc.ilabel, arc.olabel, arc.weight,
+                        block_of[arc.nextstate])
+        if pushed.is_final(state):
+            out.set_final(block, pushed.final_weight(state))
+    return out
+
+
+def _check_deterministic(fst: Wfst) -> None:
+    for state in fst.states():
+        seen: set[tuple[int, int]] = set()
+        for arc in fst.out_arcs(state):
+            key = (arc.ilabel, arc.olabel)
+            if key in seen:
+                raise ValueError(
+                    f"state {state} has duplicate label pair {key}; "
+                    "determinize first"
+                )
+            seen.add(key)

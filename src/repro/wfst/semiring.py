@@ -1,0 +1,82 @@
+"""Semirings for weighted finite-state transducers.
+
+Speech decoders operate in the *tropical* semiring over negative
+log-probabilities: ``plus`` is ``min`` (take the best path) and ``times``
+is ``+`` (accumulate costs along a path).  The *log* semiring replaces
+``min`` with a log-sum-exp, which sums probabilities over alternative
+paths; it is used when computing full posteriors rather than Viterbi
+best paths.
+
+Weights are plain Python floats.  ``float('inf')`` is the semiring zero
+(an impossible path) and ``0.0`` is the semiring one (a free transition).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A commutative semiring over float weights.
+
+    Attributes:
+        name: Human-readable identifier (``"tropical"`` or ``"log"``).
+        zero: Additive identity; annihilates under ``times``.
+        one: Multiplicative identity.
+    """
+
+    name: str
+    zero: float = math.inf
+    one: float = 0.0
+
+    def plus(self, a: float, b: float) -> float:
+        raise NotImplementedError
+
+    def times(self, a: float, b: float) -> float:
+        """Extend a path: accumulate costs (both semirings use addition)."""
+        if a == math.inf or b == math.inf:
+            return math.inf
+        return a + b
+
+    def better(self, a: float, b: float) -> bool:
+        """True if ``a`` is strictly preferable to ``b`` (lower cost)."""
+        return a < b
+
+    def approx_equal(self, a: float, b: float, tol: float = 1e-9) -> bool:
+        if a == b:
+            return True
+        if math.isinf(a) or math.isinf(b):
+            return False
+        return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+class TropicalSemiring(Semiring):
+    """min/+ semiring: the Viterbi (best-path) semiring."""
+
+    def __init__(self) -> None:
+        super().__init__(name="tropical")
+
+    def plus(self, a: float, b: float) -> float:
+        return a if a <= b else b
+
+
+class LogSemiring(Semiring):
+    """-logsumexp/+ semiring: sums probabilities over paths."""
+
+    def __init__(self) -> None:
+        super().__init__(name="log")
+
+    def plus(self, a: float, b: float) -> float:
+        if a == math.inf:
+            return b
+        if b == math.inf:
+            return a
+        # -log(exp(-a) + exp(-b)), computed stably.
+        m = min(a, b)
+        return m - math.log1p(math.exp(-(abs(a - b))))
+
+
+TROPICAL = TropicalSemiring()
+LOG = LogSemiring()

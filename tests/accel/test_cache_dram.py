@@ -1,0 +1,184 @@
+"""Tests for the cache, write buffer and DRAM models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import Cache, CacheConfig, DramModel, Traffic, WriteBuffer
+
+
+def _cache(capacity=1024, ways=2, line=64):
+    return Cache(CacheConfig("test", capacity, ways, line))
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = _cache()
+        assert cache.access(0) == 1
+        assert cache.access(0) == 0
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_hits(self):
+        cache = _cache()
+        cache.access(0)
+        assert cache.access(63) == 0
+        assert cache.access(64) == 1  # next line
+
+    def test_multi_line_access(self):
+        cache = _cache()
+        assert cache.access(0, size=130) == 3  # lines 0,1,2
+
+    def test_lru_eviction(self):
+        # 2 ways, 8 sets; three lines mapping to set 0.
+        cache = _cache(capacity=1024, ways=2, line=64)
+        sets = cache.config.num_sets
+        a, b, c = 0, sets * 64, 2 * sets * 64
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)  # evicts a (LRU)
+        assert cache.stats.evictions == 1
+        assert cache.access(b) == 0  # still resident
+        assert cache.access(a) == 1  # was evicted
+
+    def test_lru_updated_on_hit(self):
+        cache = _cache(capacity=1024, ways=2, line=64)
+        sets = cache.config.num_sets
+        a, b, c = 0, sets * 64, 2 * sets * 64
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a becomes MRU
+        cache.access(c)  # evicts b
+        assert cache.access(a) == 0
+        assert cache.access(b) == 1
+
+    def test_flush(self):
+        cache = _cache()
+        cache.access(0)
+        cache.flush()
+        assert cache.resident_lines == 0
+        assert cache.access(0) == 1
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 32, 2, 64)
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 100, 2, 64)
+
+    def test_invalid_access(self):
+        with pytest.raises(ValueError):
+            _cache().access(0, size=0)
+
+    def test_whole_working_set_fits(self):
+        """A dataset smaller than capacity converges to zero misses."""
+        cache = _cache(capacity=4096, ways=4)
+        for _ in range(3):
+            for addr in range(0, 2048, 64):
+                cache.access(addr)
+        # 32 cold misses, everything else hits.
+        assert cache.stats.misses == 32
+        assert cache.stats.hits == 64
+
+    def test_thrashing_working_set(self):
+        """A working set far beyond capacity keeps missing (paper's point)."""
+        cache = _cache(capacity=1024, ways=2)
+        for _ in range(3):
+            for addr in range(0, 64 * 1024, 64):
+                cache.access(addr)
+        assert cache.stats.miss_ratio > 0.9
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=300)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_accounting_invariants(self, addresses):
+        cache = _cache(capacity=512, ways=2)
+        for addr in addresses:
+            cache.access(addr)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses
+        assert 0.0 <= stats.miss_ratio <= 1.0
+        assert stats.evictions <= stats.misses
+        assert cache.resident_lines <= cache.config.num_sets * 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=4_000), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_bigger_cache_never_misses_more(self, addresses):
+        """Capacity monotonicity under LRU (inclusion property)."""
+        small = _cache(capacity=512, ways=2)
+        big = _cache(capacity=2048, ways=2)
+        for addr in addresses:
+            small.access(addr)
+            big.access(addr)
+        # LRU with power-of-two sets is not strictly inclusive across
+        # different set counts; allow a tiny margin.
+        assert big.stats.misses <= small.stats.misses + 2
+
+
+class TestWriteBuffer:
+    def test_sequential_writes_coalesce(self):
+        buffer = WriteBuffer(line_bytes=64)
+        flushed = sum(buffer.write(i * 8, 8) for i in range(8))  # one line
+        assert flushed == 0
+        assert buffer.write(64 * 10, 8) == 1  # line change flushes
+        assert buffer.flush() == 1
+
+    def test_flush_idempotent(self):
+        buffer = WriteBuffer()
+        buffer.write(0, 8)
+        assert buffer.flush() == 1
+        assert buffer.flush() == 0
+
+    def test_bytes_tracked(self):
+        buffer = WriteBuffer()
+        buffer.write(0, 10)
+        buffer.write(100, 6)
+        assert buffer.bytes_written == 16
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            WriteBuffer().write(0, 0)
+
+
+class TestDram:
+    def test_traffic_classes_tracked(self):
+        dram = DramModel()
+        dram.read_lines(Traffic.STATES, 2)
+        dram.read_lines(Traffic.ARCS, 3)
+        dram.write_lines(Traffic.TOKENS, 1)
+        assert dram.total_lines == 6
+        assert dram.total_bytes == 6 * 64
+        by_class = dram.bytes_by_class()
+        assert by_class[Traffic.STATES] == 128
+        assert by_class[Traffic.ARCS] == 192
+        assert by_class[Traffic.TOKENS] == 64
+
+    def test_stalls_amortized_over_window(self):
+        dram = DramModel()
+        dram.read_lines(Traffic.ARCS, 32)
+        assert dram.stall_cycles() == pytest.approx(dram.config.latency_cycles)
+
+    def test_energy_positive_and_monotone(self):
+        dram = DramModel()
+        dram.read_lines(Traffic.ARCS, 10)
+        e1 = dram.access_energy_pj()
+        dram.read_lines(Traffic.ARCS, 10)
+        assert dram.access_energy_pj() == pytest.approx(2 * e1)
+        assert dram.background_energy_pj(1.0) > 0
+
+    def test_bandwidth(self):
+        dram = DramModel()
+        dram.read_lines(Traffic.ARCS, 1000)
+        assert dram.bandwidth_bytes_per_second(2.0) == pytest.approx(32_000)
+        assert dram.bandwidth_bytes_per_second(0) == 0.0
+
+    def test_negative_lines_rejected(self):
+        with pytest.raises(ValueError):
+            DramModel().read_lines(Traffic.ARCS, -1)
+
+    def test_reset(self):
+        dram = DramModel()
+        dram.read_lines(Traffic.STATES, 5)
+        dram.reset()
+        assert dram.total_lines == 0

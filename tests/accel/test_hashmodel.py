@@ -1,0 +1,92 @@
+"""Tests for the token hash-table and overflow-buffer models."""
+
+import pytest
+
+from repro.accel.hashmodel import HashTableModel, OverflowBuffer
+
+
+class TestHashTableModel:
+    def test_inserts_tracked(self):
+        model = HashTableModel(16)
+        for _ in range(10):
+            assert model.insert()
+        assert model.stats.inserts == 10
+        assert model.occupancy == 10
+        assert model.stats.peak_occupancy == 10
+
+    def test_overflow_past_capacity(self):
+        model = HashTableModel(4)
+        for _ in range(4):
+            assert model.insert()
+        assert not model.insert()
+        assert model.stats.overflow_tokens == 1
+        assert model.stats.overflow_rate == pytest.approx(1 / 5)
+
+    def test_frame_boundary_resets_occupancy(self):
+        model = HashTableModel(4)
+        model.insert()
+        model.end_frame()
+        assert model.occupancy == 0
+        assert model.stats.frames == 1
+        assert model.stats.peak_occupancy == 1
+
+    def test_collision_probes_grow_with_load(self):
+        sparse = HashTableModel(1000)
+        dense = HashTableModel(12)
+        for _ in range(10):
+            sparse.insert()
+            dense.insert()
+        assert dense.stats.avg_probes_per_insert > sparse.stats.avg_probes_per_insert
+        assert sparse.stats.avg_probes_per_insert >= 1.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            HashTableModel(0)
+
+    def test_empty_stats(self):
+        model = HashTableModel(8)
+        assert model.stats.avg_probes_per_insert == 0.0
+        assert model.stats.overflow_rate == 0.0
+
+
+class TestOverflowBuffer:
+    def test_spills_accumulate_to_lines(self):
+        buffer = OverflowBuffer(token_bytes=18, line_bytes=64)
+        lines = buffer.spill(3)  # 54 bytes: no full line yet
+        assert lines == 0
+        lines = buffer.spill(1)  # 72 bytes: one line
+        assert lines == 1
+        assert buffer.spilled_tokens == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OverflowBuffer().spill(-1)
+
+
+class TestNBest:
+    def test_nbest_returns_distinct_alternatives(self, tiny_task, tiny_scorer):
+        from repro.core import DecoderConfig, OnTheFlyDecoder
+
+        decoder = OnTheFlyDecoder(
+            tiny_task.am, tiny_task.lm, DecoderConfig(beam=20.0)
+        )
+        utt = tiny_task.test_set(1, max_words=4)[0]
+        result = decoder.decode(tiny_scorer.score(utt.features))
+        nbest = result.nbest(5)
+        assert nbest, "successful decode must yield at least one hypothesis"
+        costs = [cost for cost, _ in nbest]
+        assert costs == sorted(costs)
+        assert nbest[0][1] == result.word_ids
+        sequences = [tuple(words) for _, words in nbest]
+        assert len(set(sequences)) == len(sequences)
+
+    def test_finals_sorted(self, tiny_task, tiny_scorer):
+        from repro.core import DecoderConfig, OnTheFlyDecoder
+
+        decoder = OnTheFlyDecoder(
+            tiny_task.am, tiny_task.lm, DecoderConfig(beam=20.0)
+        )
+        utt = tiny_task.test_set(1, max_words=3)[0]
+        result = decoder.decode(tiny_scorer.score(utt.features))
+        costs = [c for c, _ in result.finals]
+        assert costs == sorted(costs)

@@ -1,0 +1,66 @@
+"""Invariants of hardware scaling across factors (property-based)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import REZA, UNFOLD
+
+factors = st.sampled_from([1.0, 1 / 2, 1 / 4, 1 / 8, 1 / 16, 1 / 32, 1 / 64])
+
+
+@settings(max_examples=20, deadline=None)
+@given(factors)
+def test_scaling_preserves_design_relationships(factor):
+    """The paper's design relationships survive any uniform scaling."""
+    unfold = UNFOLD.scaled(factor)
+    reza = REZA.scaled(factor)
+    # UNFOLD's headline structural properties (Table 3).
+    assert unfold.has_lm_cache and unfold.has_offset_table
+    assert not reza.has_lm_cache and not reza.has_offset_table
+    # UNFOLD trades cache capacity for the OLT and compression.
+    unfold_caches = (
+        unfold.state_cache_kb
+        + unfold.am_arc_cache_kb
+        + unfold.lm_arc_cache_kb
+        + unfold.token_cache_kb
+    )
+    reza_caches = (
+        reza.state_cache_kb + reza.am_arc_cache_kb + reza.token_cache_kb
+    )
+    assert unfold_caches <= reza_caches
+    # Valid geometries at every scale.
+    for which in ("state", "am_arc", "lm_arc", "token"):
+        unfold.cache_config(which)
+    for which in ("state", "am_arc", "token"):
+        reza.cache_config(which)
+
+
+@settings(max_examples=20, deadline=None)
+@given(factors, factors)
+def test_scaling_monotone(f1, f2):
+    """A smaller factor never yields bigger caches."""
+    if f1 > f2:
+        f1, f2 = f2, f1
+    small = UNFOLD.scaled(f1)
+    big = UNFOLD.scaled(f2)
+    assert small.state_cache_kb <= big.state_cache_kb
+    assert small.am_arc_cache_kb <= big.am_arc_cache_kb
+    assert small.offset_table_entries <= big.offset_table_entries
+    assert small.hash_entries <= big.hash_entries
+
+
+@settings(max_examples=15, deadline=None)
+@given(factors)
+def test_olt_entries_power_of_two(factor):
+    scaled = UNFOLD.scaled(factor)
+    entries = scaled.offset_table_entries
+    assert entries > 0
+    assert entries & (entries - 1) == 0
+
+
+def test_total_sram_accounting():
+    assert UNFOLD.total_sram_kb > 0
+    # Table 3 sum: 256+512+32+128+576+64 caches/buffers + 192 OLT.
+    assert UNFOLD.total_sram_kb == pytest.approx(256 + 512 + 32 + 128 + 576 + 64 + 192)
+    assert REZA.total_sram_kb == pytest.approx(512 + 1024 + 512 + 768 + 64)

@@ -1,0 +1,65 @@
+"""Tests for the throughput (max-of-stages) cycle model."""
+
+import pytest
+
+from repro.accel.dram import DramModel, Traffic
+from repro.accel.pipeline import cycles_for, throughput_cycles
+from repro.core.decoder import DecoderStats
+
+
+def _stats_with_frames(frames):
+    stats = DecoderStats()
+    for survivors, expansions, probes, writes in frames:
+        stats.frame_work.append((survivors, expansions, probes, writes))
+        stats.expansions += expansions
+        stats.am_state_fetches += survivors
+        stats.token_writes += writes
+        stats.lookup.arc_probes += probes
+    return stats
+
+
+class TestThroughputModel:
+    def test_bounded_by_additive_model(self):
+        """Overlap can only help: throughput <= additive, per run."""
+        stats = _stats_with_frames(
+            [(100, 230, 12, 3), (80, 190, 4, 1), (120, 260, 30, 6)]
+        )
+        stats.tokens_created = 400
+        dram = DramModel()
+        dram.read_lines(Traffic.ARCS, 50)
+        assert throughput_cycles(stats, dram) <= cycles_for(stats, dram).total_cycles
+
+    def test_fallback_without_frame_work(self):
+        stats = DecoderStats()
+        stats.expansions = 100
+        dram = DramModel()
+        assert throughput_cycles(stats, dram) == cycles_for(stats, dram).total_cycles
+
+    def test_probe_heavy_frames_bound_by_lookup_stage(self):
+        light = _stats_with_frames([(10, 100, 0, 0)])
+        heavy = _stats_with_frames([(10, 100, 200, 0)])
+        dram = DramModel()
+        assert throughput_cycles(heavy, dram) > throughput_cycles(light, dram)
+
+    def test_dram_stalls_added(self):
+        stats = _stats_with_frames([(10, 20, 0, 0)])
+        quiet = DramModel()
+        busy = DramModel()
+        busy.read_lines(Traffic.ARCS, 320)
+        assert throughput_cycles(stats, busy) > throughput_cycles(stats, quiet)
+
+    def test_real_decode_produces_frame_work(self, tiny_task, tiny_scorer):
+        from repro.core import DecoderConfig, OnTheFlyDecoder
+
+        decoder = OnTheFlyDecoder(tiny_task.am, tiny_task.lm, DecoderConfig())
+        utt = tiny_task.test_set(1, max_words=3)[0]
+        result = decoder.decode(tiny_scorer.score(utt.features))
+        stats = result.stats
+        assert len(stats.frame_work) == stats.frames
+        assert sum(w[1] for w in stats.frame_work) == stats.expansions
+        assert sum(w[3] for w in stats.frame_work) == stats.token_writes
+        dram = DramModel()
+        assert (
+            throughput_cycles(stats, dram)
+            <= cycles_for(stats, dram).total_cycles + 8.0 * stats.frames
+        )

@@ -1,0 +1,78 @@
+"""Property tests for feature synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.am import (
+    FeatureSynthesizer,
+    HmmTopology,
+    PhoneInventory,
+    generate_lexicon,
+    make_emission_model,
+)
+
+
+def _setup(seed, self_loop=0.5, noise=0.5, silence=0.0):
+    rng = np.random.default_rng(seed)
+    phones = PhoneInventory.reduced(5)
+    topology = HmmTopology(self_loop_prob=self_loop)
+    lexicon = generate_lexicon(["aa", "bb", "ccc"], phones, rng, variant_probability=0)
+    emissions = make_emission_model(phones, topology, rng, dim=6)
+    synth = FeatureSynthesizer(
+        lexicon=lexicon,
+        topology=topology,
+        emissions=emissions,
+        rng=rng,
+        noise_scale=noise,
+        silence_probability=silence,
+    )
+    return phones, topology, lexicon, synth
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.1, 0.9))
+def test_alignment_is_monotone_over_senone_chain(seed, self_loop):
+    """Each utterance's alignment is its senone chain with repeats."""
+    phones, topology, lexicon, synth = _setup(seed, self_loop=self_loop)
+    utt = synth.synthesize(["aa", "ccc"])
+    expected = topology.senone_sequence(
+        [phones.id_of(p) for p in lexicon.primary("aa")]
+    ) + topology.senone_sequence([phones.id_of(p) for p in lexicon.primary("ccc")])
+    dedup = [
+        s for i, s in enumerate(utt.alignment) if i == 0 or s != utt.alignment[i - 1]
+    ]
+    assert dedup == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_zero_noise_features_equal_means(seed):
+    _, _, _, synth = _setup(seed, noise=0.0)
+    utt = synth.synthesize(["bb"])
+    expected = synth.emissions.means[utt.alignment]
+    assert np.allclose(utt.features, expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_silence_always_inserted_at_probability_one(seed):
+    phones, topology, _, synth = _setup(seed, silence=1.0)
+    utt = synth.synthesize(["aa"])
+    silence_senones = set(topology.senone_sequence([phones.silence_id]))
+    assert silence_senones & set(utt.alignment)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.2, 0.8))
+def test_expected_duration_tracks_self_loop_prob(seed, self_loop):
+    """Mean frames per senone approaches 1/(1 - p_self)."""
+    _, topology, _, synth = _setup(seed, self_loop=self_loop)
+    lengths = []
+    for _ in range(30):
+        utt = synth.synthesize(["ccc"])
+        lengths.append(utt.num_frames / (3 * topology.states_per_phone))
+    mean = float(np.mean(lengths))
+    expected = topology.expected_frames_per_state
+    assert mean == pytest.approx(expected, rel=0.35)

@@ -1,0 +1,236 @@
+"""Tests for feature synthesis and the three acoustic scorers."""
+
+import numpy as np
+import pytest
+
+from repro.am import (
+    FeatureSynthesizer,
+    GmmAcousticModel,
+    HmmTopology,
+    MlpAcousticModel,
+    PhoneInventory,
+    RnnAcousticModel,
+    ScorerKind,
+    check_score_matrix,
+    frame_accuracy,
+    generate_lexicon,
+    make_emission_model,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(29)
+    phones = PhoneInventory.reduced(6)
+    topology = HmmTopology()
+    lexicon = generate_lexicon(
+        ["ab", "cad", "def", "gif"], phones, rng, variant_probability=0.0
+    )
+    emissions = make_emission_model(phones, topology, rng, dim=8, separation=3.0)
+    synth = FeatureSynthesizer(
+        lexicon=lexicon,
+        topology=topology,
+        emissions=emissions,
+        rng=rng,
+        noise_scale=0.5,
+        silence_probability=0.2,
+    )
+    return phones, topology, lexicon, emissions, synth
+
+
+class TestSynthesis:
+    def test_shapes_consistent(self, setup):
+        *_, synth = setup
+        utt = synth.synthesize(["ab", "cad"])
+        assert utt.features.shape[0] == len(utt.alignment)
+        assert utt.features.shape[1] == 8
+        assert utt.words == ["ab", "cad"]
+
+    def test_min_frames_is_senone_count(self, setup):
+        phones, topology, lexicon, _, synth = setup
+        utt = synth.synthesize(["ab"])
+        min_senones = len(lexicon.primary("ab")) * topology.states_per_phone
+        assert utt.num_frames >= min_senones
+
+    def test_duration_seconds(self, setup):
+        *_, synth = setup
+        utt = synth.synthesize(["ab"])
+        assert utt.duration_seconds == pytest.approx(utt.num_frames * 0.01)
+
+    def test_alignment_follows_lexicon(self, setup):
+        phones, topology, lexicon, _, synth = setup
+        synth_nosil = FeatureSynthesizer(
+            lexicon=lexicon,
+            topology=topology,
+            emissions=synth.emissions,
+            rng=np.random.default_rng(1),
+            silence_probability=0.0,
+        )
+        utt = synth_nosil.synthesize(["def"])
+        expected = topology.senone_sequence(
+            [phones.id_of(p) for p in lexicon.primary("def")]
+        )
+        dedup = [s for i, s in enumerate(utt.alignment) if i == 0 or s != utt.alignment[i - 1]]
+        assert dedup == expected
+
+    def test_batch(self, setup):
+        *_, synth = setup
+        utts = synth.synthesize_batch([["ab"], ["cad"]])
+        assert len(utts) == 2
+
+
+def _training_data(synth, sentences):
+    utts = synth.synthesize_batch(sentences)
+    feats = np.concatenate([u.features for u in utts])
+    align = np.concatenate([np.asarray(u.alignment) for u in utts])
+    return utts, feats, align
+
+
+class TestGmm:
+    def test_oracle_scores_reference_senones_highly(self, setup):
+        *_, emissions, synth = setup
+        gmm = GmmAcousticModel.from_emissions(emissions)
+        utt = synth.synthesize(["ab", "def"])
+        scores = gmm.score(utt.features)
+        check_score_matrix(scores, gmm.num_senones)
+        assert frame_accuracy(scores, utt.alignment) > 0.6
+
+    def test_fit_recovers_generator(self, setup):
+        *_, emissions, synth = setup
+        _, feats, align = _training_data(synth, [["ab", "cad"]] * 30)
+        gmm = GmmAcousticModel.fit(feats, align, emissions.num_senones)
+        seen = sorted(set(align.tolist()))
+        err = np.abs(gmm.means[seen, 0, :] - emissions.means[seen]).mean()
+        assert err < 0.25
+
+    def test_dim_mismatch_rejected(self, setup):
+        *_, emissions, _ = setup
+        gmm = GmmAcousticModel.from_emissions(emissions)
+        with pytest.raises(ValueError):
+            gmm.score(np.zeros((5, 3)))
+
+    def test_metadata(self, setup):
+        *_, emissions, _ = setup
+        gmm = GmmAcousticModel.from_emissions(emissions, num_mixtures=2)
+        assert gmm.kind is ScorerKind.GMM
+        assert gmm.num_mixtures == 2
+        assert gmm.size_bytes > 0
+        assert gmm.flops_per_frame > 0
+
+
+class TestMlp:
+    def test_trained_mlp_beats_chance(self, setup):
+        *_, emissions, synth = setup
+        utts, feats, align = _training_data(synth, [["ab", "cad"], ["def", "gif"]] * 20)
+        mlp = MlpAcousticModel.fit(feats, align, emissions.num_senones, hidden=128)
+        test = utts[0]
+        scores = mlp.score(test.features)
+        check_score_matrix(scores, mlp.num_senones)
+        chance = 1.0 / emissions.num_senones
+        posterior_acc = frame_accuracy(mlp.posteriors(test.features), test.alignment)
+        assert posterior_acc > 5 * chance
+
+    def test_posteriors_normalized(self, setup):
+        *_, emissions, synth = setup
+        _, feats, align = _training_data(synth, [["ab"]] * 10)
+        mlp = MlpAcousticModel.fit(feats, align, emissions.num_senones, hidden=64)
+        post = mlp.posteriors(feats[:20])
+        assert np.allclose(post.sum(axis=1), 1.0)
+
+    def test_metadata(self, setup):
+        *_, emissions, synth = setup
+        _, feats, align = _training_data(synth, [["ab"]] * 5)
+        mlp = MlpAcousticModel.fit(feats, align, emissions.num_senones, hidden=32)
+        assert mlp.kind is ScorerKind.DNN
+        assert mlp.hidden == 32
+        assert mlp.size_bytes == 4 * (
+            mlp.w_in.size + mlp.b_in.size + mlp.w_out.size + mlp.log_priors.size
+        )
+
+
+class TestRnn:
+    def test_trained_rnn_beats_chance(self, setup):
+        *_, emissions, synth = setup
+        utts = synth.synthesize_batch([["ab", "cad"], ["def", "gif"]] * 15)
+        rnn = RnnAcousticModel.fit(
+            [u.features for u in utts],
+            [np.asarray(u.alignment) for u in utts],
+            emissions.num_senones,
+            hidden=128,
+        )
+        test = utts[0]
+        scores = rnn.score(test.features)
+        check_score_matrix(scores, rnn.num_senones)
+        chance = 1.0 / emissions.num_senones
+        assert frame_accuracy(scores, test.alignment) > 5 * chance
+
+    def test_reservoir_is_stable(self, setup):
+        *_, emissions, synth = setup
+        utt = synth.synthesize(["ab"] * 6)
+        rnn = RnnAcousticModel.fit(
+            [utt.features], [np.asarray(utt.alignment)], emissions.num_senones, hidden=64
+        )
+        states = rnn._run_reservoir(utt.features)
+        assert np.all(np.abs(states) <= 1.0)
+
+    def test_requires_training_data(self):
+        with pytest.raises(ValueError):
+            RnnAcousticModel.fit([], [], 10)
+
+    def test_metadata(self, setup):
+        *_, emissions, synth = setup
+        utt = synth.synthesize(["ab"])
+        rnn = RnnAcousticModel.fit(
+            [utt.features], [np.asarray(utt.alignment)], emissions.num_senones, hidden=32
+        )
+        assert rnn.kind is ScorerKind.RNN
+        assert rnn.flops_per_frame > MlpAcousticModel.fit(
+            utt.features, np.asarray(utt.alignment), emissions.num_senones, hidden=32
+        ).flops_per_frame
+
+
+class TestValidation:
+    def test_check_score_matrix_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            check_score_matrix(np.zeros(5), 5)
+        with pytest.raises(ValueError):
+            check_score_matrix(np.zeros((5, 4)), 5)
+        with pytest.raises(ValueError):
+            check_score_matrix(np.full((5, 4), np.nan), 4)
+
+    def test_frame_accuracy_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            frame_accuracy(np.zeros((3, 2)), [0, 1])
+
+
+class TestScaledScorer:
+    def test_scales_scores(self, setup):
+        import numpy as np
+        from repro.am import ScaledScorer
+
+        *_, emissions, synth = setup
+        base = GmmAcousticModel.from_emissions(emissions, num_mixtures=1)
+        scaled = ScaledScorer(base, 0.5)
+        utt = synth.synthesize(["ab"])
+        assert np.allclose(scaled.score(utt.features), 0.5 * base.score(utt.features))
+        assert scaled.kind is base.kind
+        assert scaled.num_senones == base.num_senones
+        assert scaled.size_bytes == base.size_bytes
+        assert scaled.flops_per_frame == base.flops_per_frame
+
+    def test_invalid_scale(self, setup):
+        from repro.am import ScaledScorer
+
+        *_, emissions, _ = setup
+        base = GmmAcousticModel.from_emissions(emissions)
+        with pytest.raises(ValueError):
+            ScaledScorer(base, 0.0)
+
+    def test_score_spread(self):
+        import numpy as np
+        from repro.am import score_spread
+
+        scores = np.array([[0.0, -10.0, -20.0], [5.0, -5.0, -15.0]])
+        assert score_spread(scores) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            score_spread(np.zeros((0, 3)))

@@ -1,0 +1,161 @@
+"""Tests for the HMM topology and AM WFST construction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.am import HmmTopology, PhoneInventory, build_am_graph, generate_lexicon
+from repro.wfst.fst import EPSILON
+from repro.wfst.ops import enumerate_paths
+
+
+@pytest.fixture
+def phones():
+    return PhoneInventory.reduced(8)
+
+
+@pytest.fixture
+def topology():
+    return HmmTopology(states_per_phone=3, self_loop_prob=0.5)
+
+
+@pytest.fixture
+def lexicon(phones):
+    rng = np.random.default_rng(17)
+    return generate_lexicon(["abc", "de"], phones, rng, variant_probability=0.0)
+
+
+class TestTopology:
+    def test_costs(self, topology):
+        assert topology.self_loop_cost == pytest.approx(math.log(2))
+        assert topology.forward_cost == pytest.approx(math.log(2))
+        assert topology.expected_frames_per_state == pytest.approx(2.0)
+
+    def test_senone_ids_dense_and_invertible(self, topology, phones):
+        seen = set()
+        for phone in range(phones.num_phones):
+            for j in range(3):
+                senone = topology.senone_id(phone, j)
+                seen.add(senone)
+                assert topology.phone_of_senone(senone) == phone
+                assert topology.state_of_senone(senone) == j
+        assert seen == set(range(topology.num_senones(phones)))
+
+    def test_bad_state_index(self, topology):
+        with pytest.raises(ValueError):
+            topology.senone_id(0, 3)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HmmTopology(states_per_phone=0)
+        with pytest.raises(ValueError):
+            HmmTopology(self_loop_prob=1.0)
+
+    def test_senone_sequence(self, topology):
+        assert topology.senone_sequence([2]) == [6, 7, 8]
+
+    def test_label_offset(self, topology):
+        assert topology.senone_label(0) == 1
+        assert topology.senone_of_label(1) == 0
+        with pytest.raises(ValueError):
+            topology.senone_of_label(0)
+
+
+class TestAmGraph:
+    def test_loop_state_is_start_and_final(self, lexicon, topology):
+        am = build_am_graph(lexicon, topology, use_silence=False)
+        assert am.loop_state == 0
+        assert am.fst.start == 0
+        assert am.fst.is_final(0)
+
+    def test_state_count(self, lexicon, topology):
+        am = build_am_graph(lexicon, topology, use_silence=False)
+        expected_chain = sum(
+            len(p) * 3 for w in lexicon.words for p in lexicon.pronunciations(w)
+        )
+        assert am.fst.num_states == 1 + expected_chain
+
+    def test_every_chain_state_has_self_loop(self, lexicon, topology):
+        am = build_am_graph(lexicon, topology, use_silence=False)
+        for state in am.fst.states():
+            if state == am.loop_state:
+                continue
+            self_loops = [
+                a for a in am.fst.out_arcs(state) if a.nextstate == state
+            ]
+            assert len(self_loops) == 1
+            senone = am.senone_of_state(state)
+            assert self_loops[0].ilabel == topology.senone_label(senone)
+            assert self_loops[0].weight == pytest.approx(topology.self_loop_cost)
+
+    def test_cross_word_arcs_carry_word_labels(self, lexicon, topology):
+        am = build_am_graph(lexicon, topology, use_silence=False)
+        cross = [
+            (s, a)
+            for s, a in am.fst.all_arcs()
+            if a.olabel != EPSILON
+        ]
+        assert len(cross) == len(lexicon.words)
+        for _, arc in cross:
+            assert arc.ilabel == EPSILON  # non-emitting word boundary
+            assert arc.nextstate == am.loop_state
+
+    def test_loop_state_fans_out_per_pronunciation(self, lexicon, topology):
+        am = build_am_graph(lexicon, topology, use_silence=False)
+        assert len(am.fst.out_arcs(am.loop_state)) == lexicon.num_pronunciations
+
+    def test_silence_adds_epsilon_word_chain(self, lexicon, topology):
+        with_sil = build_am_graph(lexicon, topology, use_silence=True)
+        without = build_am_graph(lexicon, topology, use_silence=False)
+        assert with_sil.fst.num_states == without.fst.num_states + 3
+        # The silence chain emits no word label.
+        extra_cross = [
+            a
+            for _, a in with_sil.fst.all_arcs()
+            if a.nextstate == with_sil.loop_state and a.ilabel == EPSILON
+        ]
+        words = [a for a in extra_cross if a.olabel != EPSILON]
+        silences = [a for a in extra_cross if a.olabel == EPSILON]
+        assert len(words) == len(lexicon.words)
+        assert len(silences) == 1
+
+    def test_word_ids_shared_with_given_table(self, lexicon, topology):
+        from repro.wfst.fst import SymbolTable
+
+        table = SymbolTable("words")
+        first = table.add("abc")
+        am = build_am_graph(lexicon, topology, words=table, use_silence=False)
+        assert am.words is table
+        assert am.words.id_of("abc") == first
+
+    def test_min_path_emits_each_senone_once(self, lexicon, topology):
+        """The shortest accepting path visits every HMM state exactly once."""
+        am = build_am_graph(lexicon, topology, use_silence=False)
+        pron = lexicon.primary("de")
+        expected = [
+            topology.senone_label(s)
+            for s in topology.senone_sequence(
+                [lexicon.phones.id_of(p) for p in pron]
+            )
+        ]
+        word_id = am.words.id_of("de")
+        paths = enumerate_paths(am.fst, max_length=len(expected) + 1)
+        matching = [
+            p
+            for p in paths
+            if [o for o in p.olabels if o != EPSILON] == [word_id]
+        ]
+        shortest = min(matching, key=lambda p: len(p.ilabels))
+        assert [l for l in shortest.ilabels if l != EPSILON] == expected
+
+    def test_num_senones(self, lexicon, topology, phones):
+        am = build_am_graph(lexicon, topology)
+        assert am.num_senones == topology.num_senones(phones)
+
+    def test_emitting_and_epsilon_arc_partition(self, lexicon, topology):
+        am = build_am_graph(lexicon, topology)
+        for state in am.fst.states():
+            emitting = am.emitting_arcs(state)
+            epsilon = am.epsilon_arcs(state)
+            assert len(emitting) + len(epsilon) == len(am.fst.out_arcs(state))

@@ -1,0 +1,65 @@
+"""Oracle GMM must model the synthesizer's noise (regression test).
+
+An oracle scorer built with unit variances against features synthesized
+at noise_scale > 1 produces over-confident likelihoods that drown the
+LM; the noise-aware oracle restores calibrated scores.
+"""
+
+import numpy as np
+import pytest
+
+from repro.am import (
+    FeatureSynthesizer,
+    GmmAcousticModel,
+    HmmTopology,
+    PhoneInventory,
+    frame_accuracy,
+    generate_lexicon,
+    make_emission_model,
+)
+
+
+@pytest.fixture(scope="module")
+def noisy_setup():
+    rng = np.random.default_rng(3)
+    phones = PhoneInventory.reduced(6)
+    topology = HmmTopology()
+    lexicon = generate_lexicon(["aba", "cede"], phones, rng, variant_probability=0)
+    emissions = make_emission_model(phones, topology, rng, dim=8, separation=1.0)
+    synth = FeatureSynthesizer(
+        lexicon=lexicon,
+        topology=topology,
+        emissions=emissions,
+        rng=rng,
+        noise_scale=2.0,
+        silence_probability=0.0,
+    )
+    return emissions, synth
+
+
+class TestOracleNoise:
+    def test_noise_aware_oracle_is_calibrated(self, noisy_setup):
+        emissions, synth = noisy_setup
+        utt = synth.synthesize(["aba", "cede"])
+        aware = GmmAcousticModel.from_emissions(
+            emissions, num_mixtures=1, noise_scale=2.0
+        )
+        naive = GmmAcousticModel.from_emissions(emissions, num_mixtures=1)
+        aware_scores = aware.score(utt.features)
+        naive_scores = naive.score(utt.features)
+        # Same argmax structure (means unchanged)...
+        assert frame_accuracy(aware_scores, utt.alignment) == pytest.approx(
+            frame_accuracy(naive_scores, utt.alignment), abs=0.15
+        )
+        # ...but the naive model's score *spread* is inflated ~4x, which
+        # is what overwhelms LM weights during search.
+        aware_spread = np.mean(aware_scores.max(1) - aware_scores.min(1))
+        naive_spread = np.mean(naive_scores.max(1) - naive_scores.min(1))
+        assert naive_spread > 2.5 * aware_spread
+
+    def test_variances_scaled(self, noisy_setup):
+        emissions, _ = noisy_setup
+        aware = GmmAcousticModel.from_emissions(
+            emissions, num_mixtures=1, noise_scale=2.0
+        )
+        assert np.allclose(aware.variances, 4.0 * emissions.variances[:, None, :])

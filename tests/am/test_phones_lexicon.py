@@ -1,0 +1,92 @@
+"""Tests for the phone inventory and lexicon generation."""
+
+import numpy as np
+import pytest
+
+from repro.am import PhoneInventory, SILENCE_PHONE, generate_lexicon
+from repro.am.lexicon import Lexicon
+
+
+@pytest.fixture
+def phones():
+    return PhoneInventory.reduced(10)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(13)
+
+
+class TestPhoneInventory:
+    def test_standard_has_40_phones_with_silence(self):
+        inv = PhoneInventory.standard()
+        assert inv.num_phones == 40
+
+    def test_silence_is_last_id(self, phones):
+        assert phones.silence_id == 10
+        assert phones.name_of(phones.silence_id) == SILENCE_PHONE
+        assert phones.id_of(SILENCE_PHONE) == phones.silence_id
+
+    def test_round_trip(self, phones):
+        for phone in phones.real_phones():
+            assert phones.name_of(phones.id_of(phone)) == phone
+
+    def test_reduced_bounds(self):
+        with pytest.raises(ValueError):
+            PhoneInventory.reduced(0)
+        with pytest.raises(ValueError):
+            PhoneInventory.reduced(100)
+
+    def test_real_phones_excludes_silence(self, phones):
+        assert SILENCE_PHONE not in phones.real_phones()
+
+
+class TestLexicon:
+    def test_add_and_lookup(self, phones):
+        lex = Lexicon(phones=phones)
+        lex.add("cat", (phones.real_phones()[0],))
+        assert "cat" in lex
+
+    def test_empty_pronunciation_rejected(self, phones):
+        lex = Lexicon(phones=phones)
+        with pytest.raises(ValueError):
+            lex.add("x", ())
+
+    def test_unknown_phone_rejected(self, phones):
+        lex = Lexicon(phones=phones)
+        with pytest.raises(ValueError):
+            lex.add("x", ("zz-not-a-phone",))
+
+    def test_duplicate_variant_ignored(self, phones):
+        lex = Lexicon(phones=phones)
+        pron = (phones.real_phones()[0],)
+        lex.add("x", pron)
+        lex.add("x", pron)
+        assert len(lex.pronunciations("x")) == 1
+
+    def test_generate_covers_vocabulary(self, phones, rng):
+        vocab = ["bada", "kilo", "nemo"]
+        lex = generate_lexicon(vocab, phones, rng)
+        assert set(lex.words) == set(vocab)
+        for word in vocab:
+            assert len(lex.primary(word)) >= 1
+
+    def test_similar_spellings_share_phones(self, phones, rng):
+        lex = generate_lexicon(["baba", "babo"], phones, rng, variant_probability=0)
+        a = lex.primary("baba")
+        b = lex.primary("babo")
+        assert a[:3] == b[:3]  # letter-driven mapping
+
+    def test_variants_appear_at_high_probability(self, phones):
+        rng = np.random.default_rng(3)
+        vocab = [f"word{chr(97 + i)}" for i in range(26)]
+        vocab = [w.replace("0", "o") for w in vocab]
+        lex = generate_lexicon(vocab, phones, rng, variant_probability=1.0)
+        assert lex.num_pronunciations > len(vocab)
+
+    def test_avg_pronunciation_len(self, phones, rng):
+        lex = generate_lexicon(["ab", "abcdef"], phones, rng, variant_probability=0)
+        assert lex.avg_pronunciation_len() == pytest.approx(4.0)
+
+    def test_empty_lexicon_stats(self, phones):
+        assert Lexicon(phones=phones).avg_pronunciation_len() == 0.0

@@ -1,0 +1,76 @@
+"""Tests for recognition error analysis."""
+
+import pytest
+
+from repro.asr.analysis import align_ops, analyze_errors
+from repro.asr.wer import align_counts, word_error_rate
+
+
+class TestAlignOps:
+    def test_perfect_match(self):
+        ops = align_ops(["a", "b"], ["a", "b"]).ops
+        assert [op for op, _, _ in ops] == ["match", "match"]
+
+    def test_substitution_recorded(self):
+        alignment = align_ops(["a", "b"], ["a", "x"])
+        assert ("sub", "b", "x") in alignment.ops
+
+    def test_insertion_and_deletion(self):
+        alignment = align_ops(["a", "b"], ["b", "c"])
+        kinds = [op for op, _, _ in alignment.ops]
+        assert "del" in kinds or "sub" in kinds
+        assert alignment.counts.total_edits == 2
+
+    def test_counts_reconcile_with_wer_metric(self):
+        cases = [
+            (["a", "b", "c"], ["a", "x", "c", "d"]),
+            ([], ["a"]),
+            (["a"], []),
+            (["a", "a", "b"], ["b", "a"]),
+        ]
+        for ref, hyp in cases:
+            assert (
+                align_ops(ref, hyp).counts.total_edits
+                == align_counts(ref, hyp).total_edits
+            )
+
+
+class TestErrorReport:
+    def test_confusions_counted(self):
+        refs = [["cat", "dog"], ["cat", "cow"]]
+        hyps = [["cat", "hog"], ["cat", "cow"]]
+        report = analyze_errors(refs, hyps)
+        assert report.confusions[("dog", "hog")] == 1
+        assert report.top_confusions(1) == [(("dog", "hog"), 1)]
+        assert report.total.error_rate == pytest.approx(
+            word_error_rate(refs, hyps)
+        )
+
+    def test_deletions_and_insertions(self):
+        report = analyze_errors([["a", "b"]], [["a", "b", "c"]])
+        assert report.insertions["c"] == 1
+        report = analyze_errors([["a", "b"]], [["a"]])
+        assert report.deletions["b"] == 1
+
+    def test_by_length_breakdown(self):
+        refs = [["a"], ["a", "b", "c"]]
+        hyps = [["x"], ["a", "b", "c"]]
+        report = analyze_errors(refs, hyps)
+        by_length = report.wer_by_length()
+        assert by_length[1] == 1.0
+        assert by_length[3] == 0.0
+
+    def test_parallel_required(self):
+        with pytest.raises(ValueError):
+            analyze_errors([["a"]], [])
+
+    def test_real_decode_report(self, tiny_task, tiny_scorer):
+        from repro.core import DecoderConfig, OnTheFlyDecoder
+
+        decoder = OnTheFlyDecoder(tiny_task.am, tiny_task.lm, DecoderConfig())
+        utts = tiny_task.test_set(5, max_words=4)
+        hyps = [decoder.decode(tiny_scorer.score(u.features)).words for u in utts]
+        report = analyze_errors([u.words for u in utts], hyps)
+        assert report.total.error_rate == pytest.approx(
+            word_error_rate([u.words for u in utts], hyps)
+        )

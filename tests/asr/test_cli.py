@@ -1,0 +1,36 @@
+"""CLI plumbing tests (cheap paths; decode smoke lives in test_grammar_orders)."""
+
+import pytest
+
+import repro.cli as cli
+from repro.experiments.common import ExperimentResult
+
+
+class TestCliPlumbing:
+    def test_task_table_complete(self):
+        assert set(cli.TASKS) == {
+            "tiny",
+            "kaldi-voxforge",
+            "kaldi-librispeech",
+            "kaldi-tedlium",
+            "eesen-tedlium",
+        }
+
+    def test_experiment_subcommand(self, capsys, monkeypatch):
+        fake = ExperimentResult("fig99", "fake", [{"a": 1}])
+        monkeypatch.setitem(
+            __import__("repro.experiments.registry", fromlist=["EXPERIMENTS"]).EXPERIMENTS,
+            "fig99",
+            (lambda: fake, "fake experiment"),
+        )
+        assert cli.main(["experiment", "fig99"]) == 0
+        out = capsys.readouterr().out
+        assert "fig99" in out
+
+    def test_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            cli.main(["experiment", "not-a-real-id"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.main([])

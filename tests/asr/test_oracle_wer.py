@@ -1,0 +1,42 @@
+"""Tests for oracle n-best WER."""
+
+import pytest
+
+from repro.asr.wer import oracle_word_error_rate, word_error_rate
+
+
+class TestOracleWer:
+    def test_oracle_never_worse_than_one_best(self):
+        refs = [["a", "b"], ["c"]]
+        nbest = [[["a", "x"], ["a", "b"]], [["d"], ["e"]]]
+        one_best = word_error_rate(refs, [n[0] for n in nbest])
+        oracle = oracle_word_error_rate(refs, nbest)
+        assert oracle <= one_best
+        assert oracle == pytest.approx(1 / 3)  # a-b found; c never
+
+    def test_empty_candidate_list(self):
+        assert oracle_word_error_rate([["a"]], [[]]) == 1.0
+
+    def test_parallel_required(self):
+        with pytest.raises(ValueError):
+            oracle_word_error_rate([["a"]], [])
+
+    def test_oracle_with_decoder_nbest(self, tiny_task, tiny_scorer):
+        from repro.core import DecoderConfig, OnTheFlyDecoder
+
+        decoder = OnTheFlyDecoder(
+            tiny_task.am, tiny_task.lm, DecoderConfig(beam=20.0)
+        )
+        utts = tiny_task.test_set(5, max_words=4)
+        refs, one_best, nbest_lists = [], [], []
+        for utt in utts:
+            result = decoder.decode(tiny_scorer.score(utt.features))
+            refs.append(utt.words)
+            one_best.append(result.words)
+            strings = [
+                [tiny_task.lm.words.symbol_of(w) for w in words]
+                for _, words in result.nbest(8)
+            ]
+            nbest_lists.append(strings)
+        oracle = oracle_word_error_rate(refs, nbest_lists)
+        assert oracle <= word_error_rate(refs, one_best)

@@ -1,0 +1,51 @@
+"""Unit tests for OverallReport's pipeline arithmetic (Section 5.2)."""
+
+import pytest
+
+from repro.asr.system import COMM_SECONDS_PER_SPEECH_SECOND, OverallReport
+
+
+def _report(scorer_s=0.2, search_s=0.1, speech_s=10.0):
+    return OverallReport(
+        platform="x",
+        task_name="t",
+        speech_seconds=speech_s,
+        scorer_seconds=scorer_s,
+        search_seconds=search_s,
+        scorer_joules=1.0,
+        search_joules=0.5,
+        word_error_rate=0.1,
+    )
+
+
+class TestOverallReport:
+    def test_stages_overlap(self):
+        """Batched operation: pipeline time is the max stage, not the sum."""
+        report = _report(scorer_s=0.2, search_s=0.1)
+        comm = COMM_SECONDS_PER_SPEECH_SECOND * report.speech_seconds
+        assert report.decode_seconds == pytest.approx(0.2 + comm)
+
+    def test_search_bound_pipeline(self):
+        report = _report(scorer_s=0.05, search_s=0.3)
+        comm = COMM_SECONDS_PER_SPEECH_SECOND * report.speech_seconds
+        assert report.decode_seconds == pytest.approx(0.3 + comm)
+
+    def test_energy_is_sum_not_max(self):
+        """Energy adds even when time overlaps (both units burn power)."""
+        report = _report()
+        assert report.total_joules == pytest.approx(1.5)
+
+    def test_normalized_metrics(self):
+        report = _report(speech_s=2.0)
+        assert report.decode_ms_per_speech_second == pytest.approx(
+            1e3 * report.decode_seconds / 2.0
+        )
+        assert report.energy_mj_per_speech_second == pytest.approx(750.0)
+        assert report.realtime_factor == pytest.approx(
+            2.0 / report.decode_seconds
+        )
+
+    def test_zero_speech_guards(self):
+        report = _report(speech_s=0.0)
+        assert report.decode_ms_per_speech_second == 0.0
+        assert report.energy_mj_per_speech_second == 0.0

@@ -1,0 +1,74 @@
+"""Round-trip tests for recognizer persistence."""
+
+import numpy as np
+import pytest
+
+from repro.asr import build_scorer
+from repro.asr.persist import load_recognizer, save_recognizer
+from repro.core import DecoderConfig, OnTheFlyDecoder
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(tiny_task, tiny_scorer, tmp_path_factory):
+    path = tmp_path_factory.mktemp("recognizer")
+    save_recognizer(path, tiny_task.am, tiny_task.lm, tiny_scorer)
+    return path
+
+
+class TestPersist:
+    def test_files_written(self, bundle_dir):
+        for name in ("manifest.json", "words.txt", "am.fst", "lm.fst", "scorer.npz"):
+            assert (bundle_dir / name).exists(), name
+
+    def test_round_trip_decoding_identical(
+        self, tiny_task, tiny_scorer, tiny_scores, bundle_dir
+    ):
+        bundle = load_recognizer(bundle_dir)
+        original = OnTheFlyDecoder(
+            tiny_task.am, tiny_task.lm, DecoderConfig(beam=14.0)
+        )
+        restored = OnTheFlyDecoder(bundle.am, bundle.lm, DecoderConfig(beam=14.0))
+        for scores in tiny_scores[:3]:
+            a = original.decode(scores)
+            b = restored.decode(scores)
+            assert a.words == b.words
+            if a.success:
+                assert a.cost == pytest.approx(b.cost, rel=1e-6)
+
+    def test_scorer_round_trip(self, tiny_task, tiny_scorer, bundle_dir):
+        bundle = load_recognizer(bundle_dir)
+        utt = tiny_task.test_set(1, max_words=3)[0]
+        assert np.allclose(
+            bundle.scorer.score(utt.features), tiny_scorer.score(utt.features)
+        )
+
+    def test_lm_metadata_restored(self, tiny_task, bundle_dir):
+        bundle = load_recognizer(bundle_dir)
+        assert bundle.lm.backoff_label == tiny_task.lm.backoff_label
+        assert bundle.lm.unigram_state == 0
+        assert bundle.lm.state_of_context == tiny_task.lm.state_of_context
+
+    def test_dnn_scorer_round_trip(self, tiny_task, tmp_path):
+        from repro.am import ScorerKind
+
+        scorer = build_scorer(
+            tiny_task, kind=ScorerKind.DNN, training_utterances=10, hidden=32
+        )
+        save_recognizer(tmp_path, tiny_task.am, tiny_task.lm, scorer)
+        bundle = load_recognizer(tmp_path)
+        utt = tiny_task.test_set(1, max_words=3)[0]
+        assert np.allclose(
+            bundle.scorer.score(utt.features), scorer.score(utt.features)
+        )
+
+    def test_version_check(self, bundle_dir, tmp_path):
+        import json
+        import shutil
+
+        target = tmp_path / "bundle"
+        shutil.copytree(bundle_dir, target)
+        manifest = json.loads((target / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (target / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            load_recognizer(target)

@@ -1,0 +1,69 @@
+"""Structural expectations for the paper-task presets (Table 1 shape)."""
+
+import pytest
+
+from repro.asr import build_task
+from repro.asr.task import (
+    EESEN_TEDLIUM,
+    KALDI_LIBRISPEECH,
+    KALDI_TEDLIUM,
+    KALDI_VOXFORGE,
+)
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    return {
+        "voxforge": build_task(KALDI_VOXFORGE),
+        "librispeech": build_task(KALDI_LIBRISPEECH),
+        "tedlium": build_task(KALDI_TEDLIUM),
+        "eesen": build_task(EESEN_TEDLIUM),
+    }
+
+
+class TestPresetShape:
+    def test_voxforge_is_smallest(self, tasks):
+        """Table 1: Voxforge is by far the smallest task."""
+        vox = tasks["voxforge"]
+        for name, task in tasks.items():
+            if name == "voxforge":
+                continue
+            assert vox.am.fst.num_arcs < task.am.fst.num_arcs
+            assert vox.lm.fst.num_arcs < task.lm.fst.num_arcs
+
+    def test_eesen_lm_is_largest(self, tasks):
+        """Table 1: EESEN-Tedlium carries the heaviest LM."""
+        eesen_arcs = tasks["eesen"].lm.fst.num_arcs
+        for name, task in tasks.items():
+            if name == "eesen":
+                continue
+            assert eesen_arcs >= task.lm.fst.num_arcs, name
+
+    def test_all_lms_are_trigram(self, tasks):
+        for task in tasks.values():
+            assert max(task.lm.num_states_by_level()) == 2
+
+    def test_backoff_structure_everywhere(self, tasks):
+        """Pruned LMs must actually have back-off arcs to exercise §3.3."""
+        for task in tasks.values():
+            backoffs = sum(
+                1
+                for s in task.lm.fst.states()
+                if task.lm.backoff_arc(s) is not None
+            )
+            assert backoffs == task.lm.fst.num_states - 1  # all but state 0
+
+    def test_word_tables_shared(self, tasks):
+        for task in tasks.values():
+            assert task.am.words is task.lm.words
+
+    def test_unigram_fanout_equals_vocabulary(self, tasks):
+        for task in tasks.values():
+            unigram_arcs = task.lm.fst.out_arcs(task.lm.unigram_state)
+            assert len(unigram_arcs) == task.config.vocab_size
+
+    def test_tedlium_noisier_than_librispeech(self, tasks):
+        assert (
+            tasks["tedlium"].config.noise_scale
+            > tasks["librispeech"].config.noise_scale
+        )

@@ -1,0 +1,59 @@
+"""Streaming-session tests: batched decoding equals offline decoding."""
+
+import numpy as np
+import pytest
+
+from repro.asr.streaming import StreamingSession, decode_streaming
+from repro.core import DecoderConfig, OnTheFlyDecoder
+
+
+@pytest.fixture(scope="module")
+def decoder(tiny_task):
+    return OnTheFlyDecoder(tiny_task.am, tiny_task.lm, DecoderConfig(beam=14.0))
+
+
+class TestStreaming:
+    @pytest.mark.parametrize("batch_frames", [1, 7, 32, 1000])
+    def test_equals_offline_decode(self, decoder, tiny_scores, batch_frames):
+        """Batch size must not change the result (pure pipelining)."""
+        offline = decoder.decode(tiny_scores[0])
+        streamed, partials = decode_streaming(
+            decoder, tiny_scores[0], batch_frames=batch_frames
+        )
+        assert streamed.words == offline.words
+        if offline.success:
+            assert streamed.cost == pytest.approx(offline.cost, rel=1e-9)
+        assert partials[-1].frames_consumed == tiny_scores[0].shape[0]
+
+    def test_partials_progress(self, decoder, tiny_scores):
+        _, partials = decode_streaming(decoder, tiny_scores[1], batch_frames=20)
+        frames = [p.frames_consumed for p in partials]
+        assert frames == sorted(frames)
+        assert all(p.active_tokens > 0 for p in partials)
+        # Hypotheses can only grow or be revised, never vanish entirely
+        # once words have been committed.
+        assert len(partials[-1].words) >= 0
+
+    def test_session_single_use(self, decoder, tiny_scores):
+        session = StreamingSession(decoder)
+        session.push(tiny_scores[0][:10])
+        session.finish()
+        with pytest.raises(RuntimeError):
+            session.push(tiny_scores[0][10:])
+        with pytest.raises(RuntimeError):
+            session.finish()
+
+    def test_bad_batch_rejected(self, decoder):
+        session = StreamingSession(decoder)
+        with pytest.raises(ValueError):
+            session.push(np.zeros((4,)))
+
+    def test_bad_batch_size_rejected(self, decoder, tiny_scores):
+        with pytest.raises(ValueError):
+            decode_streaming(decoder, tiny_scores[0], batch_frames=0)
+
+    def test_stats_accumulate(self, decoder, tiny_scores):
+        result, _ = decode_streaming(decoder, tiny_scores[0], batch_frames=16)
+        assert result.stats.frames == tiny_scores[0].shape[0]
+        assert result.stats.expansions > 0
+        assert len(result.stats.active_history) == result.stats.frames

@@ -1,0 +1,75 @@
+"""Tests for the word error rate metric."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asr import EditCounts, align_counts, corpus_edit_counts, word_error_rate
+
+words = st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=8)
+
+
+class TestAlign:
+    def test_exact_match(self):
+        counts = align_counts(["a", "b"], ["a", "b"])
+        assert counts.total_edits == 0
+        assert counts.error_rate == 0.0
+
+    def test_substitution(self):
+        counts = align_counts(["a", "b"], ["a", "c"])
+        assert counts.substitutions == 1
+        assert counts.total_edits == 1
+
+    def test_insertion(self):
+        counts = align_counts(["a"], ["a", "b"])
+        assert counts.insertions == 1
+
+    def test_deletion(self):
+        counts = align_counts(["a", "b"], ["a"])
+        assert counts.deletions == 1
+
+    def test_empty_reference(self):
+        counts = align_counts([], ["a"])
+        assert counts.insertions == 1
+        assert counts.error_rate == float("inf")
+        assert align_counts([], []).error_rate == 0.0
+
+    def test_mixed_errors(self):
+        counts = align_counts(["a", "b", "c", "d"], ["a", "x", "d", "e"])
+        # b->x substitution, c deleted, e inserted (one optimal alignment).
+        assert counts.total_edits == 3
+
+    def test_wer_can_exceed_one(self):
+        assert word_error_rate([["a"]], [["b", "c", "d"]]) == pytest.approx(3.0)
+
+
+class TestCorpus:
+    def test_aggregation_weights_by_length(self):
+        refs = [["a"] * 9, ["b"]]
+        hyps = [["a"] * 9, ["x"]]
+        assert word_error_rate(refs, hyps) == pytest.approx(0.1)
+
+    def test_parallel_required(self):
+        with pytest.raises(ValueError):
+            corpus_edit_counts([["a"]], [])
+
+    def test_counts_add(self):
+        total = EditCounts(1, 2, 3, 10) + EditCounts(1, 0, 0, 10)
+        assert total.total_edits == 7
+        assert total.reference_words == 20
+
+
+@settings(max_examples=80, deadline=None)
+@given(words, words)
+def test_metric_properties(ref, hyp):
+    counts = align_counts(ref, hyp)
+    # Edits bounded by max length; identity gives zero.
+    assert counts.total_edits <= max(len(ref), len(hyp))
+    assert counts.total_edits >= abs(len(ref) - len(hyp))
+    if ref == hyp:
+        assert counts.total_edits == 0
+    # Symmetry of total edit count (ins/dels swap roles).
+    reverse = align_counts(hyp, ref)
+    assert counts.total_edits == reverse.total_edits
+    assert counts.insertions == reverse.deletions
+    assert counts.substitutions == reverse.substitutions

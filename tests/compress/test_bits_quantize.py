@@ -1,0 +1,160 @@
+"""Tests for bit I/O and k-means weight quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import (
+    BitReader,
+    BitWriter,
+    WeightQuantizer,
+    bits_needed,
+    fit_wfst_quantizer,
+    quantize_wfst,
+)
+from repro.wfst import linear_chain
+
+
+class TestBits:
+    def test_round_trip_mixed_widths(self):
+        writer = BitWriter()
+        fields = [(5, 3), (1023, 10), (0, 1), (77, 7), (2**20 - 1, 20)]
+        for value, width in fields:
+            writer.write(value, width)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        for value, width in fields:
+            assert reader.read(width) == value
+        assert reader.exhausted()
+
+    def test_value_too_wide_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(8, 3)
+        with pytest.raises(ValueError):
+            writer.write(-1, 3)
+        with pytest.raises(ValueError):
+            writer.write(0, 0)
+
+    def test_read_past_end_rejected(self):
+        writer = BitWriter()
+        writer.write(1, 4)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        reader.read(4)
+        with pytest.raises(EOFError):
+            reader.read(1)
+
+    def test_seek(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        writer.write(0b11110000, 8)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        reader.seek(3)
+        assert reader.read(8) == 0b11110000
+        reader.seek(0)
+        assert reader.read(3) == 0b101
+        with pytest.raises(ValueError):
+            reader.seek(-1)
+
+    def test_byte_length(self):
+        writer = BitWriter()
+        writer.write(1, 9)
+        assert writer.byte_length == 2
+
+    def test_bits_needed(self):
+        assert bits_needed(0) == 1
+        assert bits_needed(1) == 1
+        assert bits_needed(2) == 2
+        assert bits_needed(255) == 8
+        assert bits_needed(256) == 9
+        with pytest.raises(ValueError):
+            bits_needed(-1)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=24), st.data()),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, specs):
+        writer = BitWriter()
+        expected = []
+        for width, data in specs:
+            value = data.draw(st.integers(min_value=0, max_value=2**width - 1))
+            writer.write(value, width)
+            expected.append((value, width))
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        for value, width in expected:
+            assert reader.read(width) == value
+
+
+class TestQuantizer:
+    def test_few_unique_values_exact(self):
+        quantizer = WeightQuantizer.fit(np.array([1.0, 2.0, 3.0] * 10), clusters=8)
+        for w in (1.0, 2.0, 3.0):
+            assert quantizer.quantize(w) == w
+
+    def test_centroids_sorted(self):
+        rng = np.random.default_rng(0)
+        quantizer = WeightQuantizer.fit(rng.exponential(2.0, size=5000))
+        assert np.all(np.diff(quantizer.centroids) >= 0)
+
+    def test_64_clusters_6_bits(self):
+        rng = np.random.default_rng(1)
+        quantizer = WeightQuantizer.fit(rng.normal(5, 2, size=2000))
+        assert quantizer.num_clusters == 64
+        assert quantizer.index_bits == 6
+
+    def test_error_small_on_smooth_distribution(self):
+        rng = np.random.default_rng(2)
+        weights = rng.exponential(3.0, size=10_000)
+        quantizer = WeightQuantizer.fit(weights)
+        # 64 clusters over an exponential: worst error (a tail point)
+        # bounded by the spread; typical error far smaller.
+        assert quantizer.max_error(weights) < 2 * weights.std()
+        mean_err = np.abs(
+            quantizer.centroids[quantizer.encode_many(weights)] - weights
+        ).mean()
+        assert mean_err < 0.1 * weights.std()
+
+    def test_encode_decode_consistent(self):
+        rng = np.random.default_rng(3)
+        weights = rng.normal(0, 1, size=500)
+        quantizer = WeightQuantizer.fit(weights, clusters=16)
+        for w in weights[:50]:
+            idx = quantizer.encode(w)
+            assert 0 <= idx < 16
+            assert quantizer.decode(idx) == quantizer.quantize(w)
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightQuantizer.fit(np.array([np.inf]))
+
+    def test_quantize_wfst(self):
+        fst = linear_chain([(1, 1, 0.123), (2, 2, 9.87)])
+        fst.set_final(2, 0.5)
+        quantizer = fit_wfst_quantizer(fst)
+        quantized = quantize_wfst(fst, quantizer)
+        for (_, a), (_, b) in zip(quantized.all_arcs(), fst.all_arcs()):
+            assert a.weight == quantizer.quantize(b.weight)
+        assert quantized.final_weight(2) == quantizer.quantize(0.5)
+        # Original untouched.
+        assert fst.out_arcs(0)[0].weight == 0.123
+
+    def test_infinite_final_weight_preserved(self):
+        import math
+
+        fst = linear_chain([(1, 1, 1.0)])
+        fst.set_final(0, math.inf)
+        quantizer = fit_wfst_quantizer(fst)
+        quantized = quantize_wfst(fst, quantizer)
+        assert quantized.final_weight(0) == math.inf
+
+    @given(st.lists(st.floats(min_value=0, max_value=50, allow_nan=False), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_quantization_error_bounded_by_span(self, weights):
+        arr = np.asarray(weights)
+        quantizer = WeightQuantizer.fit(arr, clusters=8)
+        assert quantizer.max_error(arr) <= (arr.max() - arr.min()) + 1e-9

@@ -1,0 +1,146 @@
+"""Tests for the composed-graph size model and dataset sizing."""
+
+import pytest
+
+from repro.compress import (
+    PronunciationTrie,
+    build_address_map,
+    build_composed_model,
+    measure_dataset_sizing,
+    pack_composed_size,
+)
+from repro.wfst import uncompressed_size_bytes
+
+
+class TestPronunciationTrie:
+    def test_shared_prefixes_share_nodes(self):
+        trie = PronunciationTrie()
+        a = trie.insert([1, 2, 3])
+        b = trie.insert([1, 2, 4])
+        assert a[:2] == b[:2]
+        assert a[2] != b[2]
+        assert trie.num_nodes == 4
+
+    def test_idempotent_insert(self):
+        trie = PronunciationTrie()
+        first = trie.insert([5, 6])
+        second = trie.insert([5, 6])
+        assert first == second
+        assert trie.num_nodes == 2
+
+    def test_first_child_tracking(self):
+        trie = PronunciationTrie()
+        path_a = trie.insert([1, 2])
+        path_b = trie.insert([1, 3])
+        assert trie.first_child_of_parent[path_a[0]]  # first child of root
+        assert trie.first_child_of_parent[path_a[1]]  # first child of node 1
+        assert not trie.first_child_of_parent[path_b[1]]  # second child
+
+
+class TestComposedModel:
+    def test_counts_positive_and_consistent(self, tiny_task):
+        model = build_composed_model(tiny_task.am, tiny_task.lm)
+        assert model.states > tiny_task.lm.fst.num_states
+        assert model.arcs > model.states  # self-loops guarantee this
+        assert model.short_arcs + model.long_arcs == model.arcs
+        assert model.total_bytes == model.state_bytes + model.arc_bytes
+
+    def test_blowup_vs_separate_models(self, tiny_task):
+        """The composed graph dwarfs AM+LM (the paper's Table 1 shape)."""
+        model = build_composed_model(tiny_task.am, tiny_task.lm)
+        separate = uncompressed_size_bytes(tiny_task.am.fst) + uncompressed_size_bytes(
+            tiny_task.lm.fst
+        )
+        assert model.total_bytes > 2 * separate
+
+    def test_bounded_by_naive_product(self, tiny_task):
+        """Prefix sharing keeps the model below the raw product graph."""
+        model = build_composed_model(tiny_task.am, tiny_task.lm)
+        product_states = (
+            tiny_task.am.fst.num_states * tiny_task.lm.fst.num_states
+        )
+        assert model.states < product_states
+
+    def test_at_least_real_trimmed_composition_scale(self, tiny_task):
+        """Sanity against a real materialized composition (tiny task only).
+
+        The det(L o G) model and the trimmed product are different
+        graphs; they must agree within a small structural factor.
+        """
+        from repro.wfst import compose, connect
+
+        composed = connect(
+            compose(
+                tiny_task.am.fst,
+                tiny_task.lm.fst,
+                phi_label=tiny_task.lm.backoff_label,
+            )
+        )
+        model = build_composed_model(tiny_task.am, tiny_task.lm)
+        # Prefix sharing (determinization) makes the det-style model
+        # smaller than the raw product, but it must stay within an
+        # order of magnitude and never exceed the product.
+        assert model.states <= composed.num_states
+        assert model.states >= composed.num_states / 10
+        assert model.arcs <= composed.num_arcs
+        assert model.arcs >= composed.num_arcs / 10
+
+    def test_per_lm_state_blocks_cover_all_nodes(self, tiny_task):
+        model = build_composed_model(tiny_task.am, tiny_task.lm)
+        assert len(model.lm_state_base) == tiny_task.lm.fst.num_states
+        assert sum(model.lm_state_nodes) == model.lm_state_base[-1] + model.lm_state_nodes[-1]
+
+
+class TestAddressMap:
+    def test_addresses_within_dataset(self, tiny_task):
+        address_map = build_address_map(tiny_task.am, tiny_task.lm)
+        model = address_map.model
+        for am_state in range(0, tiny_task.am.fst.num_states, 7):
+            for lm_state in range(0, tiny_task.lm.fst.num_states, 5):
+                addr = address_map.state_address(am_state, lm_state)
+                assert 0 <= addr < model.state_bytes
+                arc_addr = address_map.arc_address(am_state, lm_state, 0)
+                assert model.state_bytes <= arc_addr
+
+    def test_loop_state_maps_to_backbone(self, tiny_task):
+        address_map = build_address_map(tiny_task.am, tiny_task.lm)
+        for lm_state in range(tiny_task.lm.fst.num_states):
+            assert address_map.state_index(0, lm_state) == lm_state
+
+    def test_deterministic(self, tiny_task):
+        address_map = build_address_map(tiny_task.am, tiny_task.lm)
+        assert address_map.state_address(3, 2) == address_map.state_address(3, 2)
+
+    def test_different_lm_states_differ(self, tiny_task):
+        address_map = build_address_map(tiny_task.am, tiny_task.lm)
+        a = address_map.state_index(1, 0)
+        b = address_map.state_index(1, 1)
+        # Same AM chain state paired with different LM histories lives in
+        # different dataset regions: the composed graph's defining cost.
+        assert a != b
+
+
+class TestDatasetSizing:
+    def test_figure8_ordering(self, tiny_task):
+        """Fully-Composed > +Comp > On-the-fly > +Comp, as in Figure 8."""
+        sizing = measure_dataset_sizing(tiny_task)
+        assert sizing.composed_bytes > sizing.composed_comp_bytes
+        assert sizing.composed_comp_bytes > sizing.onthefly_bytes
+        assert sizing.onthefly_bytes > sizing.onthefly_comp_bytes
+
+    def test_reduction_ratios(self, tiny_task):
+        sizing = measure_dataset_sizing(tiny_task)
+        assert sizing.unfold_reduction > 8  # paper: 23x-35x at full scale
+        assert sizing.compression_vs_price > 2  # paper: 8.8x average
+        assert sizing.composition_blowup > 2  # paper: 5x-11x
+
+    def test_row_rendering(self, tiny_task):
+        row = measure_dataset_sizing(tiny_task).as_row()
+        assert row["task"] == tiny_task.name
+        assert row["fully_composed_mb"] > row["onthefly_comp_mb"]
+
+    def test_composed_pack_consistency(self, tiny_task):
+        model = build_composed_model(tiny_task.am, tiny_task.lm)
+        packed = pack_composed_size(model)
+        assert packed.total_bytes < model.total_bytes
+        assert packed.total_bytes > model.arcs * 20 // 8  # floor: all short

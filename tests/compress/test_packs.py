@@ -1,0 +1,173 @@
+"""Round-trip tests for the AM/LM/state bit-packed formats."""
+
+import pytest
+
+from repro.compress import (
+    AM_LONG_ARC_BITS,
+    AM_SHORT_ARC_BITS,
+    BACKOFF_ARC_BITS,
+    REGULAR_ARC_BITS,
+    UNIGRAM_ARC_BITS,
+    pack_am,
+    pack_lm,
+    pack_states,
+    unpack_am,
+    unpack_lm,
+    unpack_states,
+)
+from repro.wfst.fst import EPSILON
+
+
+class TestAmPack:
+    def test_record_sizes_match_paper(self):
+        assert AM_SHORT_ARC_BITS == 20
+        assert AM_LONG_ARC_BITS == 58
+
+    def test_round_trip_structure(self, tiny_task):
+        packed = pack_am(tiny_task.am.fst)
+        restored = unpack_am(packed)
+        original = tiny_task.am.fst
+        assert restored.num_states == original.num_states
+        assert restored.num_arcs == original.num_arcs
+        assert restored.start == original.start
+        for state in original.states():
+            got = restored.out_arcs(state)
+            want = original.out_arcs(state)
+            for a, b in zip(got, want):
+                assert (a.ilabel, a.olabel, a.nextstate) == (
+                    b.ilabel,
+                    b.olabel,
+                    b.nextstate,
+                )
+                assert a.weight == packed.quantizer.quantize(b.weight)
+
+    def test_most_arcs_are_short(self, tiny_task):
+        """Section 3.4: most AM arcs fit the 20-bit format."""
+        packed = pack_am(tiny_task.am.fst)
+        assert packed.short_fraction > 0.6
+
+    def test_compression_beats_raw(self, tiny_task):
+        from repro.wfst import uncompressed_size
+
+        packed = pack_am(tiny_task.am.fst)
+        raw_arc_bytes = uncompressed_size(tiny_task.am.fst).arc_bytes
+        assert packed.arc_bytes * 4 < raw_arc_bytes
+
+    def test_size_accounting(self, tiny_task):
+        packed = pack_am(tiny_task.am.fst)
+        expected_bits = (
+            packed.short_arcs * AM_SHORT_ARC_BITS
+            + packed.long_arcs * AM_LONG_ARC_BITS
+        )
+        assert packed.bit_length == expected_bits
+        assert packed.size_bytes == packed.arc_bytes + 256
+
+
+class TestLmPack:
+    def test_record_sizes_match_paper(self):
+        assert UNIGRAM_ARC_BITS == 6
+        assert BACKOFF_ARC_BITS == 27
+        assert REGULAR_ARC_BITS == 45
+
+    def test_round_trip_equals_permuted_graph(self, tiny_task):
+        graph = tiny_task.lm
+        packed = pack_lm(graph)
+        restored = unpack_lm(packed)
+        perm = packed.permutation
+        original = graph.fst
+        assert restored.num_states == original.num_states
+        assert restored.start == perm[original.start]
+        for old_state in original.states():
+            new_state = perm[old_state]
+            got = {
+                (a.ilabel, a.olabel, a.nextstate): a.weight
+                for a in restored.out_arcs(new_state)
+            }
+            for arc in original.out_arcs(old_state):
+                key = (
+                    arc.ilabel if arc.ilabel != graph.backoff_label else packed.backoff_label,
+                    arc.olabel,
+                    perm[arc.nextstate],
+                )
+                assert key in got
+                assert got[key] == packed.quantizer.quantize(arc.weight)
+        for old_state, weight in original.finals.items():
+            assert restored.final_weight(perm[old_state]) == pytest.approx(
+                packed.quantizer.quantize(weight)
+            )
+
+    def test_unigram_arcs_one_per_word(self, tiny_task):
+        packed = pack_lm(tiny_task.lm)
+        assert packed.unigram_arcs == packed.num_words
+
+    def test_backoff_arc_count(self, tiny_task):
+        graph = tiny_task.lm
+        packed = pack_lm(graph)
+        expected = sum(
+            1 for s in graph.fst.states() if graph.backoff_arc(s) is not None
+        )
+        assert packed.backoff_arcs == expected
+
+    def test_size_accounting(self, tiny_task):
+        packed = pack_lm(tiny_task.lm)
+        expected_bits = (
+            packed.unigram_arcs * UNIGRAM_ARC_BITS
+            + packed.backoff_arcs * BACKOFF_ARC_BITS
+            + packed.regular_arcs * REGULAR_ARC_BITS
+        )
+        assert packed.bit_length == expected_bits
+
+    def test_compression_beats_raw(self, tiny_task):
+        from repro.wfst import uncompressed_size
+
+        packed = pack_lm(tiny_task.lm)
+        raw = uncompressed_size(tiny_task.lm.fst).arc_bytes
+        assert packed.arc_bytes * 3 < raw
+
+    def test_permutation_orders_bigram_states_by_word(self, tiny_task):
+        graph = tiny_task.lm
+        packed = pack_lm(graph)
+        bigram_positions = []
+        for context, state in graph.state_of_context.items():
+            if len(context) == 1 and context[0] in graph.words:
+                bigram_positions.append(
+                    (graph.words.id_of(context[0]), packed.permutation[state])
+                )
+        bigram_positions.sort()
+        new_ids = [new for _, new in bigram_positions]
+        assert new_ids == sorted(new_ids)
+        assert new_ids == list(range(1, len(new_ids) + 1))
+
+
+class TestStatePack:
+    def test_round_trip(self):
+        offsets = [0, 20, 20, 58, 116, 116, 200, 400, 4000, 40_000]
+        counts = [1, 0, 2, 3, 0, 4, 10, 180, 2000, 7]
+        packed = pack_states(offsets, counts)
+        assert unpack_states(packed) == (offsets, counts)
+
+    def test_compression_ratio_positive(self):
+        offsets = list(range(0, 64000, 40))
+        counts = [2] * len(offsets)
+        packed = pack_states(offsets, counts)
+        assert packed.compression_ratio > 1.5
+        assert packed.bits_per_state < 64
+
+    def test_parallel_arrays_required(self):
+        with pytest.raises(ValueError):
+            pack_states([1, 2], [1])
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            pack_states([10, 5], [1, 1])
+
+    def test_empty(self):
+        packed = pack_states([], [])
+        assert packed.bits_per_state == 0.0
+        assert unpack_states(packed) == ([], [])
+
+    def test_single_group_boundary(self):
+        offsets = list(range(17))
+        counts = [1] * 17
+        packed = pack_states(offsets, counts)
+        assert unpack_states(packed) == (offsets, counts)

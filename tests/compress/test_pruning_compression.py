@@ -1,0 +1,91 @@
+"""Cross-cutting: LM pruning shrinks the packed dataset (paper §2+§3.4).
+
+Pruning is the software-side size lever; packing the hardware-side one.
+They must compose: a pruned model packs smaller, still decodes, and
+drives *more* back-off traffic — the trade the paper's §3.3 hardware
+exists to make cheap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compress import pack_lm
+from repro.core import DecoderConfig, LmLookup, LookupStrategy, OnTheFlyDecoder
+from repro.lm import build_lm_graph, prune_model, train_ngram_model
+
+
+@pytest.fixture(scope="module")
+def pruned_pair(tiny_task):
+    baseline = train_ngram_model(
+        tiny_task.corpus, tiny_task.grammar.vocabulary, order=3, cutoffs=(1, 1, 1)
+    )
+    pruned = train_ngram_model(
+        tiny_task.corpus, tiny_task.grammar.vocabulary, order=3, cutoffs=(1, 1, 1)
+    )
+    prune_model(pruned, threshold=3e-4)
+    return baseline, pruned
+
+
+class TestPruningCompression:
+    def test_packed_size_shrinks(self, pruned_pair):
+        baseline, pruned = pruned_pair
+        base_packed = pack_lm(build_lm_graph(baseline))
+        pruned_packed = pack_lm(build_lm_graph(pruned))
+        assert pruned_packed.size_bytes < base_packed.size_bytes
+        assert pruned_packed.regular_arcs < base_packed.regular_arcs
+
+    def test_backoff_traffic_increases(self, pruned_pair, tiny_task):
+        """Heavy pruning forces resolution through back-off arcs.
+
+        (Light pruning can shift individual paths either way — removing
+        a trigram state can land resolution on a bigram state that has
+        the word directly — so the claim is tested at a threshold that
+        removes most higher-order n-grams.)
+        """
+        baseline, _ = pruned_pair
+        heavy = train_ngram_model(
+            tiny_task.corpus,
+            tiny_task.grammar.vocabulary,
+            order=3,
+            cutoffs=(1, 1, 1),
+        )
+        prune_model(heavy, threshold=5e-2)
+        base_lookup = LmLookup(
+            build_lm_graph(baseline), strategy=LookupStrategy.BINARY
+        )
+        pruned_lookup = LmLookup(
+            build_lm_graph(heavy), strategy=LookupStrategy.BINARY
+        )
+        sentences = [
+            tiny_task.grammar.sample_sentence(max_len=6) for _ in range(20)
+        ]
+        for lookup in (base_lookup, pruned_lookup):
+            graph = lookup.graph
+            for sentence in sentences:
+                state = graph.fst.start
+                for word in sentence:
+                    result = lookup.resolve(state, graph.word_id(word))
+                    state = result.next_state
+        assert (
+            pruned_lookup.stats.backoff_arcs_taken
+            >= base_lookup.stats.backoff_arcs_taken
+        )
+
+    def test_pruned_model_still_decodes(self, pruned_pair, tiny_task, tiny_scorer):
+        _, pruned = pruned_pair
+        graph = build_lm_graph(pruned)
+        decoder = OnTheFlyDecoder(tiny_task.am, graph, DecoderConfig(beam=14.0))
+        utterances = tiny_task.test_set(4, max_words=4)
+        correct = 0
+        for utterance in utterances:
+            result = decoder.decode(tiny_scorer.score(utterance.features))
+            assert result.success
+            correct += result.words == utterance.words
+        assert correct >= 2  # accuracy degrades gracefully, not fatally
+
+    def test_normalization_after_prune_and_pack(self, pruned_pair):
+        """Packing a pruned graph preserves the invariants both need."""
+        _, pruned = pruned_pair
+        graph = build_lm_graph(pruned)  # invariant checks inside
+        packed = pack_lm(graph)
+        assert packed.unigram_arcs == packed.num_words

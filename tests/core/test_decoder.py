@@ -1,0 +1,204 @@
+"""Decoder correctness: recognition accuracy and cross-decoder equivalence."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DecoderConfig,
+    FullyComposedDecoder,
+    LookupStrategy,
+    OnTheFlyDecoder,
+    VirtualComposedGraph,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return DecoderConfig(beam=14.0, preemptive_pruning=False)
+
+
+@pytest.fixture(scope="module")
+def onthefly(tiny_task, config):
+    return OnTheFlyDecoder(tiny_task.am, tiny_task.lm, config)
+
+
+@pytest.fixture(scope="module")
+def baseline(tiny_task, config):
+    graph = VirtualComposedGraph(tiny_task.am, tiny_task.lm)
+    return FullyComposedDecoder(graph, config)
+
+
+class TestRecognition:
+    def test_clean_speech_recovered(self, tiny_task, tiny_scorer, onthefly):
+        """With accurate scores and low noise, transcripts are recovered."""
+        correct = 0
+        utterances = tiny_task.test_set(8, max_words=4)
+        for utt in utterances:
+            result = onthefly.decode(tiny_scorer.score(utt.features))
+            assert result.success
+            if result.words == utt.words:
+                correct += 1
+        assert correct >= 6  # small residual confusability is expected
+
+    def test_decode_result_structure(self, onthefly, tiny_scores, tiny_utterances):
+        result = onthefly.decode(tiny_scores[0])
+        assert result.success
+        assert len(result.words) == len(result.word_ids)
+        assert result.stats.frames == tiny_utterances[0].num_frames
+        assert result.stats.words_emitted >= len(result.words)
+        assert len(result.lattice) == result.stats.words_emitted
+
+    def test_stats_populated(self, onthefly, tiny_scores):
+        result = onthefly.decode(tiny_scores[0])
+        stats = result.stats
+        assert stats.tokens_created > 0
+        assert stats.am_state_fetches > 0
+        assert stats.am_arc_fetches > stats.am_state_fetches
+        assert stats.lookup.lookups > 0
+        assert stats.avg_active_tokens > 1
+        assert len(stats.active_history) == stats.frames
+
+    def test_bad_score_matrix_rejected(self, onthefly):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            onthefly.decode(np.zeros((10,)))
+        with pytest.raises(ValueError):
+            onthefly.decode(np.zeros((10, 2)))
+
+    def test_tight_beam_degrades_gracefully(self, tiny_task, tiny_scores):
+        tight = OnTheFlyDecoder(
+            tiny_task.am, tiny_task.lm, DecoderConfig(beam=0.5)
+        )
+        result = tight.decode(tiny_scores[0])
+        # May fail to reach a final state, but must not crash and must
+        # prune heavily.
+        assert result.stats.beam_pruned > 0
+
+    def test_max_active_bounds_frontier(self, tiny_task, tiny_scores):
+        capped = OnTheFlyDecoder(
+            tiny_task.am,
+            tiny_task.lm,
+            DecoderConfig(beam=20.0, max_active=12, preemptive_pruning=False),
+        )
+        result = capped.decode(tiny_scores[0])
+        # The frontier after expansion can exceed the cap, but the
+        # number of expanded tokens per frame cannot: check via fetches.
+        assert result.stats.am_state_fetches <= 12 * result.stats.frames
+
+
+class TestEquivalence:
+    """On-the-fly composition must match the fully-composed baseline.
+
+    This is the paper's central correctness claim (Section 5.1): the
+    dynamic composition changes *where* the LM weight is applied, not
+    the search outcome.
+    """
+
+    def test_same_words_and_costs(self, onthefly, baseline, tiny_scores):
+        for scores in tiny_scores:
+            ours = onthefly.decode(scores)
+            ref = baseline.decode(scores)
+            assert ours.words == ref.words
+            if ours.success and ref.success:
+                assert ours.cost == pytest.approx(ref.cost, rel=1e-9)
+
+    def test_same_search_effort(self, onthefly, baseline, tiny_scores):
+        """Both decoders explore the same (am, lm) pair space."""
+        ours = onthefly.decode(tiny_scores[0])
+        ref = baseline.decode(tiny_scores[0])
+        assert ours.stats.tokens_created == ref.stats.tokens_created
+        assert ours.stats.expansions == ref.stats.expansions
+        assert ours.stats.active_history == ref.stats.active_history
+
+    def test_preemptive_pruning_preserves_result(self, tiny_task, tiny_scores):
+        """Section 3.3: only hypotheses that would be pruned anyway die."""
+        base = OnTheFlyDecoder(
+            tiny_task.am,
+            tiny_task.lm,
+            DecoderConfig(beam=10.0, preemptive_pruning=False),
+        )
+        pre = OnTheFlyDecoder(
+            tiny_task.am,
+            tiny_task.lm,
+            DecoderConfig(beam=10.0, preemptive_pruning=True),
+        )
+        for scores in tiny_scores:
+            a = base.decode(scores)
+            b = pre.decode(scores)
+            assert a.words == b.words
+            if a.success:
+                assert a.cost == pytest.approx(b.cost, rel=1e-9)
+
+    def test_lookup_strategies_do_not_change_result(self, tiny_task, tiny_scores):
+        results = []
+        for strategy in LookupStrategy:
+            decoder = OnTheFlyDecoder(
+                tiny_task.am,
+                tiny_task.lm,
+                DecoderConfig(
+                    beam=12.0, lookup_strategy=strategy, preemptive_pruning=False
+                ),
+            )
+            results.append(decoder.decode(tiny_scores[1]))
+        words = {tuple(r.words) for r in results}
+        costs = {round(r.cost, 9) for r in results}
+        assert len(words) == 1
+        assert len(costs) == 1
+
+
+class TestVirtualComposedGraph:
+    def test_matches_materialized_composition(self, tiny_task):
+        """The virtual graph is the offline composition, lazily."""
+        from repro.wfst import shortest_path
+
+        virtual = VirtualComposedGraph(tiny_task.am, tiny_task.lm)
+        materialized = virtual.materialize_equivalent()
+        best = shortest_path(materialized)
+        assert best is not None
+
+        # Walk the virtual graph along the materialized best path's
+        # input labels greedily and reproduce its weight.
+        state = virtual.start
+        total = 0.0
+        for ilabel in best.ilabels:
+            candidates = [
+                a
+                for a in virtual.out_arcs(state)
+                if a.ilabel == ilabel
+            ]
+            assert candidates, "virtual graph is missing a path arc"
+            arc = min(candidates, key=lambda a: a.weight)
+            total += arc.weight
+            state = arc.nextstate
+        # The greedy walk may diverge from the true best path on ties;
+        # it must never beat the optimum.
+        assert virtual.is_final(state) or total >= 0
+        assert total + virtual.final_weight(state) >= best.weight - 1e-9
+
+    def test_encode_decode_round_trip(self, tiny_task):
+        virtual = VirtualComposedGraph(tiny_task.am, tiny_task.lm)
+        for am_state in (0, 1, tiny_task.am.fst.num_states - 1):
+            for lm_state in (0, tiny_task.lm.fst.num_states - 1):
+                encoded = virtual.encode(am_state, lm_state)
+                assert virtual.decode_state(encoded) == (am_state, lm_state)
+
+    def test_arcs_cached(self, tiny_task):
+        virtual = VirtualComposedGraph(tiny_task.am, tiny_task.lm)
+        first = virtual.out_arcs(virtual.start)
+        assert virtual.out_arcs(virtual.start) is first
+        virtual.clear_cache()
+        assert virtual.out_arcs(virtual.start) is not first
+
+    def test_final_only_at_loop_state(self, tiny_task):
+        virtual = VirtualComposedGraph(tiny_task.am, tiny_task.lm)
+        assert virtual.is_final(virtual.encode(tiny_task.am.loop_state, 0))
+        assert not virtual.is_final(virtual.encode(1, 0))
+
+    def test_num_states_bound(self, tiny_task):
+        virtual = VirtualComposedGraph(tiny_task.am, tiny_task.lm)
+        assert (
+            virtual.num_states_bound
+            == tiny_task.am.fst.num_states * tiny_task.lm.fst.num_states
+        )

@@ -1,0 +1,65 @@
+"""Tests for the bench-transcript -> EXPERIMENTS.md converter."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "experiments_from_bench",
+    Path(__file__).resolve().parents[2] / "tools" / "experiments_from_bench.py",
+)
+converter = importlib.util.module_from_spec(_SPEC)
+sys.modules["experiments_from_bench"] = converter
+_SPEC.loader.exec_module(converter)
+
+TRANSCRIPT = """\
+some pytest noise
+== fig08: Dataset size (MB) per storage configuration ==
+task       fully_composed_mb
+kaldi-x    1.97
+-- paper: 31x average reduction
+.
+== table6: Word error rate (%) ==
+task       unfold_wer_pct
+kaldi-x    31.2
+-- paper: WER 10.6-27.7%
+=========== 19 passed ===========
+"""
+
+
+class TestConverter:
+    def test_blocks_extracted(self):
+        blocks = converter.extract_blocks(TRANSCRIPT.splitlines(keepends=True))
+        assert set(blocks) == {"fig08", "table6"}
+        title, lines = blocks["fig08"]
+        assert "storage configuration" in title
+        assert any("kaldi-x" in line for line in lines)
+        assert lines[-1].startswith("-- paper")
+
+    def test_render_pairs_with_paper_claims(self):
+        blocks = converter.extract_blocks(TRANSCRIPT.splitlines(keepends=True))
+        text = converter.render(blocks)
+        assert "# EXPERIMENTS" in text
+        assert "## fig08:" in text
+        assert "**Paper:**" in text
+        assert "31.2" in text
+
+    def test_missing_experiments_listed(self):
+        blocks = converter.extract_blocks(TRANSCRIPT.splitlines(keepends=True))
+        text = converter.render(blocks)
+        assert "Not captured" in text  # most registry ids absent here
+
+    def test_main_round_trip(self, tmp_path):
+        source = tmp_path / "bench.txt"
+        source.write_text(TRANSCRIPT)
+        output = tmp_path / "EXPERIMENTS.md"
+        assert converter.main([str(source), str(output)]) == 0
+        assert "fig08" in output.read_text()
+
+    def test_empty_transcript_rejected(self, tmp_path):
+        source = tmp_path / "empty.txt"
+        source.write_text("nothing here\n")
+        with pytest.raises(SystemExit):
+            converter.main([str(source), str(tmp_path / "out.md")])

@@ -1,0 +1,30 @@
+"""Tests for the EXPERIMENTS.md renderer."""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.report import PAPER_CLAIMS, render_markdown
+
+
+class TestReport:
+    def test_every_experiment_has_a_paper_claim(self):
+        assert set(PAPER_CLAIMS) == set(EXPERIMENTS)
+
+    def test_render_markdown_structure(self):
+        results = [
+            ExperimentResult("fig08", "sizes", [{"task": "x", "mb": 1.5}]),
+            ExperimentResult("table6", "wer", [{"task": "x", "wer": 10.0}]),
+        ]
+        text = render_markdown(results)
+        assert text.startswith("# EXPERIMENTS")
+        assert "## fig08: sizes" in text
+        assert "## table6: wer" in text
+        assert "**Paper:**" in text
+        assert "```" in text
+
+    def test_render_includes_measured_rows(self):
+        results = [
+            ExperimentResult("fig09", "energy", [{"task": "abc", "mj": 0.5}])
+        ]
+        text = render_markdown(results)
+        assert "abc" in text
+        assert "0.5" in text

@@ -1,0 +1,115 @@
+"""ARPA round-trip tests cross-checking the estimator."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.lm import (
+    SENTENCE_END,
+    ReferenceGrammar,
+    make_vocabulary,
+    read_arpa,
+    train_ngram_model,
+    write_arpa,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(41)
+    vocab = make_vocabulary(25, rng)
+    grammar = ReferenceGrammar.random(vocab, rng, branching=4)
+    corpus = grammar.sample_corpus(200)
+    model = train_ngram_model(corpus, vocab, order=3, cutoffs=(1, 1, 2))
+    return vocab, model
+
+
+def _round_trip(model):
+    buffer = io.StringIO()
+    write_arpa(model, buffer)
+    buffer.seek(0)
+    return read_arpa(buffer)
+
+
+class TestRoundTrip:
+    def test_orders_preserved(self, trained):
+        _, model = trained
+        arpa = _round_trip(model)
+        assert arpa.order == model.order
+
+    def test_ngram_counts_preserved(self, trained):
+        _, model = trained
+        arpa = _round_trip(model)
+        for k in range(model.order):
+            assert arpa.num_ngrams(k) == model.num_ngrams(k)
+
+    def test_probabilities_preserved(self, trained):
+        vocab, model = trained
+        arpa = _round_trip(model)
+        contexts = [(), (vocab[0],), (vocab[0], vocab[1])]
+        for context in contexts:
+            for word in vocab[:10] + [SENTENCE_END]:
+                assert arpa.log_prob(word, context) == pytest.approx(
+                    model.log_prob(word, context), abs=1e-5
+                )
+
+    def test_backoff_resolution_matches(self, trained):
+        vocab, model = trained
+        arpa = _round_trip(model)
+        # Pick a context that certainly requires back-off.
+        context = (vocab[-1], vocab[-2])
+        for word in vocab[:5]:
+            assert arpa.log_prob(word, context) == pytest.approx(
+                model.log_prob(word, context), abs=1e-5
+            )
+
+
+class TestParsing:
+    ARPA_TEXT = """\
+
+\\data\\
+ngram 1=3
+ngram 2=1
+
+\\1-grams:
+-0.5\ta\t-0.30103
+-0.7\tb
+-0.2\t</s>
+
+\\2-grams:
+-0.1\ta b
+
+\\end\\
+"""
+
+    def test_parse_minimal_file(self):
+        arpa = read_arpa(io.StringIO(self.ARPA_TEXT))
+        assert arpa.order == 2
+        assert arpa.num_ngrams(0) == 3
+        assert arpa.ngrams[0][("a",)] == (-0.5, -0.30103)
+        assert arpa.ngrams[1][("a", "b")] == (-0.1, 0.0)
+
+    def test_backoff_applied_for_unseen_bigram(self):
+        arpa = read_arpa(io.StringIO(self.ARPA_TEXT))
+        import math
+
+        expected = (-0.30103 + -0.7) * math.log(10)
+        assert arpa.log_prob("b", ("a",)) == pytest.approx(-0.1 * math.log(10))
+        assert arpa.log_prob("a", ("a",)) == pytest.approx(
+            (-0.30103 + -0.5) * math.log(10)
+        )
+        del expected
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_arpa(io.StringIO("no header here\n"))
+
+    def test_count_mismatch_rejected(self):
+        bad = self.ARPA_TEXT.replace("ngram 1=3", "ngram 1=4")
+        with pytest.raises(ValueError):
+            read_arpa(io.StringIO(bad))
+
+    def test_unknown_word_is_impossible(self):
+        arpa = read_arpa(io.StringIO(self.ARPA_TEXT))
+        assert arpa.log_prob("zzz") == float("-inf")

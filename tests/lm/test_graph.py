@@ -1,0 +1,158 @@
+"""Tests for LM WFST construction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lm import (
+    SENTENCE_END,
+    BACKOFF_SYMBOL,
+    ReferenceGrammar,
+    build_lm_graph,
+    make_vocabulary,
+    train_ngram_model,
+)
+from repro.wfst.fst import EPSILON
+
+CORPUS = [
+    ["one", "two", "three"],
+    ["one", "two", "one"],
+    ["two", "one"],
+    ["three"],
+    ["one", "two", "three"],
+]
+VOCAB = ["one", "two", "three"]
+
+
+@pytest.fixture
+def graph():
+    model = train_ngram_model(CORPUS, VOCAB, order=3, cutoffs=(1, 1, 1))
+    return build_lm_graph(model)
+
+
+@pytest.fixture
+def model():
+    return train_ngram_model(CORPUS, VOCAB, order=3, cutoffs=(1, 1, 1))
+
+
+class TestStructure:
+    def test_unigram_state_is_zero(self, graph):
+        assert graph.unigram_state == 0
+
+    def test_unigram_state_has_arc_per_word(self, graph):
+        labels = {a.ilabel for a in graph.fst.out_arcs(0)}
+        assert labels == {graph.word_id(w) for w in VOCAB}
+
+    def test_backoff_label_after_all_words(self, graph):
+        assert all(graph.word_id(w) < graph.backoff_label for w in VOCAB)
+        assert graph.words.symbol_of(graph.backoff_label) == BACKOFF_SYMBOL
+
+    def test_backoff_arc_is_last_and_unique(self, graph):
+        for state in graph.fst.states():
+            if state == graph.unigram_state:
+                continue
+            arcs = graph.fst.out_arcs(state)
+            backoffs = [a for a in arcs if a.ilabel == graph.backoff_label]
+            assert len(backoffs) == 1
+            assert arcs[-1] is backoffs[0]
+            assert backoffs[0].olabel == EPSILON
+
+    def test_unigram_state_has_no_backoff(self, graph):
+        assert graph.backoff_arc(graph.unigram_state) is None
+
+    def test_state_levels(self, graph):
+        levels = graph.num_states_by_level()
+        assert levels[0] == 1
+        assert levels.get(1, 0) >= 1
+        assert levels.get(2, 0) >= 1
+        assert graph.state_level(0) == 0
+
+    def test_start_state_has_start_history(self, graph):
+        context = graph.context_of_state[graph.fst.start]
+        assert all(w == "<s>" for w in context)
+
+    def test_word_arcs_sorted(self, graph):
+        for state in graph.fst.states():
+            arcs = graph.fst.out_arcs(state)
+            word_arcs = [a.ilabel for a in arcs if a.ilabel != graph.backoff_label]
+            assert word_arcs == sorted(word_arcs)
+
+    def test_finals_encode_sentence_end(self, graph, model):
+        state = graph.unigram_state
+        expected = -model.log_prob(SENTENCE_END, ())
+        assert graph.fst.final_weight(state) == pytest.approx(expected)
+
+
+class TestWeights:
+    def test_word_arc_weight_is_explicit_prob(self, graph, model):
+        # At the unigram state, arc weight == -log P*(w).
+        for arc in graph.fst.out_arcs(graph.unigram_state):
+            word = graph.words.symbol_of(arc.ilabel)
+            assert arc.weight == pytest.approx(-model.log_prob(word, ()))
+
+    def test_backoff_arc_weight_is_alpha(self, graph, model):
+        for state in graph.fst.states():
+            arc = graph.backoff_arc(state)
+            if arc is None:
+                continue
+            context = graph.context_of_state[state]
+            assert arc.weight == pytest.approx(-model.backoff_log_weight(context))
+
+    def test_arc_destination_advances_history(self, graph):
+        # Following word w from the unigram state lands in a state whose
+        # context ends with w (or the unigram state if w has no state).
+        for arc in graph.fst.out_arcs(graph.unigram_state):
+            context = graph.context_of_state[arc.nextstate]
+            word = graph.words.symbol_of(arc.ilabel)
+            assert context == () or context[-1] == word
+
+    def test_graph_walk_matches_model_score(self, graph, model):
+        """Walking the graph with exact back-off equals model scoring."""
+        for sentence in CORPUS:
+            state = graph.fst.start
+            total = 0.0
+            for word in sentence:
+                word_id = graph.word_id(word)
+                # Back-off walk, as the decoder performs it.
+                while True:
+                    match = next(
+                        (a for a in graph.fst.out_arcs(state) if a.ilabel == word_id),
+                        None,
+                    )
+                    if match is not None:
+                        total += match.weight
+                        state = match.nextstate
+                        break
+                    backoff = graph.backoff_arc(state)
+                    assert backoff is not None, "unigram floor must match all words"
+                    total += backoff.weight
+                    state = backoff.nextstate
+            total += graph.fst.final_weight(state)
+            assert total == pytest.approx(-model.score_sentence(sentence), rel=1e-9)
+
+
+class TestScaling:
+    def test_larger_vocab_builds_and_validates(self):
+        rng = np.random.default_rng(23)
+        vocab = make_vocabulary(150, rng)
+        grammar = ReferenceGrammar.random(vocab, rng, branching=5)
+        corpus = grammar.sample_corpus(800)
+        model = train_ngram_model(corpus, vocab, order=3, cutoffs=(1, 1, 2))
+        graph = build_lm_graph(model)  # invariant checks run inside
+        assert graph.fst.num_states > len(vocab) / 2
+        # Trigram pruning means trigram states exist but are not exhaustive.
+        levels = graph.num_states_by_level()
+        assert levels.get(2, 0) < model.num_ngrams(1)
+
+    def test_bigram_model_has_no_trigram_states(self):
+        model = train_ngram_model(CORPUS, VOCAB, order=2)
+        graph = build_lm_graph(model)
+        assert 2 not in graph.num_states_by_level()
+
+    def test_unigram_model_single_state(self):
+        model = train_ngram_model(CORPUS, VOCAB, order=1)
+        graph = build_lm_graph(model)
+        assert graph.fst.num_states == 1
+        assert graph.fst.start == 0
+        assert math.isfinite(graph.fst.final_weight(0))

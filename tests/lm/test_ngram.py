@@ -1,0 +1,176 @@
+"""Tests for the back-off n-gram estimator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lm import (
+    SENTENCE_END,
+    BackoffNGramModel,
+    NGramCounts,
+    ReferenceGrammar,
+    make_vocabulary,
+    train_ngram_model,
+)
+
+CORPUS = [
+    ["one", "two", "three"],
+    ["one", "two", "one"],
+    ["two", "one"],
+    ["three"],
+    ["one", "two", "three"],
+]
+VOCAB = ["one", "two", "three"]
+
+
+@pytest.fixture
+def model():
+    return train_ngram_model(CORPUS, VOCAB, order=3, cutoffs=(1, 1, 1))
+
+
+class TestCounts:
+    def test_unigram_counts(self):
+        counts = NGramCounts.from_corpus(CORPUS, order=3)
+        unigrams = counts.counts[0][()]
+        assert unigrams["one"] == 5
+        assert unigrams["two"] == 4
+        assert unigrams[SENTENCE_END] == 5
+
+    def test_bigram_counts_include_start_context(self):
+        counts = NGramCounts.from_corpus(CORPUS, order=2)
+        assert counts.counts[1][("<s>",)]["one"] == 3
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            NGramCounts.from_corpus(CORPUS, order=0)
+
+    def test_cutoffs_drop_rare_ngrams(self):
+        counts = NGramCounts.from_corpus(CORPUS, order=2)
+        before = counts.total_ngrams(1)
+        counts.apply_cutoffs((1, 2))
+        after = counts.total_ngrams(1)
+        assert after < before
+        # Unigrams never pruned.
+        assert counts.total_ngrams(0) > 0
+
+    def test_cutoff_drops_empty_contexts(self):
+        counts = NGramCounts.from_corpus([["a", "b"]], order=2)
+        counts.apply_cutoffs((1, 5))
+        assert counts.counts[1] == {}
+
+
+class TestProbabilities:
+    def test_normalization_unigram(self, model):
+        total = sum(model.prob(w) for w in VOCAB) + model.prob(SENTENCE_END)
+        assert total == pytest.approx(1.0)
+
+    def test_normalization_all_contexts(self, model):
+        events = VOCAB + [SENTENCE_END]
+        for k in range(1, model.order):
+            for context in model.explicit_contexts(k):
+                total = sum(model.prob(w, context) for w in events)
+                assert total == pytest.approx(1.0, abs=1e-9), context
+
+    def test_seen_bigram_more_likely_than_unseen(self, model):
+        # "one two" occurs 3 times; "one three" never.
+        assert model.prob("two", ("one",)) > model.prob("three", ("one",))
+
+    def test_backoff_path_used_for_unseen(self, model):
+        # P(three | two, two) must back off; still positive.
+        p = model.prob("three", ("two", "two"))
+        assert 0 < p < 1
+
+    def test_every_word_has_positive_unigram(self, model):
+        for word in VOCAB:
+            assert model.prob(word) > 0
+
+    def test_log_prob_consistent(self, model):
+        assert model.log_prob("one") == pytest.approx(math.log(model.prob("one")))
+
+    def test_score_sentence_sums_logs(self, model):
+        words = ["one", "two"]
+        by_hand = (
+            model.log_prob("one", ("<s>", "<s>"))
+            + model.log_prob("two", ("<s>", "one"))
+            + model.log_prob(SENTENCE_END, ("one", "two"))
+        )
+        assert model.score_sentence(words) == pytest.approx(by_hand)
+
+    def test_long_context_truncated(self, model):
+        p_full = model.prob("two", ("x", "y", "z", "one"))
+        p_trunc = model.prob("two", ("z", "one"))
+        assert p_full == pytest.approx(p_trunc)
+
+    def test_invalid_discount_rejected(self):
+        counts = NGramCounts.from_corpus(CORPUS, 2)
+        with pytest.raises(ValueError):
+            BackoffNGramModel(VOCAB, counts, discount=1.5)
+
+    def test_empty_corpus_rejected(self):
+        counts = NGramCounts.from_corpus([], 2)
+        with pytest.raises(ValueError):
+            BackoffNGramModel(VOCAB, counts)
+
+
+class TestModelStructure:
+    def test_unigram_entries_cover_all_events(self, model):
+        entries = {e.word for e in model.entries(0)}
+        assert entries == set(VOCAB) | {SENTENCE_END}
+
+    def test_backoff_weight_of_empty_context_is_zero(self, model):
+        assert model.backoff_log_weight(()) == 0.0
+
+    def test_unseen_context_alpha_is_one(self, model):
+        assert model.backoff_log_weight(("three", "three")) == pytest.approx(0.0)
+
+    def test_has_context(self, model):
+        assert model.has_context(())
+        assert model.has_context(("one",))
+        assert not model.has_context(("zzz",))
+
+    def test_num_ngrams_positive(self, model):
+        assert model.num_ngrams(0) == 4
+        assert model.num_ngrams(1) > 0
+
+
+class TestPerplexity:
+    def test_training_data_beats_shuffled(self):
+        rng = np.random.default_rng(11)
+        vocab = make_vocabulary(40, rng)
+        grammar = ReferenceGrammar.random(vocab, rng, branching=4)
+        train = grammar.sample_corpus(400)
+        test = grammar.sample_corpus(50)
+        model = train_ngram_model(train, vocab, order=3)
+        ppl_matched = model.perplexity(test)
+        shuffled = [list(rng.permutation(s)) for s in test if len(s) > 1]
+        ppl_shuffled = model.perplexity(shuffled)
+        assert ppl_matched < ppl_shuffled
+
+    def test_higher_order_helps(self):
+        rng = np.random.default_rng(5)
+        vocab = make_vocabulary(30, rng)
+        grammar = ReferenceGrammar.random(vocab, rng, branching=3)
+        train = grammar.sample_corpus(500)
+        test = grammar.sample_corpus(60)
+        uni = train_ngram_model(train, vocab, order=1)
+        tri = train_ngram_model(train, vocab, order=3)
+        assert tri.perplexity(test) < uni.perplexity(test)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=3))
+def test_normalization_property(seed, order):
+    """Sum over the event space is 1 in every explicit context."""
+    rng = np.random.default_rng(seed)
+    vocab = make_vocabulary(12, rng)
+    grammar = ReferenceGrammar.random(vocab, rng, branching=3)
+    corpus = grammar.sample_corpus(40)
+    model = train_ngram_model(corpus, vocab, order=order, cutoffs=(1, 1, 2))
+    events = vocab + [SENTENCE_END]
+    for k in range(model.order):
+        for context in model.explicit_contexts(k):
+            total = sum(model.prob(w, context) for w in events)
+            assert total == pytest.approx(1.0, abs=1e-8)

@@ -1,0 +1,97 @@
+"""Tests for relative-entropy LM pruning."""
+
+import numpy as np
+import pytest
+
+from repro.lm import (
+    SENTENCE_END,
+    ReferenceGrammar,
+    build_lm_graph,
+    make_vocabulary,
+    train_ngram_model,
+)
+from repro.lm.pruning import prune_model
+from repro.wfst import uncompressed_size_bytes
+
+
+@pytest.fixture
+def trained():
+    rng = np.random.default_rng(17)
+    vocab = make_vocabulary(40, rng)
+    grammar = ReferenceGrammar.random(vocab, rng, branching=5)
+    corpus = grammar.sample_corpus(500)
+    test = grammar.sample_corpus(60)
+    model = train_ngram_model(corpus, vocab, order=3, cutoffs=(1, 1, 1))
+    return vocab, model, test
+
+
+class TestPruning:
+    def test_removes_ngrams_and_shrinks_graph(self, trained):
+        vocab, model, _ = trained
+        before_ngrams = model.num_ngrams(1) + model.num_ngrams(2)
+        before_bytes = uncompressed_size_bytes(build_lm_graph(model).fst)
+        report = prune_model(model, threshold=1e-5)
+        after_ngrams = model.num_ngrams(1) + model.num_ngrams(2)
+        assert report.total_removed > 0
+        assert after_ngrams == before_ngrams - report.total_removed
+        after_bytes = uncompressed_size_bytes(build_lm_graph(model).fst)
+        assert after_bytes < before_bytes
+
+    def test_normalization_preserved(self, trained):
+        vocab, model, _ = trained
+        prune_model(model, threshold=1e-5)
+        events = vocab + [SENTENCE_END]
+        for k in range(model.order):
+            for context in model.explicit_contexts(k):
+                total = sum(model.prob(w, context) for w in events)
+                assert total == pytest.approx(1.0, abs=1e-6), context
+
+    def test_perplexity_degrades_gracefully(self, trained):
+        vocab, model, test = trained
+        baseline_ppl = model.perplexity(test)
+        prune_model(model, threshold=1e-6)
+        light_ppl = model.perplexity(test)
+        prune_model(model, threshold=1e-3)
+        heavy_ppl = model.perplexity(test)
+        # Light pruning barely moves perplexity; heavy pruning costs more.
+        assert light_ppl <= baseline_ppl * 1.2
+        assert heavy_ppl >= light_ppl - 1e-9
+
+    def test_unigrams_never_pruned(self, trained):
+        vocab, model, _ = trained
+        prune_model(model, threshold=1.0)  # absurdly aggressive
+        # The back-off floor survives: every word still has a unigram.
+        for word in vocab:
+            assert model.prob(word) > 0
+        assert model.num_ngrams(0) == len(vocab) + 1  # + </s>
+
+    def test_graph_invariants_after_pruning(self, trained):
+        _, model, _ = trained
+        prune_model(model, threshold=1e-4)
+        graph = build_lm_graph(model)  # invariant checks run inside
+        assert graph.unigram_state == 0
+
+    def test_decoding_still_works_after_pruning(self, trained):
+        """Heavier pruning means more back-off traffic, not failure."""
+        from repro.core import LmLookup, LookupStrategy
+
+        vocab, model, _ = trained
+        prune_model(model, threshold=1e-4)
+        graph = build_lm_graph(model)
+        lookup = LmLookup(graph, strategy=LookupStrategy.BINARY)
+        for word in vocab[:10]:
+            result = lookup.resolve(graph.unigram_state, graph.word_id(word))
+            assert result.weight == pytest.approx(
+                -model.log_prob(word, ()), rel=1e-6
+            )
+
+    def test_invalid_threshold(self, trained):
+        _, model, _ = trained
+        with pytest.raises(ValueError):
+            prune_model(model, threshold=-1.0)
+
+    def test_report_rates(self, trained):
+        _, model, _ = trained
+        report = prune_model(model, threshold=1e-5)
+        for order in report.removed_by_order:
+            assert 0.0 <= report.removal_rate(order) <= 1.0

@@ -1,0 +1,133 @@
+"""Tests for rational WFST operations (union/concat/closure/rm-epsilon)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wfst import enumerate_paths, linear_chain, shortest_path
+from repro.wfst.build import closure, concat, remove_epsilon, union
+from repro.wfst.fst import EPSILON, Wfst
+
+
+def _chain(labels, weight=0.0):
+    return linear_chain([(l, l, weight) for l in labels])
+
+
+def _accepted(fst, max_length=8):
+    """Set of epsilon-stripped input sequences with their best weights."""
+    best = {}
+    for path in enumerate_paths(fst, max_length=max_length):
+        key = tuple(l for l in path.ilabels if l != EPSILON)
+        if path.weight < best.get(key, math.inf):
+            best[key] = path.weight
+    return best
+
+
+class TestUnion:
+    def test_accepts_both_languages(self):
+        u = union(_chain([1, 2]), _chain([3]))
+        accepted = _accepted(u)
+        assert (1, 2) in accepted
+        assert (3,) in accepted
+        assert (1, 3) not in accepted
+
+    def test_weights_preserved(self):
+        u = union(_chain([1], weight=2.0), _chain([2], weight=5.0))
+        accepted = _accepted(u)
+        assert accepted[(1,)] == pytest.approx(2.0)
+        assert accepted[(2,)] == pytest.approx(5.0)
+
+    def test_requires_start(self):
+        with pytest.raises(ValueError):
+            union(Wfst(), _chain([1]))
+
+
+class TestConcat:
+    def test_sequences_concatenate(self):
+        c = concat(_chain([1]), _chain([2, 3]))
+        accepted = _accepted(c)
+        assert set(accepted) == {(1, 2, 3)}
+
+    def test_final_weight_moves_to_join(self):
+        a = _chain([1])
+        a.set_final(a.num_states - 1, 4.0)
+        c = concat(a, _chain([2], weight=1.0))
+        accepted = _accepted(c)
+        assert accepted[(1, 2)] == pytest.approx(5.0)
+
+    def test_empty_side(self):
+        c = concat(linear_chain([]), _chain([7]))
+        assert set(_accepted(c)) == {(7,)}
+
+
+class TestClosure:
+    def test_zero_and_many_repetitions(self):
+        c = closure(_chain([5]))
+        accepted = _accepted(c, max_length=8)
+        assert () in accepted
+        assert (5,) in accepted
+        assert (5, 5, 5) in accepted
+
+    def test_weights_accumulate_per_repetition(self):
+        c = closure(_chain([5], weight=1.5))
+        accepted = _accepted(c, max_length=8)
+        assert accepted[(5, 5)] == pytest.approx(3.0)
+
+
+class TestRemoveEpsilon:
+    def _with_eps(self):
+        fst = Wfst()
+        s0, s1, s2 = fst.add_states(3)
+        fst.set_start(s0)
+        fst.add_arc(s0, EPSILON, EPSILON, 0.5, s1)
+        fst.add_arc(s1, 7, 7, 1.0, s2)
+        fst.add_arc(s0, 8, 8, 4.0, s2)
+        fst.set_final(s2, 0.25)
+        fst.set_final(s1, 2.0)
+        return fst
+
+    def test_no_epsilon_arcs_remain(self):
+        cleaned = remove_epsilon(self._with_eps())
+        for _, arc in cleaned.all_arcs():
+            assert not (arc.ilabel == EPSILON and arc.olabel == EPSILON)
+
+    def test_language_and_weights_preserved(self):
+        original = self._with_eps()
+        cleaned = remove_epsilon(original)
+        assert _accepted(cleaned) == pytest.approx(_accepted(original))
+
+    def test_finals_folded_through_epsilon(self):
+        cleaned = remove_epsilon(self._with_eps())
+        # start can reach s1 (final 2.0) via eps 0.5.
+        assert cleaned.final_weight(0) == pytest.approx(2.5)
+
+    def test_epsilon_cycle_safe(self):
+        fst = Wfst()
+        s0, s1 = fst.add_states(2)
+        fst.set_start(s0)
+        fst.add_arc(s0, EPSILON, EPSILON, 0.1, s1)
+        fst.add_arc(s1, EPSILON, EPSILON, 0.1, s0)
+        fst.add_arc(s1, 3, 3, 1.0, s1)
+        fst.set_final(s1)
+        cleaned = remove_epsilon(fst)
+        accepted = _accepted(cleaned)
+        assert (3,) in accepted
+        assert accepted[(3,)] == pytest.approx(1.1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(1, 3), min_size=1, max_size=3),
+    st.lists(st.integers(1, 3), min_size=1, max_size=3),
+)
+def test_union_concat_properties(seq_a, seq_b):
+    a, b = _chain(seq_a), _chain(seq_b)
+    u = _accepted(union(a, b))
+    assert tuple(seq_a) in u and tuple(seq_b) in u
+    c = _accepted(concat(a, b))
+    assert set(c) == {tuple(seq_a + seq_b)}
+    # Best path through the union equals the better operand.
+    best = shortest_path(union(a, b))
+    assert best.weight == pytest.approx(0.0)

@@ -1,0 +1,85 @@
+"""Serialization round-trip and size-accounting tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wfst import (
+    ARC_RECORD_BYTES,
+    STATE_RECORD_BYTES,
+    Wfst,
+    deserialize,
+    linear_chain,
+    serialize,
+    uncompressed_size,
+    uncompressed_size_bytes,
+)
+
+
+class TestSizing:
+    def test_arc_record_is_128_bits(self):
+        """Section 3.4: each uncompressed arc is a 128-bit structure."""
+        assert ARC_RECORD_BYTES == 16
+
+    def test_size_breakdown(self):
+        fst = linear_chain([(1, 1, 0.0), (2, 2, 0.0)])
+        size = uncompressed_size(fst)
+        assert size.state_bytes == 3 * STATE_RECORD_BYTES
+        assert size.arc_bytes == 2 * ARC_RECORD_BYTES
+        assert size.total_bytes == uncompressed_size_bytes(fst)
+        assert size.total_mb == pytest.approx(size.total_bytes / 2**20)
+
+    def test_empty_machine_size(self):
+        assert uncompressed_size_bytes(Wfst()) == 0
+
+    def test_arcs_dominate_for_dense_machines(self):
+        """States are <12% of the dataset for realistic out-degrees (§3.1)."""
+        fst = Wfst()
+        states = fst.add_states(10)
+        fst.set_start(0)
+        for src in states:
+            for _ in range(20):
+                fst.add_arc(src, 1, 1, 0.0, 0)
+        size = uncompressed_size(fst)
+        assert size.state_bytes / size.total_bytes < 0.12
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self):
+        fst = linear_chain([(1, 2, 0.5), (3, 4, 0.25)])
+        fst.set_final(2, 0.125)
+        restored = deserialize(serialize(fst))
+        assert restored.num_states == fst.num_states
+        assert restored.start == fst.start
+        assert restored.finals == fst.finals
+        assert [a for _, a in restored.all_arcs()] == [a for _, a in fst.all_arcs()]
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize(b"XXXX" + b"\x00" * 32)
+
+    def test_serialized_size_tracks_accounting(self):
+        fst = linear_chain([(1, 1, 0.0)] * 5)
+        blob = serialize(fst)
+        accounted = uncompressed_size_bytes(fst)
+        # Header is the only overhead beyond the accounted arrays.
+        assert len(blob) == accounted + 16
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=0, max_value=1000),
+                st.floats(min_value=0, max_value=10, allow_nan=False, width=32),
+            ),
+            max_size=20,
+        )
+    )
+    def test_round_trip_property(self, labels):
+        fst = linear_chain(labels)
+        restored = deserialize(serialize(fst))
+        assert restored.num_arcs == fst.num_arcs
+        for (_, a), (_, b) in zip(restored.all_arcs(), fst.all_arcs()):
+            assert (a.ilabel, a.olabel, a.nextstate) == (b.ilabel, b.olabel, b.nextstate)
+            assert a.weight == pytest.approx(b.weight, rel=1e-6)

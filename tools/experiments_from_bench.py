@@ -1,0 +1,106 @@
+"""Build EXPERIMENTS.md from a benchmark-run transcript.
+
+The benchmark suite already executes every experiment and prints its
+rows (the ``== id: title ==`` blocks).  This tool pairs those measured
+blocks with the paper's reported values — the same rendering
+``python -m repro.experiments.report`` produces, without re-running
+the simulations.
+
+Usage:
+    python tools/experiments_from_bench.py bench_output.txt EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+from repro.experiments.report import PAPER_CLAIMS
+
+_HEADER = re.compile(r"^== ([\w-]+): (.+) ==$")
+
+
+def extract_blocks(lines: list[str]) -> dict[str, tuple[str, list[str]]]:
+    """Parse ``== id: title ==`` blocks out of a bench transcript."""
+    blocks: dict[str, tuple[str, list[str]]] = {}
+    current_id: str | None = None
+    current_title = ""
+    current: list[str] = []
+    for raw in lines:
+        line = raw.rstrip("\n")
+        match = _HEADER.match(line)
+        if match:
+            if current_id is not None:
+                blocks[current_id] = (current_title, current)
+            current_id = match.group(1)
+            current_title = match.group(2)
+            current = [line]
+            continue
+        if current_id is not None:
+            if line.startswith("-- "):
+                current.append(line)
+                blocks[current_id] = (current_title, current)
+                current_id = None
+            elif line.strip() == "" or line.startswith(("=", ".", "F")):
+                blocks[current_id] = (current_title, current)
+                current_id = None
+            else:
+                current.append(line)
+    if current_id is not None:
+        blocks[current_id] = (current_title, current)
+    return blocks
+
+
+def render(blocks: dict[str, tuple[str, list[str]]]) -> str:
+    lines = [
+        "# EXPERIMENTS — paper vs reproduction",
+        "",
+        "Measured blocks below are extracted from the benchmark run",
+        "(`pytest benchmarks/ --benchmark-only`); regenerate either with",
+        "that command or with `python -m repro.experiments.report`.",
+        "Absolute numbers differ by construction (synthetic laptop-scale",
+        "tasks, parameterized energy models — see DESIGN.md); the *shape*",
+        "of each result is the reproduction target.",
+        "",
+    ]
+    # Preserve the registry's ordering where possible.
+    ordered = [eid for eid in PAPER_CLAIMS if eid in blocks]
+    ordered += [eid for eid in blocks if eid not in PAPER_CLAIMS]
+    for experiment_id in ordered:
+        title, block = blocks[experiment_id]
+        lines.append(f"## {experiment_id}: {title}")
+        lines.append("")
+        paper = PAPER_CLAIMS.get(experiment_id)
+        if paper:
+            lines.append(f"**Paper:** {paper}")
+            lines.append("")
+        lines.append("**Measured:**")
+        lines.append("")
+        lines.append("```")
+        lines.extend(block)
+        lines.append("```")
+        lines.append("")
+    missing = [eid for eid in PAPER_CLAIMS if eid not in blocks]
+    if missing:
+        lines.append(
+            f"_Not captured in this transcript: {', '.join(missing)}._"
+        )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    source = argv[0] if argv else "bench_output.txt"
+    output = argv[1] if len(argv) > 1 else "EXPERIMENTS.md"
+    with open(source) as stream:
+        blocks = extract_blocks(stream.readlines())
+    if not blocks:
+        raise SystemExit(f"no experiment blocks found in {source}")
+    with open(output, "w") as stream:
+        stream.write(render(blocks))
+    print(f"wrote {output} with {len(blocks)} experiments")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
