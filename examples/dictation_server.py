@@ -56,6 +56,14 @@ def main() -> None:
         f"{unfold.scorer_seconds / unfold.decode_seconds:.0%} of pipeline time."
     )
 
+    # The software-only path serves the same batch by fanning the
+    # independent utterances out over worker processes; results come
+    # back in submission order regardless of the parallelism level.
+    results = system.transcribe(utterances, parallelism=2)
+    print(f"\nsoftware pool (2 workers) transcribed {len(results)} utterances:")
+    for utt, result in zip(utterances[:2], results[:2]):
+        print(f"  [{' '.join(utt.words)}] -> {' '.join(result.words)}")
+
 
 if __name__ == "__main__":
     main()

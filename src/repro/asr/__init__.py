@@ -1,8 +1,14 @@
 """End-to-end ASR system assembly: tasks, datasets, pipeline, metrics."""
 
 from repro.asr.dataset import ComponentSizes, build_scorer, measure_component_sizes
+from repro.asr.parallel import DecodePool
 from repro.asr.persist import RecognizerBundle, load_recognizer, save_recognizer
-from repro.asr.streaming import PartialHypothesis, StreamingSession, decode_streaming
+from repro.asr.streaming import (
+    PartialHypothesis,
+    StreamingSession,
+    decode_streaming,
+    transcribe_streams,
+)
 from repro.asr.system import AsrSystem, OverallReport
 from repro.asr.task import (
     EESEN_TEDLIUM,
@@ -28,9 +34,11 @@ __all__ = [
     "measure_component_sizes",
     "ComponentSizes",
     "AsrSystem",
+    "DecodePool",
     "StreamingSession",
     "PartialHypothesis",
     "decode_streaming",
+    "transcribe_streams",
     "save_recognizer",
     "load_recognizer",
     "RecognizerBundle",

@@ -1,0 +1,199 @@
+"""Utterance-parallel decoding.
+
+Viterbi beam search over one utterance is inherently sequential
+(frame ``t + 1`` needs frame ``t``'s frontier), but utterances are
+independent — the natural unit of parallelism for a software decoder
+serving a batch.  :class:`DecodePool` fans a batch of utterances out
+over worker processes, shipping the recognizer once per worker via the
+:mod:`repro.asr.persist` bundle format (the same "task ships as data"
+path the deployment model uses) rather than pickling live graphs per
+job.
+
+Determinism contract: results — including the activity counters in
+``DecoderStats`` — are identical for every parallelism level, in
+submission order.  Two mechanisms make that hold:
+
+* every utterance starts from a *cold* Offset Lookup Table (an O(1)
+  ``invalidate()``), so counters are independent of how utterances
+  land on workers;
+* whenever a scorer is supplied the pool decodes the *persisted*
+  recognizer — the bundle stores arc weights in the paper's 32-bit
+  format, so a serial in-memory run over the original float64 graphs
+  would differ from the workers' in the last bits.  ``parallelism=1``
+  without a scorer skips the round-trip and decodes the given graphs
+  directly (no worker machinery either way).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.am.graph import AmGraph
+from repro.am.scorer import AcousticScorer
+from repro.asr.persist import load_recognizer, save_recognizer
+from repro.core.decoder import DecodeResult, DecoderConfig, OnTheFlyDecoder
+from repro.lm.graph import LmGraph
+
+# Per-worker-process state, installed by the pool initializer.
+_WORKER_DECODER: OnTheFlyDecoder | None = None
+_WORKER_SCORER: AcousticScorer | None = None
+
+
+def _worker_init(bundle_dir: str, config: DecoderConfig) -> None:
+    global _WORKER_DECODER, _WORKER_SCORER
+    bundle = load_recognizer(bundle_dir)
+    _WORKER_DECODER = OnTheFlyDecoder(bundle.am, bundle.lm, config)
+    _WORKER_SCORER = bundle.scorer
+
+
+def _cold_decode(decoder: OnTheFlyDecoder, scores: np.ndarray) -> DecodeResult:
+    """Decode one utterance from a cold Offset Lookup Table."""
+    if decoder.lookup.offset_table is not None:
+        decoder.lookup.offset_table.invalidate()
+    return decoder.decode(scores)
+
+
+def _decode_scores_job(scores: np.ndarray) -> DecodeResult:
+    assert _WORKER_DECODER is not None
+    return _cold_decode(_WORKER_DECODER, scores)
+
+
+def _decode_features_job(features: np.ndarray) -> DecodeResult:
+    assert _WORKER_DECODER is not None and _WORKER_SCORER is not None
+    return _cold_decode(_WORKER_DECODER, _WORKER_SCORER.score(features))
+
+
+def _streaming_job(job: tuple[np.ndarray, int]) -> DecodeResult:
+    from repro.asr.streaming import decode_streaming
+
+    scores, batch_frames = job
+    decoder = _WORKER_DECODER
+    assert decoder is not None
+    if decoder.lookup.offset_table is not None:
+        decoder.lookup.offset_table.invalidate()
+    result, _ = decode_streaming(decoder, scores, batch_frames)
+    return result
+
+
+class DecodePool:
+    """Decode batches of utterances, optionally across processes.
+
+    Args:
+        am / lm: recognition graphs.
+        scorer: acoustic scorer; required for :meth:`decode_utterances`.
+        config: decoder configuration shared by every worker.
+        parallelism: worker process count; ``1`` decodes in-process.
+    """
+
+    def __init__(
+        self,
+        am: AmGraph,
+        lm: LmGraph,
+        scorer: AcousticScorer | None = None,
+        config: DecoderConfig | None = None,
+        parallelism: int = 1,
+    ) -> None:
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if parallelism > 1 and scorer is None:
+            raise ValueError(
+                "a scorer is required to ship the recognizer bundle "
+                "to worker processes"
+            )
+        self.config = config or DecoderConfig()
+        self.parallelism = parallelism
+        self._scorer = scorer
+        self._executor: ProcessPoolExecutor | None = None
+        self._tempdir: tempfile.TemporaryDirectory | None = None
+        self._decoder: OnTheFlyDecoder | None = None
+        if scorer is not None:
+            # Decode the deployable artifact: round-tripping through the
+            # bundle quantizes weights to the persisted 32-bit format,
+            # identically for the serial path and every worker.
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-pool-")
+            bundle_dir = os.path.join(self._tempdir.name, "recognizer")
+            save_recognizer(bundle_dir, am, lm, scorer)
+            if parallelism == 1:
+                bundle = load_recognizer(bundle_dir)
+                self._decoder = OnTheFlyDecoder(
+                    bundle.am, bundle.lm, self.config
+                )
+                self._scorer = bundle.scorer
+                self._tempdir.cleanup()
+                self._tempdir = None
+            else:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=parallelism,
+                    initializer=_worker_init,
+                    initargs=(bundle_dir, self.config),
+                )
+        else:
+            self._decoder = OnTheFlyDecoder(am, lm, self.config)
+
+    # -- batch entry points -------------------------------------------------
+
+    def decode_scores(self, scores: list[np.ndarray]) -> list[DecodeResult]:
+        """Decode pre-computed score matrices; results in input order."""
+        if self._executor is None:
+            assert self._decoder is not None
+            return [_cold_decode(self._decoder, s) for s in scores]
+        return list(self._executor.map(_decode_scores_job, scores))
+
+    def decode_utterances(self, utterances) -> list[DecodeResult]:
+        """Score and decode utterances; results in input order."""
+        if self._scorer is None:
+            raise ValueError("DecodePool built without a scorer")
+        if self._executor is None:
+            assert self._decoder is not None
+            return [
+                _cold_decode(self._decoder, self._scorer.score(u.features))
+                for u in utterances
+            ]
+        return list(
+            self._executor.map(
+                _decode_features_job, [u.features for u in utterances]
+            )
+        )
+
+    def decode_streams(
+        self, scores: list[np.ndarray], batch_frames: int = 32
+    ) -> list[DecodeResult]:
+        """Decode each matrix through a streaming session."""
+        from repro.asr.streaming import decode_streaming
+
+        if self._executor is None:
+            assert self._decoder is not None
+            results = []
+            for matrix in scores:
+                if self._decoder.lookup.offset_table is not None:
+                    self._decoder.lookup.offset_table.invalidate()
+                result, _ = decode_streaming(
+                    self._decoder, matrix, batch_frames
+                )
+                results.append(result)
+            return results
+        return list(
+            self._executor.map(
+                _streaming_job, [(m, batch_frames) for m in scores]
+            )
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def __enter__(self) -> "DecodePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

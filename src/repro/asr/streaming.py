@@ -61,21 +61,19 @@ class StreamingSession:
             raise ValueError(f"bad score batch shape {scores.shape}")
         decoder = self.decoder
         beam_config = decoder.config.beam_config()
-        for frame_scores in scores:
+        # One conversion per batch: the scalar hot loop wants plain
+        # Python floats, not per-element numpy indexing.
+        rows = np.ascontiguousarray(scores, dtype=np.float64).tolist()
+        for row in rows:
             survivors, pruned = prune(self._table, beam_config)
             self._stats.beam_pruned += pruned
             next_table = TokenTable()
-            row = frame_scores.tolist()
-            scale = decoder.config.acoustic_scale
-            for token in survivors:
-                self._stats.am_state_fetches += 1
-                for _, arc in decoder._emitting[token.am_state]:
-                    self._stats.expansions += 1
-                    self._stats.am_arc_fetches += 1
-                    cost = token.cost + arc.weight - scale * row[arc.ilabel - 1]
-                    next_table.insert(
-                        arc.nextstate, token.lm_state, cost, token.lattice_node
-                    )
+            frame_expansions = decoder._expand_emitting_scalar(
+                survivors, row, next_table
+            )
+            self._stats.am_state_fetches += len(survivors)
+            self._stats.am_arc_fetches += frame_expansions
+            self._stats.expansions += frame_expansions
             decoder._epsilon_phase(
                 next_table, self._frames, self._lattice, self._stats, beam_config
             )
@@ -127,3 +125,44 @@ def decode_streaming(
     for start in range(0, scores.shape[0], batch_frames):
         partials.append(session.push(scores[start : start + batch_frames]))
     return session.finish(), partials
+
+
+def transcribe_streams(
+    decoder: OnTheFlyDecoder,
+    score_matrices: list[np.ndarray],
+    batch_frames: int = 32,
+    parallelism: int = 1,
+    scorer=None,
+) -> list[DecodeResult]:
+    """Run a batch of independent streams, optionally across processes.
+
+    Streams are independent utterances, so ``parallelism > 1`` fans
+    them out over a :class:`~repro.asr.parallel.DecodePool` (which
+    needs a ``scorer`` to ship the recognizer bundle to its workers).
+    Results are in input order, and identical across parallelism
+    levels whenever a ``scorer`` is given — the pool's determinism
+    contract (cold Offset Lookup Table per stream, bundle-quantized
+    weights) applies to both modes then.
+    """
+    if scorer is None:
+        if parallelism != 1:
+            raise ValueError(
+                "parallel streaming needs a scorer for the bundle"
+            )
+        results = []
+        for scores in score_matrices:
+            if decoder.lookup.offset_table is not None:
+                decoder.lookup.offset_table.invalidate()
+            result, _ = decode_streaming(decoder, scores, batch_frames)
+            results.append(result)
+        return results
+    from repro.asr.parallel import DecodePool
+
+    with DecodePool(
+        decoder.am,
+        decoder.lm,
+        scorer=scorer,
+        config=decoder.config,
+        parallelism=parallelism,
+    ) as pool:
+        return pool.decode_streams(score_matrices, batch_frames)

@@ -26,6 +26,7 @@ from repro.am.features import Utterance
 from repro.am.scorer import AcousticScorer
 from repro.asr.task import AsrTask
 from repro.asr.wer import word_error_rate
+from repro.core.decoder import DecodeResult, DecoderConfig
 
 #: Shared-buffer transfer cost per second of speech (acoustic scores
 #: through main memory), in seconds; small relative to either stage.
@@ -87,6 +88,29 @@ class AsrSystem:
 
     def score_all(self, utterances: list[Utterance]) -> list[np.ndarray]:
         return [self.scorer.score(u.features) for u in utterances]
+
+    def transcribe(
+        self,
+        utterances: list[Utterance],
+        config: DecoderConfig | None = None,
+        parallelism: int = 1,
+    ) -> list[DecodeResult]:
+        """Score and decode a batch with the software decoder.
+
+        ``parallelism > 1`` fans utterances out over worker processes
+        (see :class:`repro.asr.parallel.DecodePool`); results are
+        identical to a serial run, in input order.
+        """
+        from repro.asr.parallel import DecodePool
+
+        with DecodePool(
+            self.task.am,
+            self.task.lm,
+            scorer=self.scorer,
+            config=config,
+            parallelism=parallelism,
+        ) as pool:
+            return pool.decode_utterances(utterances)
 
     def _scorer_stage(self, utterances: list[Utterance]) -> tuple[float, float]:
         frames = sum(u.num_frames for u in utterances)

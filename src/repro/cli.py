@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Three subcommands::
+Subcommands::
 
     python -m repro sizes   [task ...]   # Figure 8 storage table
     python -m repro decode  [task]       # decode a sample batch, show WER
     python -m repro experiment <id>      # regenerate one table/figure
+    python -m repro report  [output]     # regenerate EXPERIMENTS.md
+    python -m repro perf                 # decode throughput regression report
 
 Task names: tiny, kaldi-voxforge, kaldi-librispeech, kaldi-tedlium,
 eesen-tedlium.
@@ -63,23 +65,42 @@ def cmd_sizes(args: argparse.Namespace) -> int:
 
 
 def cmd_decode(args: argparse.Namespace) -> int:
-    from repro.asr import build_scorer, build_task
+    from repro.asr import DecodePool, build_scorer, build_task
     from repro.asr.wer import word_error_rate
-    from repro.core import DecoderConfig, OnTheFlyDecoder
+    from repro.core import DecoderConfig
 
     task = build_task(_task_config(args.task))
     scorer = build_scorer(task)
-    decoder = OnTheFlyDecoder(task.am, task.lm, DecoderConfig(beam=args.beam))
+    config = DecoderConfig(beam=args.beam, vectorized=not args.no_vectorized)
     utterances = task.test_set(args.utterances, max_words=8)
+    with DecodePool(
+        task.am,
+        task.lm,
+        scorer=scorer,
+        config=config,
+        parallelism=args.parallelism,
+    ) as pool:
+        results = pool.decode_utterances(utterances)
     hypotheses = []
-    for utterance in utterances:
-        result = decoder.decode(scorer.score(utterance.features))
+    for utterance, result in zip(utterances, results):
         hypotheses.append(result.words)
         marker = "=" if result.words == utterance.words else "!"
         print(f"ref{marker} {' '.join(utterance.words)}")
         print(f"hyp{marker} {' '.join(result.words)}")
     wer = word_error_rate([u.words for u in utterances], hypotheses)
     print(f"\nWER: {wer:.1%} over {len(utterances)} utterances")
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.experiments.perf_decode import write_bench_report
+
+    report = write_bench_report(
+        preset=args.preset,
+        output=args.output,
+        parallelism=args.parallelism,
+    )
+    print(report.render())
     return 0
 
 
@@ -111,7 +132,28 @@ def main(argv: list[str] | None = None) -> int:
     p_decode.add_argument("task", nargs="?", default="tiny")
     p_decode.add_argument("--utterances", type=int, default=5)
     p_decode.add_argument("--beam", type=float, default=14.0)
+    p_decode.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="worker processes for utterance-parallel decoding",
+    )
+    p_decode.add_argument(
+        "--no-vectorized",
+        action="store_true",
+        help="force the scalar reference hot loop",
+    )
     p_decode.set_defaults(func=cmd_decode)
+
+    p_perf = sub.add_parser(
+        "perf", help="decode throughput regression report (BENCH_decode.json)"
+    )
+    p_perf.add_argument(
+        "--preset", choices=("small", "medium"), default="small"
+    )
+    p_perf.add_argument("--output", default="BENCH_decode.json")
+    p_perf.add_argument("--parallelism", type=int, default=2)
+    p_perf.set_defaults(func=cmd_perf)
 
     p_exp = sub.add_parser("experiment", help="regenerate one table/figure")
     p_exp.add_argument("id", help="e.g. fig08, table1, ablation-lookup")

@@ -1,5 +1,6 @@
 """The paper's core: on-the-fly WFST composition decoding."""
 
+from repro.core.arcs import EmittingArcs, RecombinationPlan, plan_recombination
 from repro.core.beam import BeamConfig, frame_threshold, prune
 from repro.core.composition import (
     LmLookup,
@@ -21,14 +22,18 @@ from repro.core.lattice import (
     WordLattice,
 )
 from repro.core.offline_decoder import FullyComposedDecoder
-from repro.core.tokens import Token, TokenTable
+from repro.core.tokens import SoaTokenTable, Token, TokenTable
 from repro.core.trace import GraphSide, NullSink, TraceSink
 from repro.core.two_pass import TwoPassDecoder, TwoPassStats
 from repro.core.virtual import ComposedArc, VirtualComposedGraph
 
 __all__ = [
+    "EmittingArcs",
+    "RecombinationPlan",
+    "plan_recombination",
     "Token",
     "TokenTable",
+    "SoaTokenTable",
     "WordLattice",
     "LatticeNode",
     "COMPACT_RECORD_BYTES",

@@ -1,0 +1,198 @@
+"""Structure-of-arrays arc storage for the vectorized decode hot loop.
+
+The scalar decoders walk per-state Python lists of ``Arc`` objects.
+That layout is convenient for the cycle-level simulation (every fetch
+is a discrete, traceable event) but hostile to bulk math: expanding a
+frame touches tens of thousands of Python objects.
+
+:class:`EmittingArcs` flattens a graph's *emitting* arcs (non-epsilon
+input label) into CSR-style numpy columns, built once per graph:
+
+* ``offsets[s] : offsets[s + 1]`` — the slice of state ``s``'s arcs;
+* ``ilabel`` / ``weight`` / ``nextstate`` / ``ordinal`` — contiguous
+  per-arc columns, in the same order the scalar loop visits them.
+
+:func:`plan_recombination` then replays sequential Viterbi insertion
+over a frame's full candidate batch: it computes, entirely in numpy,
+which candidate each destination key ends up keeping, the order keys
+first appeared (dict insertion order), and the exact
+insert/improvement/recombination counter outcomes the scalar
+``TokenTable`` would have produced.  The vectorized decoders are
+equivalence-tested against the scalar path down to ``DecoderStats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.wfst.fst import EPSILON
+
+
+@dataclass(frozen=True)
+class EmittingArcs:
+    """CSR view of one graph's emitting arcs."""
+
+    offsets: np.ndarray  # int64, num_states + 1
+    ilabel: np.ndarray  # int64, one entry per emitting arc
+    weight: np.ndarray  # float64
+    nextstate: np.ndarray  # int64
+    ordinal: np.ndarray  # int64, arc index within its source state
+    #: ``ilabel - 1``: the acoustic-score column each arc consumes.
+    score_index: np.ndarray  # int64
+    #: True when every emitting arc has an epsilon *output* label, i.e.
+    #: emitting expansion never moves the LM side (holds for the HMM
+    #: topologies ``repro.am.graph`` builds).  The vectorized composed
+    #: key ``nextstate * num_lm + lm`` is only valid under this flag.
+    pure_emitting: bool
+
+    @classmethod
+    def from_fst(cls, fst) -> "EmittingArcs":
+        """Flatten ``fst``'s non-epsilon-input arcs, once."""
+        num_states = fst.num_states
+        offsets = np.zeros(num_states + 1, dtype=np.int64)
+        ilabels: list[int] = []
+        weights: list[float] = []
+        nextstates: list[int] = []
+        ordinals: list[int] = []
+        pure = True
+        for state in fst.states():
+            count = 0
+            for ordinal, arc in enumerate(fst.out_arcs(state)):
+                if arc.ilabel == EPSILON:
+                    continue
+                ilabels.append(arc.ilabel)
+                weights.append(arc.weight)
+                nextstates.append(arc.nextstate)
+                ordinals.append(ordinal)
+                if arc.olabel != EPSILON:
+                    pure = False
+                count += 1
+            offsets[state + 1] = offsets[state] + count
+        ilabel = np.array(ilabels, dtype=np.int64)
+        return cls(
+            offsets=offsets,
+            ilabel=ilabel,
+            weight=np.array(weights, dtype=np.float64),
+            nextstate=np.array(nextstates, dtype=np.int64),
+            ordinal=np.array(ordinals, dtype=np.int64),
+            score_index=ilabel - 1,
+            pure_emitting=pure,
+        )
+
+    @property
+    def num_arcs(self) -> int:
+        return int(self.ilabel.shape[0])
+
+    def counts(self, states: np.ndarray) -> np.ndarray:
+        """Emitting out-degree of each state in ``states``."""
+        return self.offsets[states + 1] - self.offsets[states]
+
+    def gather(self, states: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Expand a batch of source states into their arc slices.
+
+        Returns ``(token_index, flat)`` where ``flat`` indexes the arc
+        columns and ``token_index[i]`` is the position in ``states``
+        that arc ``flat[i]`` came from.  Arcs appear grouped by token,
+        in ``states`` order — exactly the scalar loop's visit order.
+        """
+        starts = self.offsets[states]
+        counts = self.offsets[states + 1] - starts
+        total = int(counts.sum())
+        token_index = np.repeat(np.arange(states.shape[0]), counts)
+        # Position of each arc within its own group, via a segmented iota.
+        segment_starts = np.repeat(np.cumsum(counts) - counts, counts)
+        flat = np.repeat(starts, counts) + (
+            np.arange(total, dtype=np.int64) - segment_starts
+        )
+        return token_index, flat
+
+
+@dataclass(frozen=True)
+class RecombinationPlan:
+    """Outcome of replaying sequential Viterbi insertion over a batch."""
+
+    #: Candidate index (into the batch, arrival order) that each
+    #: destination key keeps, listed in first-arrival order of the keys
+    #: — i.e. the scalar table's dict insertion order.
+    winners: np.ndarray
+    #: The distinct destination keys, ascending — a binary-searchable
+    #: index over the winner table.
+    sorted_keys: np.ndarray
+    #: ``slots[i]``: position of ``sorted_keys[i]``'s winner in the
+    #: (first-arrival-ordered) ``winners`` array.
+    slots: np.ndarray
+    inserts: int
+    improvements: int
+    recombinations: int
+
+
+def plan_recombination(
+    keys: np.ndarray, costs: np.ndarray
+) -> RecombinationPlan:
+    """Replay ``TokenTable.insert`` over a whole candidate batch.
+
+    ``keys``/``costs`` are the batch in arrival order.  Sequential
+    semantics being replicated: the first candidate for a key inserts;
+    a later candidate *strictly* cheaper than the key's running best
+    improves (taking over the key's lattice node); anything else
+    recombines.  The key's final owner is therefore the *first*
+    candidate to reach the key's minimum cost.
+
+    Strategy: stable-sort by key so each key's candidates stay in
+    arrival order, convert costs to exact integer ranks (ties share a
+    rank), then shift each key's ranks into its own disjoint band so a
+    single global running minimum acts as a per-key running minimum.
+    Strict drops of that running minimum are exactly the sequential
+    insert/improve events.
+    """
+    total = int(keys.shape[0])
+    if total == 0:
+        raise ValueError("empty candidate batch")
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    new_group = np.empty(total, dtype=bool)
+    new_group[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=new_group[1:])
+    group_index = np.cumsum(new_group) - 1
+    num_groups = int(group_index[-1]) + 1
+    # Exact tie-aware integer ranks of the float costs (ties share a
+    # rank, so ranks compare exactly like the floats do).
+    cost_order = np.argsort(costs)
+    sorted_costs = costs[cost_order]
+    distinct = np.empty(total, dtype=np.int64)
+    distinct[0] = 0
+    np.not_equal(sorted_costs[1:], sorted_costs[:-1], out=distinct[1:])
+    ranks = np.empty(total, dtype=np.int64)
+    ranks[cost_order] = np.cumsum(distinct)
+    banded = ranks[order] - group_index * np.int64(total + 1)
+    running = np.minimum.accumulate(banded)
+    improved = np.empty(total, dtype=bool)
+    improved[0] = True
+    np.less(running[1:], running[:-1], out=improved[1:])
+    improved_total = int(np.count_nonzero(improved))
+    # Winner of each group: its last strict improvement.  Improvement
+    # positions are ascending with non-decreasing group index, so the
+    # last position before each group boundary is the group's winner.
+    improved_pos = np.flatnonzero(improved)
+    improved_group = group_index[improved_pos]
+    last_of_group = np.empty(improved_pos.shape[0], dtype=bool)
+    last_of_group[-1] = True
+    np.not_equal(improved_group[1:], improved_group[:-1], out=last_of_group[:-1])
+    winners = order[improved_pos[last_of_group]]
+    # Reorder groups into first-arrival order to match dict insertion.
+    first_pos = np.flatnonzero(new_group)
+    first_arrival = order[first_pos]
+    perm = np.argsort(first_arrival, kind="stable")
+    winners = winners[perm]
+    slots = np.empty(num_groups, dtype=np.int64)
+    slots[perm] = np.arange(num_groups, dtype=np.int64)
+    return RecombinationPlan(
+        winners=winners,
+        sorted_keys=sorted_keys[first_pos],
+        slots=slots,
+        inserts=num_groups,
+        improvements=improved_total - num_groups,
+        recombinations=total - improved_total,
+    )

@@ -73,7 +73,11 @@ class OffsetLookupTable:
             raise ValueError("num_entries must be a positive power of two")
         self.num_entries = num_entries
         self._mask = num_entries - 1
-        self._valid = [False] * num_entries
+        # Validity is a generation stamp: an entry is live when its
+        # stamp matches the current generation, so invalidation is a
+        # counter bump instead of reallocating the arrays.
+        self._generation = 1
+        self._valid = [0] * num_entries
         self._tags = [0] * num_entries
         self._offsets = [0] * num_entries
 
@@ -87,18 +91,19 @@ class OffsetLookupTable:
     def lookup(self, state: int, word: int) -> int | None:
         """Cached arc ordinal, or None on miss."""
         index, tag = self._slot(state, word)
-        if self._valid[index] and self._tags[index] == tag:
+        if self._valid[index] == self._generation and self._tags[index] == tag:
             return self._offsets[index]
         return None
 
     def insert(self, state: int, word: int, ordinal: int) -> None:
         index, tag = self._slot(state, word)
-        self._valid[index] = True
+        self._valid[index] = self._generation
         self._tags[index] = tag
         self._offsets[index] = ordinal
 
     def invalidate(self) -> None:
-        self._valid = [False] * self.num_entries
+        """Drop every entry in O(1): stale stamps can no longer match."""
+        self._generation += 1
 
     @property
     def size_bytes(self) -> int:
@@ -129,6 +134,9 @@ class LmLookup:
         self.graph = graph
         self.strategy = strategy
         self.sink = sink or NullSink()
+        # Pure-functional runs skip per-event sink calls (same guard as
+        # the decoders); traced runs keep the exact event order.
+        self._tracing = not isinstance(self.sink, NullSink)
         self.stats = LookupStats()
         self.offset_table: OffsetLookupTable | None = None
         if strategy is LookupStrategy.OFFSET_TABLE:
@@ -148,17 +156,20 @@ class LmLookup:
         """The arc for ``word_id`` at ``state``, or None if backed off."""
         self.stats.lookups += 1
         if self.strategy is LookupStrategy.LINEAR:
-            self.sink.on_state_fetch(GraphSide.LM, state)
+            if self._tracing:
+                self.sink.on_state_fetch(GraphSide.LM, state)
             return self._linear(state, word_id)
         if self.strategy is LookupStrategy.BINARY:
-            self.sink.on_state_fetch(GraphSide.LM, state)
+            if self._tracing:
+                self.sink.on_state_fetch(GraphSide.LM, state)
             found = self._binary(state, word_id)
             return found[0] if found else None
         return self._with_offset_table(state, word_id)
 
     def _probe(self, state: int, ordinal: int) -> Arc:
         self.stats.arc_probes += 1
-        self.sink.on_arc_fetch(GraphSide.LM, state, ordinal)
+        if self._tracing:
+            self.sink.on_arc_fetch(GraphSide.LM, state, ordinal)
         return self._word_arcs[state][ordinal]
 
     def _linear(self, state: int, word_id: int) -> Arc | None:
@@ -192,13 +203,15 @@ class LmLookup:
             arc = self._probe(state, cached)
             if arc.ilabel == word_id:  # tag aliasing check
                 self.stats.olt_hits += 1
-                self.sink.on_olt_access(state, word_id, True)
+                if self._tracing:
+                    self.sink.on_olt_access(state, word_id, True)
                 return arc
         self.stats.olt_misses += 1
-        self.sink.on_olt_access(state, word_id, False)
-        # Only a miss needs the state record (arc base + count) for the
-        # binary search; an OLT hit goes straight to the arc.
-        self.sink.on_state_fetch(GraphSide.LM, state)
+        if self._tracing:
+            self.sink.on_olt_access(state, word_id, False)
+            # Only a miss needs the state record (arc base + count) for
+            # the binary search; an OLT hit goes straight to the arc.
+            self.sink.on_state_fetch(GraphSide.LM, state)
         found = self._binary(state, word_id)
         if found is None:
             return None
@@ -247,9 +260,10 @@ class LmLookup:
                     "must keep all unigrams (Section 3.3 guarantee)"
                 )
             self.stats.arc_probes += 1
-            self.sink.on_arc_fetch(
-                GraphSide.LM, current, len(self._word_arcs[current])
-            )
+            if self._tracing:
+                self.sink.on_arc_fetch(
+                    GraphSide.LM, current, len(self._word_arcs[current])
+                )
             self.stats.backoff_arcs_taken += 1
             accumulated += backoff.weight
             levels += 1

@@ -12,14 +12,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
 from repro.am.graph import AmGraph
+from repro.core.arcs import EmittingArcs, plan_recombination
 from repro.core.beam import BeamConfig, prune
 from repro.core.composition import LmLookup, LookupStats, LookupStrategy
 from repro.core.lattice import COMPACT_RECORD_BYTES, RAW_RECORD_BYTES, WordLattice
-from repro.core.tokens import TokenTable
+from repro.core.tokens import SoaTokenTable, TokenTable
 from repro.core.trace import GraphSide, NullSink, TraceSink
 from repro.lm.graph import LmGraph
 from repro.wfst.fst import EPSILON
@@ -38,6 +40,14 @@ class DecoderConfig:
     #: Word-lattice record format: compact (Price [22], UNFOLD's choice)
     #: or the raw 16-byte records of the MICRO-49 baseline.
     compact_lattice: bool = True
+    #: Bulk-numpy emitting expansion.  Ignored (scalar path forced)
+    #: whenever a real TraceSink is attached: cycle-level simulation
+    #: needs exact per-event ordering.  Both paths produce identical
+    #: results and DecoderStats.
+    vectorized: bool = True
+    #: Record a per-phase wall-clock breakdown of each decode on the
+    #: decoder's ``last_phase_seconds`` (perf harness support).
+    profile: bool = False
 
     def beam_config(self) -> BeamConfig:
         return BeamConfig(beam=self.beam, max_active=self.max_active)
@@ -149,6 +159,22 @@ class OnTheFlyDecoder:
             [(i, a) for i, a in enumerate(fst.out_arcs(s)) if a.ilabel == EPSILON]
             for s in fst.states()
         ]
+        # CSR columns for the vectorized emitting expansion.
+        self._arcs = EmittingArcs.from_fst(fst)
+        self._num_lm = lm.fst.num_states
+        self._epsilon_flags = np.array(
+            [bool(arcs) for arcs in self._epsilon], dtype=bool
+        )
+        # Per-LM-state final weights (inf when non-final), for the
+        # vectorized finalize.
+        self._lm_final_w = np.array(
+            [lm.fst.final_weight(s) for s in lm.fst.states()],
+            dtype=np.float64,
+        )
+        #: Wall-clock phase breakdown of the last decode (when
+        #: ``config.profile``): expand (prune + emitting), epsilon,
+        #: other (bookkeeping + finalize), total — in seconds.
+        self.last_phase_seconds: dict[str, float] | None = None
 
     def decode(self, scores: np.ndarray) -> DecodeResult:
         """Decode one utterance from its acoustic score matrix."""
@@ -164,51 +190,57 @@ class OnTheFlyDecoder:
         lattice = WordLattice()
         sink = self.sink
 
-        current = TokenTable()
-        current.insert(self.am.loop_state, self.lm.fst.start, 0.0, -1)
-
         num_frames = scores.shape[0]
         tracing = self._tracing
-        emitting = self._emitting
-        scale = config.acoustic_scale
+        # Both paths see bit-identical float64 score values (the scalar
+        # path consumed widened Python floats already).
+        scores = np.ascontiguousarray(scores, dtype=np.float64)
+        vectorized = (
+            config.vectorized and not tracing and self._arcs.pure_emitting
+        )
+        profile = config.profile
+        expand_seconds = epsilon_seconds = 0.0
+        started = perf_counter() if profile else 0.0
+
+        current: TokenTable | SoaTokenTable = (
+            SoaTokenTable(self._num_lm) if vectorized else TokenTable()
+        )
+        current.insert(self.am.loop_state, self.lm.fst.start, 0.0, -1)
+        # Plain-list scores: per-element numpy indexing dominates the
+        # scalar hot loop otherwise.  Converted once for all frames.
+        rows = None if vectorized else scores.tolist()
+
         for frame in range(num_frames):
-            survivors, pruned = prune(current, beam_config)
-            stats.beam_pruned += pruned
-            # Plain-list scores: per-element numpy indexing dominates the
-            # hot loop otherwise.
-            frame_scores = scores[frame].tolist()
-            next_table = TokenTable()
-            insert = next_table.insert
-            frame_expansions = 0
-            for token in survivors:
-                am_state = token.am_state
-                lm_state = token.lm_state
-                token_cost = token.cost
-                lattice_node = token.lattice_node
-                if tracing:
-                    sink.on_state_fetch(GraphSide.AM, am_state)
-                    sink.on_token_hash_access(am_state, lm_state)
-                arcs = emitting[am_state]
-                frame_expansions += len(arcs)
-                for ordinal, arc in arcs:
-                    if tracing:
-                        sink.on_arc_fetch(GraphSide.AM, am_state, ordinal)
-                    cost = (
-                        token_cost
-                        + arc.weight
-                        - scale * frame_scores[arc.ilabel - 1]
+            mark = perf_counter() if profile else 0.0
+            if vectorized:
+                next_table, num_survivors, frame_expansions, pruned = (
+                    self._expand_frame_vectorized(
+                        current, scores[frame], beam_config
                     )
-                    insert(arc.nextstate, lm_state, cost, lattice_node)
-            stats.am_state_fetches += len(survivors)
+                )
+            else:
+                survivors, pruned = prune(current, beam_config)
+                num_survivors = len(survivors)
+                next_table = TokenTable()
+                frame_expansions = self._expand_emitting_scalar(
+                    survivors, rows[frame], next_table
+                )
+            if profile:
+                expand_seconds += perf_counter() - mark
+            stats.beam_pruned += pruned
+            stats.am_state_fetches += num_survivors
             stats.am_arc_fetches += frame_expansions
             stats.expansions += frame_expansions
             expansions_before = stats.expansions
             probes_before = self.lookup.stats.arc_probes
             writes_before = stats.token_writes
+            mark = perf_counter() if profile else 0.0
             self._epsilon_phase(next_table, frame, lattice, stats, beam_config)
+            if profile:
+                epsilon_seconds += perf_counter() - mark
             stats.frame_work.append(
                 (
-                    len(survivors),
+                    num_survivors,
                     frame_expansions + (stats.expansions - expansions_before),
                     self.lookup.stats.arc_probes - probes_before,
                     stats.token_writes - writes_before,
@@ -217,11 +249,120 @@ class OnTheFlyDecoder:
             stats.tokens_created += next_table.inserts
             stats.tokens_recombined += next_table.recombinations
             stats.active_history.append(len(next_table))
-            sink.on_frame_end(frame, len(next_table))
+            if tracing:
+                sink.on_frame_end(frame, len(next_table))
             current = next_table
         stats.frames = num_frames
         stats.lookup = self._lookup_delta(start_lookup)
-        return self._finalize(current, lattice, stats)
+        result = self._finalize(current, lattice, stats)
+        if profile:
+            total = perf_counter() - started
+            self.last_phase_seconds = {
+                "expand": expand_seconds,
+                "epsilon": epsilon_seconds,
+                "other": total - expand_seconds - epsilon_seconds,
+                "total": total,
+            }
+        return result
+
+    def _expand_emitting_scalar(
+        self,
+        survivors: list,
+        frame_scores: list[float],
+        next_table: TokenTable,
+    ) -> int:
+        """One frame's emitting expansion, token by token.
+
+        The reference path: always used when a TraceSink is attached
+        (exact per-event ordering), and shared with the streaming
+        session, which expands frames incrementally.
+        """
+        sink = self.sink
+        tracing = self._tracing
+        emitting = self._emitting
+        scale = self.config.acoustic_scale
+        insert = next_table.insert
+        frame_expansions = 0
+        for token in survivors:
+            am_state = token.am_state
+            lm_state = token.lm_state
+            token_cost = token.cost
+            lattice_node = token.lattice_node
+            if tracing:
+                sink.on_state_fetch(GraphSide.AM, am_state)
+                sink.on_token_hash_access(am_state, lm_state)
+            arcs = emitting[am_state]
+            frame_expansions += len(arcs)
+            for ordinal, arc in arcs:
+                if tracing:
+                    sink.on_arc_fetch(GraphSide.AM, am_state, ordinal)
+                cost = (
+                    token_cost
+                    + arc.weight
+                    - scale * frame_scores[arc.ilabel - 1]
+                )
+                insert(arc.nextstate, lm_state, cost, lattice_node)
+        return frame_expansions
+
+    def _expand_frame_vectorized(
+        self,
+        table: SoaTokenTable,
+        score_row: np.ndarray,
+        beam_config: BeamConfig,
+    ) -> tuple[SoaTokenTable, int, int, int]:
+        """Prune + emitting expansion for one frame, in bulk numpy.
+
+        Replicates the scalar path exactly: same survivor set in the
+        same order (``heapq.nsmallest`` is stable, so a stable cost
+        argsort reproduces it), candidate costs computed with the same
+        operation order on the same float64 values, and sequential
+        recombination outcomes replayed by :func:`plan_recombination`.
+
+        Returns (next_table, num_survivors, frame_expansions, pruned).
+        """
+        am_col, lm_col, cost_col, node_col = table.columns()
+        total = am_col.shape[0]
+        next_table = SoaTokenTable(self._num_lm)
+        if total == 0:
+            return next_table, 0, 0, 0
+        threshold = table.best_cost + beam_config.beam
+        keep = np.flatnonzero(cost_col <= threshold)
+        pruned = total - keep.shape[0]
+        max_active = beam_config.max_active
+        if max_active and keep.shape[0] > max_active:
+            keep = keep[
+                np.argsort(cost_col[keep], kind="stable")[:max_active]
+            ]
+            pruned = total - max_active
+        num_survivors = int(keep.shape[0])
+        arcs = self._arcs
+        token_index, flat = arcs.gather(am_col[keep])
+        frame_expansions = int(flat.shape[0])
+        if frame_expansions == 0:
+            return next_table, num_survivors, 0, pruned
+        survivor_cost = cost_col[keep]
+        survivor_lm = lm_col[keep]
+        candidate_cost = (
+            survivor_cost[token_index]
+            + arcs.weight[flat]
+            - self.config.acoustic_scale * score_row[arcs.score_index[flat]]
+        )
+        candidate_next = arcs.nextstate[flat]
+        candidate_lm = survivor_lm[token_index]
+        keys = candidate_next * np.int64(self._num_lm) + candidate_lm
+        plan = plan_recombination(keys, candidate_cost)
+        winners = plan.winners
+        next_table.bulk_fill(
+            candidate_next[winners],
+            candidate_lm[winners],
+            candidate_cost[winners],
+            node_col[keep][token_index[winners]],
+            plan.sorted_keys,
+            plan.slots,
+            plan.improvements,
+            plan.recombinations,
+        )
+        return next_table, num_survivors, frame_expansions, pruned
 
     def _epsilon_phase(
         self,
@@ -238,18 +379,27 @@ class OnTheFlyDecoder:
         """
         config = self.config
         sink = self.sink
-        worklist = [t for t in list(table) if self._epsilon[t.am_state]]
+        tracing = self._tracing
+        is_soa = isinstance(table, SoaTokenTable)
+        if is_soa:
+            worklist = table.epsilon_seeds(self._epsilon_flags)
+        else:
+            worklist = [t for t in list(table) if self._epsilon[t.am_state]]
         while worklist:
             token = worklist.pop()
-            live = table.tokens.get((token.am_state, token.lm_state))
-            if live is not token:  # superseded by a better token
-                continue
+            if not is_soa:
+                # Improvements mutate the live token in place, so this
+                # is a no-op identity check kept on the reference path.
+                live = table.tokens.get((token.am_state, token.lm_state))
+                if live is not token:  # superseded by a better token
+                    continue
             threshold = table.best_cost + beam_config.beam
             if token.cost > threshold:
                 stats.beam_pruned += 1
                 continue
             for ordinal, arc in self._epsilon[token.am_state]:
-                sink.on_arc_fetch(GraphSide.AM, token.am_state, ordinal)
+                if tracing:
+                    sink.on_arc_fetch(GraphSide.AM, token.am_state, ordinal)
                 stats.am_arc_fetches += 1
                 stats.expansions += 1
                 base_cost = token.cost + arc.weight
@@ -275,11 +425,12 @@ class OnTheFlyDecoder:
                     continue
                 cost = base_cost + result.weight
                 node = lattice.add(arc.olabel, frame, cost, token.lattice_node)
-                sink.on_token_write(
-                    COMPACT_RECORD_BYTES
-                    if config.compact_lattice
-                    else RAW_RECORD_BYTES
-                )
+                if tracing:
+                    sink.on_token_write(
+                        COMPACT_RECORD_BYTES
+                        if config.compact_lattice
+                        else RAW_RECORD_BYTES
+                    )
                 stats.token_writes += 1
                 stats.words_emitted += 1
                 inserted = table.insert(arc.nextstate, result.next_state, cost, node)
@@ -290,13 +441,27 @@ class OnTheFlyDecoder:
         self, table: TokenTable, lattice: WordLattice, stats: DecoderStats
     ) -> DecodeResult:
         finals: list[tuple[float, int]] = []
-        for token in table:
-            if token.am_state != self.am.loop_state:
-                continue  # mid-word hypotheses cannot end the utterance
-            final = self.lm.fst.final_weight(token.lm_state)
-            total = token.cost + final
-            if math.isfinite(total):
-                finals.append((total, token.lattice_node))
+        if isinstance(table, SoaTokenTable):
+            # Same totals as the scalar loop, without materializing the
+            # final frontier token by token.
+            am_col, lm_col, cost_col, node_col = table.columns()
+            at_loop = np.flatnonzero(am_col == self.am.loop_state)
+            totals = cost_col[at_loop] + self._lm_final_w[lm_col[at_loop]]
+            finite = np.isfinite(totals)
+            finals = list(
+                zip(
+                    totals[finite].tolist(),
+                    node_col[at_loop][finite].tolist(),
+                )
+            )
+        else:
+            for token in table:
+                if token.am_state != self.am.loop_state:
+                    continue  # mid-word hypotheses cannot end the utterance
+                final = self.lm.fst.final_weight(token.lm_state)
+                total = token.cost + final
+                if math.isfinite(total):
+                    finals.append((total, token.lattice_node))
         finals.sort()
         if finals:
             best_cost, best_node = finals[0]

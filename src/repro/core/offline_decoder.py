@@ -14,9 +14,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
+from repro.core.arcs import EmittingArcs, plan_recombination
 from repro.core.beam import BeamConfig
 from repro.core.decoder import DecodeResult, DecoderConfig, DecoderStats
 from repro.core.lattice import COMPACT_RECORD_BYTES, RAW_RECORD_BYTES, WordLattice
@@ -55,6 +57,194 @@ class _Table:
         return True
 
 
+_EMPTY_INT = np.empty(0, dtype=np.int64)
+_EMPTY_FLOAT = np.empty(0, dtype=np.float64)
+
+
+class _LazyComposedMap:
+    """Dict-of-_Token facade over a :class:`_SoaTable` (lazy, identity-stable)."""
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: "_SoaTable") -> None:
+        self._table = table
+
+    def get(self, state: int, default=None):
+        slot = self._table.find_slot(state)
+        if slot is None:
+            return default
+        return self._table.materialize(state, slot)
+
+    def __getitem__(self, state: int) -> _Token:
+        slot = self._table.find_slot(state)
+        if slot is None:
+            raise KeyError(state)
+        return self._table.materialize(state, slot)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def values(self):
+        table = self._table
+        for slot, state in enumerate(table._base_state.tolist()):
+            yield table.materialize(state, slot)
+        base_size = table._base_state.shape[0]
+        for index, state in enumerate(table._extra_state):
+            yield table.materialize(state, base_size + index)
+
+
+class _SoaTable:
+    """Composed-state table storing the frontier as numpy columns.
+
+    Same design as :class:`repro.core.tokens.SoaTokenTable` (bulk fill
+    from the vectorized expansion, lazy _Token materialization for the
+    epsilon phase), keyed by composed state id.  Insert semantics and
+    counters match :class:`_Table`.
+    """
+
+    def __init__(self) -> None:
+        self.best_cost = math.inf
+        self.inserts = 0
+        self.recombinations = 0
+        self._base_state = _EMPTY_INT
+        self._base_cost = _EMPTY_FLOAT
+        self._base_node = _EMPTY_INT
+        self._extra_state: list[int] = []
+        self._extra_cost: list[float] = []
+        self._extra_node: list[int] = []
+        # Bulk winners are indexed by binary search over their sorted
+        # keys; epsilon arrivals land in a small dict (same scheme as
+        # SoaTokenTable).
+        self._sorted_keys = _EMPTY_INT
+        self._slot_for_sorted = _EMPTY_INT
+        self._extra_slot: dict[int, int] = {}
+        self._materialized: dict[int, _Token] = {}
+        self.tokens = _LazyComposedMap(self)
+
+    def bulk_fill(
+        self,
+        states: np.ndarray,
+        costs: np.ndarray,
+        nodes: np.ndarray,
+        sorted_keys: np.ndarray,
+        slots: np.ndarray,
+        recombinations: int,
+    ) -> None:
+        """Install a vectorized expansion's winners (empty table only)."""
+        self._base_state = states
+        self._base_cost = costs
+        self._base_node = nodes
+        self._sorted_keys = sorted_keys
+        self._slot_for_sorted = slots
+        self.inserts = states.shape[0]
+        self.recombinations = recombinations
+        if states.shape[0]:
+            self.best_cost = float(costs.min())
+
+    def find_slot(self, state: int) -> int | None:
+        sorted_keys = self._sorted_keys
+        size = sorted_keys.shape[0]
+        if size:
+            pos = int(np.searchsorted(sorted_keys, state))
+            if pos < size and sorted_keys[pos] == state:
+                return int(self._slot_for_sorted[pos])
+        return self._extra_slot.get(state)
+
+    def __len__(self) -> int:
+        return self._base_state.shape[0] + len(self._extra_state)
+
+    def insert(self, state: int, cost: float, lattice_node: int) -> bool:
+        slot = self.find_slot(state)
+        if slot is None:
+            self._extra_slot[state] = self._base_state.shape[0] + len(
+                self._extra_state
+            )
+            self._extra_state.append(state)
+            self._extra_cost.append(cost)
+            self._extra_node.append(lattice_node)
+            self.inserts += 1
+        else:
+            base_size = self._base_state.shape[0]
+            if slot < base_size:
+                current = self._base_cost[slot]
+            else:
+                current = self._extra_cost[slot - base_size]
+            if cost < current:
+                if slot < base_size:
+                    self._base_cost[slot] = cost
+                    self._base_node[slot] = lattice_node
+                else:
+                    self._extra_cost[slot - base_size] = cost
+                    self._extra_node[slot - base_size] = lattice_node
+                token = self._materialized.get(state)
+                if token is not None:
+                    token.cost = cost
+                    token.lattice_node = lattice_node
+            else:
+                self.recombinations += 1
+                return False
+        if cost < self.best_cost:
+            self.best_cost = cost
+        return True
+
+    def materialize(self, state: int, slot: int) -> _Token:
+        token = self._materialized.get(state)
+        if token is None:
+            base_size = self._base_state.shape[0]
+            if slot < base_size:
+                token = _Token(
+                    state, float(self._base_cost[slot]), int(self._base_node[slot])
+                )
+            else:
+                index = slot - base_size
+                token = _Token(
+                    state, self._extra_cost[index], self._extra_node[index]
+                )
+            self._materialized[state] = token
+        return token
+
+    def epsilon_seeds(
+        self, has_epsilon: np.ndarray, num_lm: int
+    ) -> list[_Token]:
+        """Tokens whose AM side has epsilon out-arcs, in table order."""
+        seeds = []
+        base_state = self._base_state
+        materialized = self._materialized
+        if base_state.shape[0]:
+            picked = np.flatnonzero(has_epsilon[base_state // num_lm])
+            if picked.shape[0]:
+                for state, cost, node in zip(
+                    base_state[picked].tolist(),
+                    self._base_cost[picked].tolist(),
+                    self._base_node[picked].tolist(),
+                ):
+                    token = materialized.get(state)
+                    if token is None:
+                        token = _Token(state, cost, node)
+                        materialized[state] = token
+                    seeds.append(token)
+        base_size = base_state.shape[0]
+        for index, state in enumerate(self._extra_state):
+            if has_epsilon[state // num_lm]:
+                seeds.append(self.materialize(state, base_size + index))
+        return seeds
+
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if not self._extra_state:
+            return self._base_state, self._base_cost, self._base_node
+        return (
+            np.concatenate(
+                [self._base_state, np.array(self._extra_state, dtype=np.int64)]
+            ),
+            np.concatenate(
+                [self._base_cost, np.array(self._extra_cost, dtype=np.float64)]
+            ),
+            np.concatenate(
+                [self._base_node, np.array(self._extra_node, dtype=np.int64)]
+            ),
+        )
+
+
 class FullyComposedDecoder:
     """Beam search over the offline-composed graph."""
 
@@ -73,6 +263,40 @@ class FullyComposedDecoder:
         self._lattice_record = (
             COMPACT_RECORD_BYTES if compact_lattice else RAW_RECORD_BYTES
         )
+        # Composed emitting arcs mirror AM emitting arcs with the LM
+        # side carried along unchanged (their output labels are all
+        # epsilon), so one CSR build over the AM graph serves every
+        # composed state — no lazy composition on the emitting path.
+        self._arcs = EmittingArcs.from_fst(graph.am.fst)
+        self._num_lm = graph.lm.fst.num_states
+        # Epsilon out-degree depends only on the AM side; a flat flag
+        # array keeps the worklist check off the lazy composed cache.
+        am_fst = graph.am.fst
+        self._has_epsilon = [
+            any(a.ilabel == EPSILON for a in am_fst.out_arcs(s))
+            for s in am_fst.states()
+        ]
+        self._has_epsilon_arr = np.array(self._has_epsilon, dtype=bool)
+        # Per-side final weights (inf when non-final) for the
+        # vectorized finalize; composed final weight is their sum.
+        lm_fst = graph.lm.fst
+        self._am_final_w = np.array(
+            [
+                am_fst.final_weight(s) if am_fst.is_final(s) else math.inf
+                for s in am_fst.states()
+            ],
+            dtype=np.float64,
+        )
+        self._lm_final_w = np.array(
+            [
+                lm_fst.final_weight(s) if lm_fst.is_final(s) else math.inf
+                for s in lm_fst.states()
+            ],
+            dtype=np.float64,
+        )
+        #: Wall-clock phase breakdown of the last decode (when
+        #: ``config.profile``), as in ``OnTheFlyDecoder``.
+        self.last_phase_seconds: dict[str, float] | None = None
 
     def decode(self, scores: np.ndarray) -> DecodeResult:
         if scores.ndim != 2 or scores.shape[1] < self.graph.am.num_senones:
@@ -87,50 +311,135 @@ class FullyComposedDecoder:
         sink = self.sink
         graph = self.graph
 
-        current = _Table()
-        current.insert(graph.start, 0.0, -1)
-
         num_frames = scores.shape[0]
         tracing = self._tracing
+        scores = np.ascontiguousarray(scores, dtype=np.float64)
+        vectorized = (
+            config.vectorized and not tracing and self._arcs.pure_emitting
+        )
+        profile = config.profile
+        expand_seconds = epsilon_seconds = 0.0
+        started = perf_counter() if profile else 0.0
         scale = config.acoustic_scale
+
+        current: _Table = _SoaTable() if vectorized else _Table()
+        current.insert(graph.start, 0.0, -1)
+        rows = None if vectorized else scores.tolist()
+
         for frame in range(num_frames):
-            survivors, pruned = self._prune(current, beam)
-            stats.beam_pruned += pruned
-            frame_scores = scores[frame].tolist()
-            next_table = _Table()
-            insert = next_table.insert
-            frame_expansions = 0
-            for token in survivors:
-                state = token.state
-                token_cost = token.cost
-                lattice_node = token.lattice_node
-                if tracing:
-                    sink.on_state_fetch(GraphSide.COMPOSED, state)
-                    am_state, lm_state = graph.decode_state(state)
-                    sink.on_token_hash_access(am_state, lm_state)
-                for arc in graph.out_arcs(state):
-                    if arc.ilabel == EPSILON:
-                        continue
+            mark = perf_counter() if profile else 0.0
+            if vectorized:
+                next_table, num_survivors, frame_expansions, pruned = (
+                    self._expand_frame_vectorized(current, scores[frame], beam)
+                )
+            else:
+                survivors, pruned = self._prune(current, beam)
+                num_survivors = len(survivors)
+                frame_scores = rows[frame]
+                next_table = _Table()
+                insert = next_table.insert
+                frame_expansions = 0
+                for token in survivors:
+                    state = token.state
+                    token_cost = token.cost
+                    lattice_node = token.lattice_node
                     if tracing:
-                        sink.on_arc_fetch(GraphSide.COMPOSED, state, arc.ordinal)
-                    frame_expansions += 1
-                    cost = (
-                        token_cost
-                        + arc.weight
-                        - scale * frame_scores[arc.ilabel - 1]
-                    )
-                    insert(arc.nextstate, cost, lattice_node)
-            stats.am_state_fetches += len(survivors)
+                        sink.on_state_fetch(GraphSide.COMPOSED, state)
+                        am_state, lm_state = graph.decode_state(state)
+                        sink.on_token_hash_access(am_state, lm_state)
+                    for arc in graph.out_arcs(state):
+                        if arc.ilabel == EPSILON:
+                            continue
+                        if tracing:
+                            sink.on_arc_fetch(
+                                GraphSide.COMPOSED, state, arc.ordinal
+                            )
+                        frame_expansions += 1
+                        cost = (
+                            token_cost
+                            + arc.weight
+                            - scale * frame_scores[arc.ilabel - 1]
+                        )
+                        insert(arc.nextstate, cost, lattice_node)
+            if profile:
+                expand_seconds += perf_counter() - mark
+            stats.beam_pruned += pruned
+            stats.am_state_fetches += num_survivors
             stats.am_arc_fetches += frame_expansions
             stats.expansions += frame_expansions
+            mark = perf_counter() if profile else 0.0
             self._epsilon_phase(next_table, frame, lattice, stats, beam)
+            if profile:
+                epsilon_seconds += perf_counter() - mark
             stats.tokens_created += next_table.inserts
             stats.tokens_recombined += next_table.recombinations
             stats.active_history.append(len(next_table.tokens))
-            sink.on_frame_end(frame, len(next_table.tokens))
+            if tracing:
+                sink.on_frame_end(frame, len(next_table.tokens))
             current = next_table
         stats.frames = num_frames
-        return self._finalize(current, lattice, stats)
+        result = self._finalize(current, lattice, stats)
+        if profile:
+            total = perf_counter() - started
+            self.last_phase_seconds = {
+                "expand": expand_seconds,
+                "epsilon": epsilon_seconds,
+                "other": total - expand_seconds - epsilon_seconds,
+                "total": total,
+            }
+        return result
+
+    def _expand_frame_vectorized(
+        self, table: _SoaTable, score_row: np.ndarray, beam: BeamConfig
+    ) -> tuple[_SoaTable, int, int, int]:
+        """Prune + emitting expansion over composed states, in bulk.
+
+        Emitting composed arcs never move the LM side, so the AM-graph
+        CSR columns are gathered per composed state: destination key
+        ``am_next * num_lm + lm`` and weight equal to the AM arc's.
+        Candidate evaluation order, cost arithmetic and recombination
+        outcomes replicate the scalar loop exactly.
+        """
+        state_col, cost_col, node_col = table.columns()
+        total = state_col.shape[0]
+        next_table = _SoaTable()
+        if total == 0:
+            return next_table, 0, 0, 0
+        threshold = table.best_cost + beam.beam
+        keep = np.flatnonzero(cost_col <= threshold)
+        pruned = total - keep.shape[0]
+        if beam.max_active and keep.shape[0] > beam.max_active:
+            keep = keep[
+                np.argsort(cost_col[keep], kind="stable")[: beam.max_active]
+            ]
+            pruned = total - beam.max_active
+        num_survivors = int(keep.shape[0])
+        num_lm = np.int64(self._num_lm)
+        survivor_states = state_col[keep]
+        am_states, lm_states = np.divmod(survivor_states, num_lm)
+        arcs = self._arcs
+        token_index, flat = arcs.gather(am_states)
+        frame_expansions = int(flat.shape[0])
+        if frame_expansions == 0:
+            return next_table, num_survivors, 0, pruned
+        survivor_cost = cost_col[keep]
+        candidate_cost = (
+            survivor_cost[token_index]
+            + arcs.weight[flat]
+            - self.config.acoustic_scale * score_row[arcs.score_index[flat]]
+        )
+        keys = arcs.nextstate[flat] * num_lm + lm_states[token_index]
+        plan = plan_recombination(keys, candidate_cost)
+        winners = plan.winners
+        next_table.bulk_fill(
+            keys[winners],
+            candidate_cost[winners],
+            node_col[keep][token_index[winners]],
+            plan.sorted_keys,
+            plan.slots,
+            plan.recombinations,
+        )
+        return next_table, num_survivors, frame_expansions, pruned
 
     def _prune(self, table: _Table, beam: BeamConfig) -> tuple[list[_Token], int]:
         total = len(table.tokens)
@@ -156,11 +465,19 @@ class FullyComposedDecoder:
     ) -> None:
         graph = self.graph
         sink = self.sink
-        worklist = [
-            t
-            for t in list(table.tokens.values())
-            if any(a.ilabel == EPSILON for a in graph.out_arcs(t.state))
-        ]
+        tracing = self._tracing
+        # Composed epsilon out-degree depends only on the AM state, so
+        # the membership check never forces a lazy composed expansion.
+        has_epsilon = self._has_epsilon
+        num_lm = self._num_lm
+        if isinstance(table, _SoaTable):
+            worklist = table.epsilon_seeds(self._has_epsilon_arr, num_lm)
+        else:
+            worklist = [
+                t
+                for t in list(table.tokens.values())
+                if has_epsilon[t.state // num_lm]
+            ]
         while worklist:
             token = worklist.pop()
             threshold = table.best_cost + beam.beam
@@ -170,20 +487,22 @@ class FullyComposedDecoder:
             for arc in graph.out_arcs(token.state):
                 if arc.ilabel != EPSILON:
                     continue
-                sink.on_arc_fetch(GraphSide.COMPOSED, token.state, arc.ordinal)
+                if tracing:
+                    sink.on_arc_fetch(
+                        GraphSide.COMPOSED, token.state, arc.ordinal
+                    )
                 stats.am_arc_fetches += 1
                 stats.expansions += 1
                 cost = token.cost + arc.weight
                 node = token.lattice_node
                 if arc.olabel != EPSILON:
                     node = lattice.add(arc.olabel, frame, cost, token.lattice_node)
-                    sink.on_token_write(self._lattice_record)
+                    if tracing:
+                        sink.on_token_write(self._lattice_record)
                     stats.token_writes += 1
                     stats.words_emitted += 1
                 inserted = table.insert(arc.nextstate, cost, node)
-                if inserted and any(
-                    a.ilabel == EPSILON for a in graph.out_arcs(arc.nextstate)
-                ):
+                if inserted and has_epsilon[arc.nextstate // num_lm]:
                     worklist.append(table.tokens[arc.nextstate])
 
     def _finalize(
@@ -191,13 +510,27 @@ class FullyComposedDecoder:
     ) -> DecodeResult:
         best_cost = math.inf
         best_node = -1
-        for token in table.tokens.values():
-            if not self.graph.is_final(token.state):
-                continue
-            total = token.cost + self.graph.final_weight(token.state)
-            if total < best_cost:
-                best_cost = total
-                best_node = token.lattice_node
+        if isinstance(table, _SoaTable):
+            state_col, cost_col, node_col = table.columns()
+            if state_col.shape[0]:
+                am_states, lm_states = np.divmod(state_col, self._num_lm)
+                totals = cost_col + (
+                    self._am_final_w[am_states] + self._lm_final_w[lm_states]
+                )
+                finite = np.flatnonzero(np.isfinite(totals))
+                if finite.shape[0]:
+                    # First minimum, as the sequential strict-< scan keeps.
+                    best = finite[int(np.argmin(totals[finite]))]
+                    best_cost = float(totals[best])
+                    best_node = int(node_col[best])
+        else:
+            for token in table.tokens.values():
+                if not self.graph.is_final(token.state):
+                    continue
+                total = token.cost + self.graph.final_weight(token.state)
+                if total < best_cost:
+                    best_cost = total
+                    best_node = token.lattice_node
         word_ids = lattice.backtrace(best_node) if best_node >= 0 else []
         if math.isinf(best_cost):
             word_ids = []

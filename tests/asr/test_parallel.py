@@ -1,0 +1,133 @@
+"""DecodePool tests: parallelism must not change any result.
+
+The pool's determinism contract (see :mod:`repro.asr.parallel`): for a
+given batch, results arrive in submission order and are identical —
+transcripts, costs, and every ``DecoderStats`` counter — at every
+parallelism level, because each utterance decodes the bundle-quantized
+recognizer from a cold Offset Lookup Table.
+"""
+
+import pytest
+
+from repro.asr.parallel import DecodePool
+from repro.asr.streaming import transcribe_streams
+from repro.core import DecoderConfig, OnTheFlyDecoder
+
+CONFIG = DecoderConfig(beam=14.0)
+
+
+@pytest.fixture(scope="module")
+def serial_results(tiny_task, tiny_scorer, tiny_scores):
+    with DecodePool(
+        tiny_task.am, tiny_task.lm, scorer=tiny_scorer, config=CONFIG
+    ) as pool:
+        return pool.decode_scores(tiny_scores)
+
+
+class TestDecodePool:
+    def test_parallel_equals_serial_in_order(
+        self, tiny_task, tiny_scorer, tiny_scores, serial_results
+    ):
+        with DecodePool(
+            tiny_task.am,
+            tiny_task.lm,
+            scorer=tiny_scorer,
+            config=CONFIG,
+            parallelism=2,
+        ) as pool:
+            parallel_results = pool.decode_scores(tiny_scores)
+        assert len(parallel_results) == len(serial_results)
+        for serial, parallel in zip(serial_results, parallel_results):
+            assert parallel.words == serial.words
+            assert parallel.cost == serial.cost
+            assert parallel.stats == serial.stats
+
+    def test_decode_utterances(
+        self, tiny_task, tiny_scorer, tiny_utterances, serial_results
+    ):
+        with DecodePool(
+            tiny_task.am,
+            tiny_task.lm,
+            scorer=tiny_scorer,
+            config=CONFIG,
+            parallelism=2,
+        ) as pool:
+            results = pool.decode_utterances(tiny_utterances)
+        for got, want in zip(results, serial_results):
+            assert got.words == want.words
+            assert got.cost == want.cost
+
+    def test_decode_streams_matches_batch_decode(
+        self, tiny_task, tiny_scorer, tiny_scores, serial_results
+    ):
+        with DecodePool(
+            tiny_task.am,
+            tiny_task.lm,
+            scorer=tiny_scorer,
+            config=CONFIG,
+            parallelism=2,
+        ) as pool:
+            streamed = pool.decode_streams(tiny_scores, batch_frames=16)
+        for got, want in zip(streamed, serial_results):
+            assert got.words == want.words
+            assert got.cost == pytest.approx(want.cost, rel=1e-12)
+
+    def test_results_independent_of_batch_order(
+        self, tiny_task, tiny_scorer, tiny_scores, serial_results
+    ):
+        """Cold-OLT decoding: an utterance's result must not depend on
+        what decoded before it on the same worker."""
+        reordered = list(reversed(tiny_scores))
+        with DecodePool(
+            tiny_task.am, tiny_task.lm, scorer=tiny_scorer, config=CONFIG
+        ) as pool:
+            results = pool.decode_scores(reordered)
+        for got, want in zip(results, reversed(serial_results)):
+            assert got.words == want.words
+            assert got.cost == want.cost
+            assert got.stats == want.stats
+
+    def test_validation(self, tiny_task, tiny_scorer, tiny_utterances):
+        with pytest.raises(ValueError):
+            DecodePool(tiny_task.am, tiny_task.lm, parallelism=0)
+        with pytest.raises(ValueError):
+            DecodePool(tiny_task.am, tiny_task.lm, parallelism=2)
+        with DecodePool(tiny_task.am, tiny_task.lm) as pool:
+            with pytest.raises(ValueError):
+                pool.decode_utterances(tiny_utterances)
+
+
+class TestTranscribeStreams:
+    def test_serial_without_scorer_decodes_in_process(
+        self, tiny_task, tiny_scores
+    ):
+        decoder = OnTheFlyDecoder(tiny_task.am, tiny_task.lm, CONFIG)
+        results = transcribe_streams(decoder, tiny_scores, batch_frames=16)
+        expected = [decoder.decode(s) for s in tiny_scores]
+        for got, want in zip(results, expected):
+            assert got.words == want.words
+            assert got.cost == pytest.approx(want.cost, rel=1e-9)
+
+    def test_parallel_requires_scorer(self, tiny_task, tiny_scores):
+        decoder = OnTheFlyDecoder(tiny_task.am, tiny_task.lm, CONFIG)
+        with pytest.raises(ValueError):
+            transcribe_streams(decoder, tiny_scores, parallelism=2)
+
+    def test_parallel_matches_serial_pool(
+        self, tiny_task, tiny_scorer, tiny_scores
+    ):
+        decoder = OnTheFlyDecoder(tiny_task.am, tiny_task.lm, CONFIG)
+        serial = transcribe_streams(
+            decoder, tiny_scores, batch_frames=16, scorer=tiny_scorer
+        )
+        parallel = transcribe_streams(
+            decoder,
+            tiny_scores,
+            batch_frames=16,
+            parallelism=2,
+            scorer=tiny_scorer,
+        )
+        for got, want in zip(parallel, serial):
+            assert got.words == want.words
+            assert got.cost == want.cost
+            assert got.stats == want.stats

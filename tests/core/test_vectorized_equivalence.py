@@ -1,0 +1,194 @@
+"""Vectorized hot-loop equivalence: outputs, counters, and traces.
+
+The vectorized expansion (:mod:`repro.core.arcs`) must be an *exact*
+replay of the scalar reference — identical transcripts and costs, but
+also identical ``DecoderStats`` counters, since those feed the
+accelerator models.  These tests pin that contract:
+
+* a hypothesis sweep over random small tasks asserting scalar ==
+  vectorized for both decoders;
+* ``plan_recombination`` checked against a brute-force sequential
+  replay of ``TokenTable.insert`` semantics;
+* the traced-fallback rule: attaching a real ``TraceSink`` routes
+  decoding through the scalar path, so traced runs see the same event
+  stream the simulators were validated against.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.am import GmmAcousticModel
+from repro.asr import TINY, build_task
+from repro.core import (
+    DecoderConfig,
+    FullyComposedDecoder,
+    OnTheFlyDecoder,
+    VirtualComposedGraph,
+    plan_recombination,
+)
+
+_TASK_CACHE: dict[int, tuple] = {}
+
+
+def _task(seed: int):
+    if seed not in _TASK_CACHE:
+        config = TINY.with_overrides(
+            name=f"tiny-vec-{seed}", seed=seed, vocab_size=10, corpus_sentences=80
+        )
+        task = build_task(config)
+        scorer = GmmAcousticModel.from_emissions(
+            task.emissions, num_mixtures=1, noise_scale=task.config.noise_scale
+        )
+        _TASK_CACHE[seed] = (task, scorer)
+    return _TASK_CACHE[seed]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.floats(min_value=6.0, max_value=18.0),
+    st.sampled_from([0, 5, 800]),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_vectorized_equals_scalar(task_seed, beam, max_active, utt_seed):
+    task, scorer = _task(task_seed)
+    rng = np.random.default_rng(utt_seed)
+    words = [
+        task.grammar.vocabulary[int(rng.integers(0, len(task.grammar.vocabulary)))]
+        for _ in range(int(rng.integers(1, 4)))
+    ]
+    scores = scorer.score(task.synthesizer.synthesize(words).features)
+
+    def config(vectorized):
+        return DecoderConfig(
+            beam=beam, max_active=max_active, vectorized=vectorized
+        )
+
+    for make in (
+        lambda v: OnTheFlyDecoder(task.am, task.lm, config(v)),
+        lambda v: FullyComposedDecoder(
+            VirtualComposedGraph(task.am, task.lm), config(v)
+        ),
+    ):
+        scalar = make(False).decode(scores)
+        vectorized = make(True).decode(scores)
+        assert vectorized.word_ids == scalar.word_ids
+        assert vectorized.words == scalar.words
+        assert vectorized.cost == scalar.cost
+        assert vectorized.finals == scalar.finals
+        assert vectorized.stats == scalar.stats
+
+
+def _replay(keys, costs):
+    """Brute-force sequential TokenTable.insert semantics."""
+    best: dict[int, float] = {}
+    owner: dict[int, int] = {}
+    inserts = improvements = recombinations = 0
+    for i, (key, cost) in enumerate(zip(keys, costs)):
+        if key not in best:
+            best[key] = cost
+            owner[key] = i
+            inserts += 1
+        elif cost < best[key]:
+            best[key] = cost
+            owner[key] = i
+            improvements += 1
+        else:
+            recombinations += 1
+    first_arrival = list(best)  # dict insertion order
+    winners = [owner[key] for key in first_arrival]
+    return winners, first_arrival, inserts, improvements, recombinations
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.sampled_from([0.0, 1.0, 1.5, 2.0, 3.0]),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_plan_recombination_matches_sequential_replay(batch):
+    keys = np.array([k for k, _ in batch], dtype=np.int64)
+    costs = np.array([c for _, c in batch], dtype=np.float64)
+    plan = plan_recombination(keys, costs)
+    winners, first_arrival, inserts, improvements, recombinations = _replay(
+        keys.tolist(), costs.tolist()
+    )
+    assert plan.winners.tolist() == winners
+    assert plan.inserts == inserts
+    assert plan.improvements == improvements
+    assert plan.recombinations == recombinations
+    # sorted_keys is the distinct keys ascending; slots maps each back
+    # to its first-arrival position (the token's slot in the SoA table).
+    assert plan.sorted_keys.tolist() == sorted(set(keys.tolist()))
+    assert [
+        first_arrival[int(slot)] for slot in plan.slots
+    ] == plan.sorted_keys.tolist()
+
+
+def test_plan_recombination_rejects_empty_batch():
+    with pytest.raises(ValueError):
+        plan_recombination(
+            np.array([], dtype=np.int64), np.array([], dtype=np.float64)
+        )
+
+
+class CountingSink:
+    """A real TraceSink that tallies every event it receives."""
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+
+    def on_state_fetch(self, side, state):
+        self.counts["state_fetch", side] += 1
+
+    def on_arc_fetch(self, side, state, ordinal):
+        self.counts["arc_fetch", side] += 1
+
+    def on_token_write(self, nbytes):
+        self.counts["token_write"] += 1
+        self.counts["token_bytes"] += nbytes
+
+    def on_token_hash_access(self, am_state, lm_state):
+        self.counts["token_hash"] += 1
+
+    def on_olt_access(self, lm_state, word_id, hit):
+        self.counts["olt", hit] += 1
+
+    def on_frame_end(self, frame, active_tokens):
+        self.counts["frame_end"] += 1
+        self.counts["active_tokens"] += active_tokens
+
+
+@pytest.mark.parametrize("decoder_name", ["on-the-fly", "fully-composed"])
+def test_trace_sink_forces_scalar_path(tiny_task, tiny_scores, decoder_name):
+    """A traced run must emit the scalar reference's exact event stream
+    even when the config asks for vectorization."""
+
+    def make(vectorized, sink=None):
+        config = DecoderConfig(beam=14.0, vectorized=vectorized)
+        if decoder_name == "on-the-fly":
+            return OnTheFlyDecoder(tiny_task.am, tiny_task.lm, config, sink=sink)
+        return FullyComposedDecoder(
+            VirtualComposedGraph(tiny_task.am, tiny_task.lm), config, sink=sink
+        )
+
+    scores = tiny_scores[0]
+    plain = make(True).decode(scores)
+    vec_sink, scalar_sink = CountingSink(), CountingSink()
+    traced_vec = make(True, sink=vec_sink).decode(scores)
+    traced_scalar = make(False, sink=scalar_sink).decode(scores)
+
+    assert vec_sink.counts == scalar_sink.counts
+    assert vec_sink.counts["frame_end"] == scores.shape[0]
+    assert traced_vec.words == traced_scalar.words == plain.words
+    assert traced_vec.cost == traced_scalar.cost == plain.cost
+    assert traced_vec.stats == traced_scalar.stats == plain.stats

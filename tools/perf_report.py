@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Decode-throughput regression report.
+
+Times the scalar reference hot loop against the vectorized one for
+both decoders, plus serial vs utterance-parallel pool throughput, and
+writes the numbers to ``BENCH_decode.json``::
+
+    PYTHONPATH=src python tools/perf_report.py --preset small
+    PYTHONPATH=src python tools/perf_report.py --preset medium --fail-below 3.0
+
+``--fail-below X`` exits non-zero when the on-the-fly vectorized
+speedup drops under ``X`` — the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--preset",
+        choices=("small", "medium"),
+        default="small",
+        help="task scale: small=tiny, medium=kaldi-librispeech",
+    )
+    parser.add_argument("--output", default="BENCH_decode.json")
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=2,
+        help="worker processes for the pool comparison (1 disables it)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--fail-below",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 if the on-the-fly vectorized speedup is below X",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.perf_decode import write_bench_report
+
+    result = write_bench_report(
+        preset=args.preset,
+        output=args.output,
+        parallelism=args.parallelism,
+        repeats=args.repeats,
+    )
+    print(result.render())
+    print(f"\nwrote {args.output}")
+
+    if args.fail_below is not None:
+        import json
+
+        report = json.loads(Path(args.output).read_text())
+        speedup = report["vectorized_speedup"]["on-the-fly"]
+        if speedup < args.fail_below:
+            print(
+                f"FAIL: on-the-fly vectorized speedup {speedup}x is below "
+                f"the {args.fail_below}x floor",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: on-the-fly vectorized speedup {speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
