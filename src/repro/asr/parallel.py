@@ -4,17 +4,26 @@ Viterbi beam search over one utterance is inherently sequential
 (frame ``t + 1`` needs frame ``t``'s frontier), but utterances are
 independent — the natural unit of parallelism for a software decoder
 serving a batch.  :class:`DecodePool` fans a batch of utterances out
-over worker processes, shipping the recognizer once per worker via the
-:mod:`repro.asr.persist` bundle format (the same "task ships as data"
-path the deployment model uses) rather than pickling live graphs per
-job.
+over worker processes.  Where the ``fork`` start method exists the
+recognizer is built *once in the parent* — from the round-tripped
+:mod:`repro.asr.persist` bundle — and workers inherit the finished
+decoder through copy-on-write memory, so spinning up a worker costs a
+``fork`` and nothing else.  Elsewhere (``spawn``) each worker loads the
+bundle once in its initializer (the same "task ships as data" path the
+deployment model uses) rather than pickling live graphs per job.
+
+The pool is persistent: keep one around and feed it batch after batch —
+``AsrSystem.transcribe`` does exactly that.  Jobs are submitted with a
+``chunksize`` so a batch crosses the process boundary in a few pickles
+per worker, not one round-trip per utterance.
 
 Determinism contract: results — including the activity counters in
 ``DecoderStats`` — are identical for every parallelism level, in
 submission order.  Two mechanisms make that hold:
 
-* every utterance starts from a *cold* Offset Lookup Table (an O(1)
-  ``invalidate()``), so counters are independent of how utterances
+* every utterance starts from cold per-decode caches (an O(1)
+  ``LmLookup.reset_transient_state()``: Offset Lookup Table plus the
+  LM expansion cache), so counters are independent of how utterances
   land on workers;
 * whenever a scorer is supplied the pool decodes the *persisted*
   recognizer — the bundle stores arc weights in the paper's 32-bit
@@ -26,6 +35,8 @@ submission order.  Two mechanisms make that hold:
 
 from __future__ import annotations
 
+import itertools
+import multiprocessing
 import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
@@ -42,18 +53,30 @@ from repro.lm.graph import LmGraph
 _WORKER_DECODER: OnTheFlyDecoder | None = None
 _WORKER_SCORER: AcousticScorer | None = None
 
+# Parent-side state inherited by forked workers, keyed per pool.  An
+# entry lives until the owning pool closes: ProcessPoolExecutor forks
+# workers lazily, so the state must survive past construction.
+_FORK_STATE: dict[int, tuple[OnTheFlyDecoder, AcousticScorer]] = {}
+_FORK_KEYS = itertools.count()
+
 
 def _worker_init(bundle_dir: str, config: DecoderConfig) -> None:
+    """Spawn-path initializer: one bundle load per worker lifetime."""
     global _WORKER_DECODER, _WORKER_SCORER
     bundle = load_recognizer(bundle_dir)
     _WORKER_DECODER = OnTheFlyDecoder(bundle.am, bundle.lm, config)
     _WORKER_SCORER = bundle.scorer
 
 
+def _fork_worker_init(key: int) -> None:
+    """Fork-path initializer: adopt the parent's pre-built recognizer."""
+    global _WORKER_DECODER, _WORKER_SCORER
+    _WORKER_DECODER, _WORKER_SCORER = _FORK_STATE[key]
+
+
 def _cold_decode(decoder: OnTheFlyDecoder, scores: np.ndarray) -> DecodeResult:
-    """Decode one utterance from a cold Offset Lookup Table."""
-    if decoder.lookup.offset_table is not None:
-        decoder.lookup.offset_table.invalidate()
+    """Decode one utterance from cold per-decode caches."""
+    decoder.lookup.reset_transient_state()
     return decoder.decode(scores)
 
 
@@ -73,8 +96,7 @@ def _streaming_job(job: tuple[np.ndarray, int]) -> DecodeResult:
     scores, batch_frames = job
     decoder = _WORKER_DECODER
     assert decoder is not None
-    if decoder.lookup.offset_table is not None:
-        decoder.lookup.offset_table.invalidate()
+    decoder.lookup.reset_transient_state()
     result, _ = decode_streaming(decoder, scores, batch_frames)
     return result
 
@@ -110,6 +132,7 @@ class DecodePool:
         self._executor: ProcessPoolExecutor | None = None
         self._tempdir: tempfile.TemporaryDirectory | None = None
         self._decoder: OnTheFlyDecoder | None = None
+        self._fork_key: int | None = None
         if scorer is not None:
             # Decode the deployable artifact: round-tripping through the
             # bundle quantizes weights to the persisted 32-bit format,
@@ -125,6 +148,24 @@ class DecodePool:
                 self._scorer = bundle.scorer
                 self._tempdir.cleanup()
                 self._tempdir = None
+            elif "fork" in multiprocessing.get_all_start_methods():
+                # Build the recognizer once, in the parent; each worker
+                # is then a bare fork — no bundle load, no graph or CSR
+                # construction, warm before its first job.
+                bundle = load_recognizer(bundle_dir)
+                self._tempdir.cleanup()
+                self._tempdir = None
+                self._fork_key = next(_FORK_KEYS)
+                _FORK_STATE[self._fork_key] = (
+                    OnTheFlyDecoder(bundle.am, bundle.lm, self.config),
+                    bundle.scorer,
+                )
+                self._executor = ProcessPoolExecutor(
+                    max_workers=parallelism,
+                    mp_context=multiprocessing.get_context("fork"),
+                    initializer=_fork_worker_init,
+                    initargs=(self._fork_key,),
+                )
             else:
                 self._executor = ProcessPoolExecutor(
                     max_workers=parallelism,
@@ -134,6 +175,10 @@ class DecodePool:
         else:
             self._decoder = OnTheFlyDecoder(am, lm, self.config)
 
+    def _chunksize(self, num_jobs: int) -> int:
+        """Batch jobs per pickle: a couple of chunks per worker."""
+        return max(1, num_jobs // (self.parallelism * 2))
+
     # -- batch entry points -------------------------------------------------
 
     def decode_scores(self, scores: list[np.ndarray]) -> list[DecodeResult]:
@@ -141,7 +186,11 @@ class DecodePool:
         if self._executor is None:
             assert self._decoder is not None
             return [_cold_decode(self._decoder, s) for s in scores]
-        return list(self._executor.map(_decode_scores_job, scores))
+        return list(
+            self._executor.map(
+                _decode_scores_job, scores, chunksize=self._chunksize(len(scores))
+            )
+        )
 
     def decode_utterances(self, utterances) -> list[DecodeResult]:
         """Score and decode utterances; results in input order."""
@@ -155,7 +204,9 @@ class DecodePool:
             ]
         return list(
             self._executor.map(
-                _decode_features_job, [u.features for u in utterances]
+                _decode_features_job,
+                [u.features for u in utterances],
+                chunksize=self._chunksize(len(utterances)),
             )
         )
 
@@ -169,8 +220,7 @@ class DecodePool:
             assert self._decoder is not None
             results = []
             for matrix in scores:
-                if self._decoder.lookup.offset_table is not None:
-                    self._decoder.lookup.offset_table.invalidate()
+                self._decoder.lookup.reset_transient_state()
                 result, _ = decode_streaming(
                     self._decoder, matrix, batch_frames
                 )
@@ -178,7 +228,9 @@ class DecodePool:
             return results
         return list(
             self._executor.map(
-                _streaming_job, [(m, batch_frames) for m in scores]
+                _streaming_job,
+                [(m, batch_frames) for m in scores],
+                chunksize=self._chunksize(len(scores)),
             )
         )
 
@@ -188,6 +240,9 @@ class DecodePool:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._fork_key is not None:
+            _FORK_STATE.pop(self._fork_key, None)
+            self._fork_key = None
         if self._tempdir is not None:
             self._tempdir.cleanup()
             self._tempdir = None

@@ -141,7 +141,7 @@ def transcribe_streams(
     needs a ``scorer`` to ship the recognizer bundle to its workers).
     Results are in input order, and identical across parallelism
     levels whenever a ``scorer`` is given — the pool's determinism
-    contract (cold Offset Lookup Table per stream, bundle-quantized
+    contract (cold per-decode caches per stream, bundle-quantized
     weights) applies to both modes then.
     """
     if scorer is None:
@@ -151,8 +151,7 @@ def transcribe_streams(
             )
         results = []
         for scores in score_matrices:
-            if decoder.lookup.offset_table is not None:
-                decoder.lookup.offset_table.invalidate()
+            decoder.lookup.reset_transient_state()
             result, _ = decode_streaming(decoder, scores, batch_frames)
             results.append(result)
         return results

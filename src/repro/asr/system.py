@@ -85,6 +85,10 @@ class AsrSystem:
     task: AsrTask
     scorer: AcousticScorer
     gpu: GpuModel = field(default_factory=GpuModel)
+    # Live DecodePools keyed by (parallelism, config fields): building
+    # one costs a bundle round-trip and worker start-up, so transcribe
+    # reuses them across calls instead of paying that per batch.
+    _pools: dict = field(default_factory=dict, repr=False, compare=False)
 
     def score_all(self, utterances: list[Utterance]) -> list[np.ndarray]:
         return [self.scorer.score(u.features) for u in utterances]
@@ -99,18 +103,44 @@ class AsrSystem:
 
         ``parallelism > 1`` fans utterances out over worker processes
         (see :class:`repro.asr.parallel.DecodePool`); results are
-        identical to a serial run, in input order.
+        identical to a serial run, in input order.  The pool persists
+        across calls — workers warm up once, not per batch; call
+        :meth:`close` to release them.
         """
+        from dataclasses import astuple
+
         from repro.asr.parallel import DecodePool
 
-        with DecodePool(
-            self.task.am,
-            self.task.lm,
-            scorer=self.scorer,
-            config=config,
-            parallelism=parallelism,
-        ) as pool:
-            return pool.decode_utterances(utterances)
+        key = (parallelism, None if config is None else astuple(config))
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = DecodePool(
+                self.task.am,
+                self.task.lm,
+                scorer=self.scorer,
+                config=config,
+                parallelism=parallelism,
+            )
+            self._pools[key] = pool
+        return pool.decode_utterances(utterances)
+
+    def close(self) -> None:
+        """Shut down any worker pools transcribe has built."""
+        pools, self._pools = dict(self._pools), {}
+        for pool in pools.values():
+            pool.close()
+
+    def __enter__(self) -> "AsrSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best effort; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def _scorer_stage(self, utterances: list[Utterance]) -> tuple[float, float]:
         frames = sum(u.num_frames for u in utterances)

@@ -1,8 +1,17 @@
 """The paper's core: on-the-fly WFST composition decoding."""
 
-from repro.core.arcs import EmittingArcs, RecombinationPlan, plan_recombination
+from repro.core.arcs import (
+    EmittingArcs,
+    EpsilonArcs,
+    LmWordArcs,
+    RecombinationPlan,
+    plan_recombination,
+)
 from repro.core.beam import BeamConfig, frame_threshold, prune
 from repro.core.composition import (
+    BatchResolveResult,
+    ExpansionRow,
+    LmExpansionCache,
     LmLookup,
     LookupStats,
     LookupStrategy,
@@ -29,6 +38,8 @@ from repro.core.virtual import ComposedArc, VirtualComposedGraph
 
 __all__ = [
     "EmittingArcs",
+    "EpsilonArcs",
+    "LmWordArcs",
     "RecombinationPlan",
     "plan_recombination",
     "Token",
@@ -44,8 +55,11 @@ __all__ = [
     "LookupStrategy",
     "LookupStats",
     "LmLookup",
+    "LmExpansionCache",
+    "ExpansionRow",
     "OffsetLookupTable",
     "ResolveResult",
+    "BatchResolveResult",
     "DecoderConfig",
     "DecoderStats",
     "DecodeResult",

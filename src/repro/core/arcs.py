@@ -12,6 +12,22 @@ input label) into CSR-style numpy columns, built once per graph:
 * ``ilabel`` / ``weight`` / ``nextstate`` / ``ordinal`` — contiguous
   per-arc columns, in the same order the scalar loop visits them.
 
+:class:`EpsilonArcs` does the same for the *epsilon* arcs (epsilon
+input label) the within-frame epsilon phase walks, and additionally
+records the two structural facts the batched epsilon engine gates on:
+whether the epsilon graph is single-level (no epsilon arc leads to a
+state that has epsilon arcs of its own) and whether every epsilon
+weight is non-negative (so the frame's pruning threshold cannot move
+during the phase).
+
+:class:`LmWordArcs` flattens an LM graph's word arcs (back-off arc
+excluded) into the same CSR layout, ilabel-sorted within each state,
+plus each state's *back-off chain* — the sequence of states a failed
+lookup walks through, with the per-hop back-off penalties — so a batch
+of `LmLookup.resolve` walks becomes numpy gathers over precomputed
+columns instead of per-token arc chasing (the software analogue of the
+paper's preemptive back-off machinery, Sections 3.3-3.4).
+
 :func:`plan_recombination` then replays sequential Viterbi insertion
 over a frame's full candidate batch: it computes, entirely in numpy,
 which candidate each destination key ends up keeping, the order keys
@@ -28,6 +44,28 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.wfst.fst import EPSILON
+
+
+def _csr_gather(
+    offsets: np.ndarray, states: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand a batch of source states into their CSR arc slices.
+
+    Returns ``(token_index, flat)`` where ``flat`` indexes the arc
+    columns and ``token_index[i]`` is the position in ``states`` that
+    arc ``flat[i]`` came from.  Arcs appear grouped by token, in
+    ``states`` order — exactly the scalar loops' visit order.
+    """
+    starts = offsets[states]
+    counts = offsets[states + 1] - starts
+    total = int(counts.sum())
+    token_index = np.repeat(np.arange(states.shape[0]), counts)
+    # Position of each arc within its own group, via a segmented iota.
+    segment_starts = np.repeat(np.cumsum(counts) - counts, counts)
+    flat = np.repeat(starts, counts) + (
+        np.arange(total, dtype=np.int64) - segment_starts
+    )
+    return token_index, flat
 
 
 @dataclass(frozen=True)
@@ -97,16 +135,233 @@ class EmittingArcs:
         that arc ``flat[i]`` came from.  Arcs appear grouped by token,
         in ``states`` order — exactly the scalar loop's visit order.
         """
-        starts = self.offsets[states]
-        counts = self.offsets[states + 1] - starts
-        total = int(counts.sum())
-        token_index = np.repeat(np.arange(states.shape[0]), counts)
-        # Position of each arc within its own group, via a segmented iota.
-        segment_starts = np.repeat(np.cumsum(counts) - counts, counts)
-        flat = np.repeat(starts, counts) + (
-            np.arange(total, dtype=np.int64) - segment_starts
+        return _csr_gather(self.offsets, states)
+
+
+@dataclass(frozen=True)
+class EpsilonArcs:
+    """CSR view of one graph's epsilon (non-emitting) arcs."""
+
+    offsets: np.ndarray  # int64, num_states + 1
+    olabel: np.ndarray  # int64, one entry per epsilon arc
+    weight: np.ndarray  # float64
+    nextstate: np.ndarray  # int64
+    ordinal: np.ndarray  # int64, arc index within its source state
+    #: Per-state flag: does the state have epsilon out-arcs at all?
+    has_arcs: np.ndarray  # bool, num_states
+    #: True when no epsilon arc's destination has epsilon arcs of its
+    #: own — the epsilon phase then never grows its worklist, so a
+    #: whole frame's phase is a pure function of its seed tokens.
+    single_level: bool
+    #: True when every epsilon arc weight is >= 0 (together with
+    #: non-negative LM costs this keeps the frame's pruning threshold
+    #: constant through the phase — the batched engine's other gate).
+    nonneg_weights: bool
+
+    @classmethod
+    def from_fst(cls, fst) -> "EpsilonArcs":
+        """Flatten ``fst``'s epsilon-input arcs, once."""
+        num_states = fst.num_states
+        offsets = np.zeros(num_states + 1, dtype=np.int64)
+        olabels: list[int] = []
+        weights: list[float] = []
+        nextstates: list[int] = []
+        ordinals: list[int] = []
+        for state in fst.states():
+            count = 0
+            for ordinal, arc in enumerate(fst.out_arcs(state)):
+                if arc.ilabel != EPSILON:
+                    continue
+                olabels.append(arc.olabel)
+                weights.append(arc.weight)
+                nextstates.append(arc.nextstate)
+                ordinals.append(ordinal)
+                count += 1
+            offsets[state + 1] = offsets[state] + count
+        weight = np.array(weights, dtype=np.float64)
+        nextstate = np.array(nextstates, dtype=np.int64)
+        has_arcs = (offsets[1:] - offsets[:-1]) > 0
+        single_level = not bool(
+            np.any(has_arcs[nextstate]) if nextstate.shape[0] else False
         )
-        return token_index, flat
+        nonneg = bool(np.all(weight >= 0.0)) if weight.shape[0] else True
+        return cls(
+            offsets=offsets,
+            olabel=np.array(olabels, dtype=np.int64),
+            weight=weight,
+            nextstate=nextstate,
+            ordinal=np.array(ordinals, dtype=np.int64),
+            has_arcs=has_arcs,
+            single_level=single_level,
+            nonneg_weights=nonneg,
+        )
+
+    @property
+    def num_arcs(self) -> int:
+        return int(self.olabel.shape[0])
+
+    def gather(self, states: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Expand source states into their epsilon-arc slices (CSR order)."""
+        return _csr_gather(self.offsets, states)
+
+
+@dataclass(frozen=True)
+class LmWordArcs:
+    """CSR word arcs of an LM graph plus flattened back-off chains.
+
+    Word arcs keep the LM construction invariant — ilabel-ascending
+    within each state, back-off arc excluded — so a word's arc, if
+    present, sits at ``searchsorted(ilabel[state slice], word)``.
+
+    The back-off chain of state ``s`` is the state sequence a failed
+    lookup visits: ``chain_states[chain_offsets[s]] == s`` followed by
+    successive back-off targets down to the unigram state;
+    ``chain_weights[j]`` is the back-off penalty paid to *reach* chain
+    entry ``j`` from its predecessor (0 at the chain head).
+    """
+
+    label_space: int  # one past the largest label (back-off label + 1)
+    offsets: np.ndarray  # int64, num_states + 1
+    ilabel: np.ndarray  # int64, one entry per word arc
+    weight: np.ndarray  # float64
+    nextstate: np.ndarray  # int64
+    backoff_next: np.ndarray  # int64 per state, -1 when absent
+    backoff_weight: np.ndarray  # float64 per state, 0 when absent
+    chain_offsets: np.ndarray  # int64, num_states + 1
+    chain_states: np.ndarray  # int64, flattened chains
+    chain_weights: np.ndarray  # float64, per-hop penalties
+    max_chain: int  # longest chain length (states, >= 1)
+    #: True when every resolvable total — accumulated back-off
+    #: penalties plus the terminal arc weight — is >= 0.  Individual
+    #: back-off penalties may be negative (ARPA models routinely have
+    #: back-off weights above 1); what decoders need for a constant
+    #: in-frame pruning threshold is the sign of the *totals*.
+    nonneg_weights: bool
+
+    @classmethod
+    def from_graph(cls, graph) -> "LmWordArcs":
+        """Flatten an :class:`~repro.lm.graph.LmGraph`, once."""
+        fst = graph.fst
+        num_states = fst.num_states
+        offsets = np.zeros(num_states + 1, dtype=np.int64)
+        ilabels: list[int] = []
+        weights: list[float] = []
+        nextstates: list[int] = []
+        backoff_next = np.full(num_states, -1, dtype=np.int64)
+        backoff_weight = np.zeros(num_states, dtype=np.float64)
+        for state in fst.states():
+            arcs = fst.out_arcs(state)
+            backoff = graph.backoff_arc(state)
+            if backoff is not None:
+                backoff_next[state] = backoff.nextstate
+                backoff_weight[state] = backoff.weight
+                arcs = arcs[:-1]
+            for arc in arcs:
+                ilabels.append(arc.ilabel)
+                weights.append(arc.weight)
+                nextstates.append(arc.nextstate)
+            offsets[state + 1] = offsets[state] + len(arcs)
+        chain_offsets = np.zeros(num_states + 1, dtype=np.int64)
+        chain_states: list[int] = []
+        chain_hop_weights: list[float] = []
+        max_chain = 1
+        for state in range(num_states):
+            current = state
+            penalty = 0.0
+            length = 0
+            while True:
+                chain_states.append(current)
+                chain_hop_weights.append(penalty)
+                length += 1
+                if length > num_states:
+                    raise ValueError("back-off arcs form a cycle")
+                nxt = int(backoff_next[current])
+                if nxt < 0:
+                    break
+                penalty = float(backoff_weight[current])
+                current = nxt
+            chain_offsets[state + 1] = chain_offsets[state] + length
+            max_chain = max(max_chain, length)
+        weight = np.array(weights, dtype=np.float64)
+        ilabel = np.array(ilabels, dtype=np.int64)
+        chain_states_arr = np.array(chain_states, dtype=np.int64)
+        chain_weights_arr = np.array(chain_hop_weights, dtype=np.float64)
+        nonneg = bool(np.all(weight >= 0.0)) if weight.shape[0] else True
+        nonneg = nonneg and bool(np.all(backoff_weight >= 0.0))
+        if not nonneg:
+            # Per-arc signs are too strict: check the resolvable totals.
+            nonneg = _all_resolves_nonneg(
+                offsets,
+                ilabel,
+                weight,
+                chain_offsets,
+                chain_states_arr,
+                chain_weights_arr,
+                int(graph.backoff_label) + 1,
+            )
+        return cls(
+            label_space=int(graph.backoff_label) + 1,
+            offsets=offsets,
+            ilabel=ilabel,
+            weight=weight,
+            nextstate=np.array(nextstates, dtype=np.int64),
+            backoff_next=backoff_next,
+            backoff_weight=backoff_weight,
+            chain_offsets=chain_offsets,
+            chain_states=chain_states_arr,
+            chain_weights=chain_weights_arr,
+            max_chain=max_chain,
+            nonneg_weights=nonneg,
+        )
+
+    def arc_count(self, state: int) -> int:
+        """Word arcs (back-off excluded) out of ``state``."""
+        return int(self.offsets[state + 1] - self.offsets[state])
+
+
+def _all_resolves_nonneg(
+    offsets: np.ndarray,
+    ilabel: np.ndarray,
+    weight: np.ndarray,
+    chain_offsets: np.ndarray,
+    chain_states: np.ndarray,
+    chain_weights: np.ndarray,
+    label_space: int,
+) -> bool:
+    """Whether every resolvable (state, word) total weight is >= 0.
+
+    A word resolved from ``state`` pays the accumulated back-off
+    penalties down to the first chain entry carrying the word, plus
+    that arc's weight — a -log probability, so non-negative in any
+    properly normalized model even when an individual back-off penalty
+    is negative.  Earlier chain entries shadow deeper ones; the
+    shadowed sweep runs only for states whose cheap unshadowed bound
+    dips below zero.
+    """
+    num_states = offsets.shape[0] - 1
+    min_arc = np.full(num_states, np.inf)
+    if weight.shape[0]:
+        state_of = np.repeat(np.arange(num_states), np.diff(offsets))
+        np.minimum.at(min_arc, state_of, weight)
+    seen = np.zeros(label_space, dtype=np.int64)
+    for state in range(num_states):
+        lo = int(chain_offsets[state])
+        hi = int(chain_offsets[state + 1])
+        entries = chain_states[lo:hi]
+        cum = np.cumsum(chain_weights[lo:hi])
+        if float(np.min(cum + min_arc[entries])) >= 0.0:
+            continue  # unshadowed lower bound already clears zero
+        marker = state + 1
+        for depth, target in enumerate(entries.tolist()):
+            a = int(offsets[target])
+            b = int(offsets[target + 1])
+            labels = ilabel[a:b]
+            fresh = seen[labels] != marker
+            if fresh.any():
+                if cum[depth] + float(np.min(weight[a:b][fresh])) < 0.0:
+                    return False
+                seen[labels[fresh]] = marker
+    return True
 
 
 @dataclass(frozen=True)

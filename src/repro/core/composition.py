@@ -21,8 +21,12 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.core.arcs import LmWordArcs
 from repro.core.trace import GraphSide, NullSink, TraceSink
 from repro.lm.graph import LmGraph
 from repro.wfst.fst import Arc
@@ -44,6 +48,13 @@ class LookupStats:
     olt_misses: int = 0
     backoff_arcs_taken: int = 0
     preemptive_prunes: int = 0
+    # LM expansion cache activity (the batched resolve engine).  The
+    # cache memoizes graph-derived rows only, so these are excluded
+    # from equality: scalar runs, which never touch the cache, must
+    # still compare equal to batched runs stat-for-stat.
+    expansion_hits: int = field(default=0, compare=False)
+    expansion_misses: int = field(default=0, compare=False)
+    expansion_evictions: int = field(default=0, compare=False)
 
     @property
     def olt_hit_ratio(self) -> float:
@@ -53,6 +64,11 @@ class LookupStats:
     @property
     def avg_probes_per_lookup(self) -> float:
         return self.arc_probes / self.lookups if self.lookups else 0.0
+
+    @property
+    def expansion_hit_ratio(self) -> float:
+        total = self.expansion_hits + self.expansion_misses
+        return self.expansion_hits / total if total else 0.0
 
 
 class OffsetLookupTable:
@@ -75,11 +91,14 @@ class OffsetLookupTable:
         self._mask = num_entries - 1
         # Validity is a generation stamp: an entry is live when its
         # stamp matches the current generation, so invalidation is a
-        # counter bump instead of reallocating the arrays.
+        # counter bump instead of reallocating the arrays.  Stored as
+        # numpy columns so the batched resolve engine can gather and
+        # scatter entries in bulk; the scalar methods index them the
+        # same way they indexed the previous plain lists.
         self._generation = 1
-        self._valid = [0] * num_entries
-        self._tags = [0] * num_entries
-        self._offsets = [0] * num_entries
+        self._valid = np.zeros(num_entries, dtype=np.int64)
+        self._tags = np.zeros(num_entries, dtype=np.int64)
+        self._offsets = np.zeros(num_entries, dtype=np.int64)
 
     def _slot(self, state: int, word: int) -> tuple[int, int]:
         index = (state ^ word) & self._mask
@@ -92,7 +111,7 @@ class OffsetLookupTable:
         """Cached arc ordinal, or None on miss."""
         index, tag = self._slot(state, word)
         if self._valid[index] == self._generation and self._tags[index] == tag:
-            return self._offsets[index]
+            return int(self._offsets[index])
         return None
 
     def insert(self, state: int, word: int, ordinal: int) -> None:
@@ -121,6 +140,227 @@ class ResolveResult:
     backoff_levels: int = 0
 
 
+@dataclass
+class BatchResolveResult:
+    """Vectorized :meth:`LmLookup.resolve_batch` outcome, one row per item."""
+
+    weight: np.ndarray  # float64
+    next_state: np.ndarray  # int64
+    pruned: np.ndarray  # bool
+    backoff_levels: np.ndarray  # int64
+
+
+def _binary_probe_counts(labels: np.ndarray, words: np.ndarray) -> np.ndarray:
+    """Probe count of ``LmLookup._binary`` for every query in ``words``.
+
+    Simulates the lo/hi walk for all words at once; for absent words
+    this is the full walk to exhaustion, exactly as the scalar search
+    pays it.
+    """
+    n = int(labels.shape[0])
+    total = words.shape[0]
+    counts = np.zeros(total, dtype=np.int64)
+    if n == 0:
+        return counts
+    lo = np.zeros(total, dtype=np.int64)
+    hi = np.full(total, n - 1, dtype=np.int64)
+    active = np.ones(total, dtype=bool)
+    while True:
+        idx = np.flatnonzero(active)
+        if idx.shape[0] == 0:
+            return counts
+        mid = (lo[idx] + hi[idx]) // 2
+        counts[idx] += 1
+        got = labels[mid]
+        w = words[idx]
+        hit = got == w
+        less = got < w
+        more = ~hit & ~less
+        lo[idx[less]] = mid[less] + 1
+        hi[idx[more]] = mid[more] - 1
+        still = ~hit
+        still[less] &= lo[idx[less]] <= hi[idx[less]]
+        still[more] &= lo[idx[more]] <= hi[idx[more]]
+        active[idx] = still
+
+
+@dataclass
+class ExpansionRow:
+    """One LM state's fully resolved expansion (the LM arc cache line).
+
+    For every word id in the label space: the back-off chain level
+    where the word's arc lives (-1 when it is absent from the whole
+    chain), the arc's weight / destination / ordinal there, and the
+    per-level search probe counts the scalar engine would spend — so a
+    batch of resolves replays scalar costs and counters exactly.
+    """
+
+    chain: np.ndarray  # int64, the state's back-off chain
+    chain_weights: np.ndarray  # float64, per-hop penalties
+    found_level: np.ndarray  # int64[label_space]
+    steps: np.ndarray  # int64[chain length, label_space]
+    arc_weight: np.ndarray  # float64[label_space]
+    arc_next: np.ndarray  # int64[label_space]
+    arc_ordinal: np.ndarray  # int64[label_space]
+
+    def __post_init__(self) -> None:
+        # Native-Python mirrors for the small-batch sequential replay,
+        # where per-item numpy scalar indexing would dominate the cost.
+        # ``tolist`` round-trips float64 exactly, so replayed arithmetic
+        # stays bit-identical to the array path.
+        self.chain_py: list[int] = self.chain.tolist()
+        self.chain_weights_py: list[float] = self.chain_weights.tolist()
+        self.found_level_py: list[int] = self.found_level.tolist()
+        self.steps_py: list[list[int]] = self.steps.tolist()
+        self.arc_weight_py: list[float] = self.arc_weight.tolist()
+        self.arc_next_py: list[int] = self.arc_next.tolist()
+        self.arc_ordinal_py: list[int] = self.arc_ordinal.tolist()
+
+    def size_bytes(self) -> int:
+        return (
+            self.chain.nbytes
+            + self.chain_weights.nbytes
+            + self.found_level.nbytes
+            + self.steps.nbytes
+            + self.arc_weight.nbytes
+            + self.arc_next.nbytes
+            + self.arc_ordinal.nbytes
+        )
+
+
+def expansion_row_bytes_bound(label_space: int, max_chain: int) -> int:
+    """Worst-case bytes one :class:`ExpansionRow` can hold.
+
+    Chain + per-hop weights, then found-level / per-level steps / the
+    terminal arc columns over the label space — the number the sizing
+    reports multiply by cache capacity to stay honest about the
+    decode-time state the expansion cache adds.
+    """
+    return max_chain * 16 + label_space * 8 * (3 + max_chain) + label_space * 8
+
+
+class LmExpansionCache:
+    """Memoized per-LM-state expansion rows (the paper's LM arc cache).
+
+    UNFOLD caches recently expanded LM arcs so repeated cross-word
+    transitions out of the same LM state skip the arc search (Section
+    3.3); this is the software analogue: an LRU-bounded map from LM
+    state to its :class:`ExpansionRow`.  Rows derive from the immutable
+    LM graph only, so eviction and reuse can never change results —
+    just how much search work is re-spent, which the
+    ``expansion_hits`` / ``expansion_misses`` / ``expansion_evictions``
+    counters on :class:`LookupStats` report.
+    """
+
+    def __init__(
+        self,
+        word_arcs: LmWordArcs,
+        strategy: "LookupStrategy",
+        stats: LookupStats,
+        capacity: int = 1024,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._arcs = word_arcs
+        self._strategy = strategy
+        self.stats = stats
+        self.capacity = capacity
+        self._rows: OrderedDict[int, ExpansionRow] = OrderedDict()
+        self._words_iota = np.arange(word_arcs.label_space, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+    def size_bytes(self) -> int:
+        """Current storage held by resident rows."""
+        return sum(row.size_bytes() for row in self._rows.values())
+
+    def row_bytes_bound(self) -> int:
+        """Worst-case bytes per row (deepest chain), for sizing reports."""
+        return expansion_row_bytes_bound(
+            self._arcs.label_space, self._arcs.max_chain
+        )
+
+    def rows_for(self, states: np.ndarray) -> list[ExpansionRow]:
+        """The expansion row of each state, building/evicting as needed.
+
+        Hit/miss accounting matches a sequential walk of ``states``:
+        the first occurrence of an absent state misses (and builds),
+        every other access hits.
+        """
+        rows = self._rows
+        stats = self.stats
+        out = []
+        hits = 0
+        misses = 0
+        for state in states.tolist():
+            row = rows.get(state)
+            if row is None:
+                misses += 1
+                row = self._build_row(state)
+                rows[state] = row
+                while len(rows) > self.capacity:
+                    rows.popitem(last=False)
+                    stats.expansion_evictions += 1
+            else:
+                hits += 1
+                rows.move_to_end(state)
+            out.append(row)
+        stats.expansion_hits += hits
+        stats.expansion_misses += misses
+        return out
+
+    def _build_row(self, state: int) -> ExpansionRow:
+        arcs = self._arcs
+        chain_lo = int(arcs.chain_offsets[state])
+        chain_hi = int(arcs.chain_offsets[state + 1])
+        chain = arcs.chain_states[chain_lo:chain_hi]
+        chain_weights = arcs.chain_weights[chain_lo:chain_hi]
+        space = arcs.label_space
+        words = self._words_iota
+        depth = chain.shape[0]
+        found_level = np.full(space, -1, dtype=np.int64)
+        steps = np.zeros((depth, space), dtype=np.int64)
+        arc_weight = np.zeros(space, dtype=np.float64)
+        arc_next = np.full(space, -1, dtype=np.int64)
+        arc_ordinal = np.full(space, -1, dtype=np.int64)
+        # Deepest level first, so shallower levels override: found_level
+        # ends up the *first* level whose state carries the word's arc.
+        for level in range(depth - 1, -1, -1):
+            st = int(chain[level])
+            lo = int(arcs.offsets[st])
+            hi = int(arcs.offsets[st + 1])
+            labels = arcs.ilabel[lo:hi]
+            n = hi - lo
+            pos = np.searchsorted(labels, words)
+            present = np.zeros(space, dtype=bool)
+            inb = pos < n
+            present[inb] = labels[pos[inb]] == words[inb]
+            found_level[present] = level
+            ppos = pos[present]
+            arc_weight[present] = arcs.weight[lo + ppos]
+            arc_next[present] = arcs.nextstate[lo + ppos]
+            arc_ordinal[present] = ppos
+            if self._strategy is LookupStrategy.LINEAR:
+                # The scan stops at the match, at the first larger
+                # label, or at exhaustion — probing each arc it passes.
+                steps[level] = np.where(inb, pos + 1, n)
+            else:
+                steps[level] = _binary_probe_counts(labels, words)
+        return ExpansionRow(
+            chain=chain,
+            chain_weights=chain_weights,
+            found_level=found_level,
+            steps=steps,
+            arc_weight=arc_weight,
+            arc_next=arc_next,
+            arc_ordinal=arc_ordinal,
+        )
+
+
 class LmLookup:
     """Locates LM arcs for cross-word transitions."""
 
@@ -130,6 +370,7 @@ class LmLookup:
         strategy: LookupStrategy = LookupStrategy.OFFSET_TABLE,
         offset_table_entries: int = 32 * 1024,
         sink: TraceSink | None = None,
+        expansion_cache_states: int = 1024,
     ) -> None:
         self.graph = graph
         self.strategy = strategy
@@ -149,6 +390,17 @@ class LmLookup:
             backoff = graph.backoff_arc(state)
             self._backoff.append(backoff)
             self._word_arcs.append(arcs[:-1] if backoff is not None else list(arcs))
+        # Batched-resolve structures, built lazily on first use: the CSR
+        # word-arc columns with flattened back-off chains, and the LM
+        # expansion cache over them.
+        self._expansion_cache_states = expansion_cache_states
+        self._soa: LmWordArcs | None = None
+        self.expansion_cache: LmExpansionCache | None = None
+        # Below this many items a batch resolves by sequential replay
+        # over the cached expansion rows: fixed array-op overhead beats
+        # the per-item work until batches get fairly large.  Same
+        # results and counters either way; tests pin it to force a path.
+        self.batch_sequential_cutoff = 128
 
     # -- single-state search ----------------------------------------------
 
@@ -276,3 +528,427 @@ class LmLookup:
                     backoff_levels=levels,
                 )
             current = backoff.nextstate
+
+    # -- batched resolution (the vectorized epsilon engine) -----------------
+
+    def _ensure_batch_structures(self) -> LmWordArcs:
+        if self._soa is None:
+            self._soa = LmWordArcs.from_graph(self.graph)
+            self.expansion_cache = LmExpansionCache(
+                self._soa,
+                self.strategy,
+                self.stats,
+                capacity=self._expansion_cache_states,
+            )
+        return self._soa
+
+    @property
+    def batch_supported(self) -> bool:
+        """Whether :meth:`resolve_batch` preserves scalar semantics here.
+
+        Requires non-negative LM costs (so a frame's pruning threshold
+        cannot move mid-phase) and no trace sink (batched work has no
+        per-event order to report).
+        """
+        return self._ensure_batch_structures().nonneg_weights and not self._tracing
+
+    def reset_transient_state(self) -> None:
+        """Cold-start the per-decode caches (OLT + expansion rows).
+
+        Neither affects results — only which work is re-spent — but
+        clearing both keeps every activity counter independent of how
+        utterances were batched (the pool's determinism contract).
+        """
+        if self.offset_table is not None:
+            self.offset_table.invalidate()
+        if self.expansion_cache is not None:
+            self.expansion_cache.clear()
+
+    def resolve_batch(
+        self,
+        states: np.ndarray,
+        words: np.ndarray,
+        entry_costs: np.ndarray,
+        threshold: float = math.inf,
+        preemptive: bool = False,
+    ) -> BatchResolveResult:
+        """Vectorized :meth:`resolve` over a batch of (state, word) items.
+
+        Equivalent to calling ``resolve`` item by item in array order —
+        bit-identical weights (the back-off accumulator is replayed
+        level by level in the scalar addition order) and identical
+        ``LookupStats`` counters, including the Offset Lookup Table's
+        hit/miss/probe accounting and its final contents.  The items
+        must not be interleaved with scalar resolves that the batch
+        order would not reproduce.
+        """
+        if self._tracing:
+            raise RuntimeError(
+                "resolve_batch has no per-event order; use resolve when tracing"
+            )
+        n = int(states.shape[0])
+        arcs = self._ensure_batch_structures()
+        cache = self.expansion_cache
+        assert cache is not None
+        rows = cache.rows_for(states)
+        if n <= self.batch_sequential_cutoff:
+            return self._resolve_batch_replay(
+                rows, words, entry_costs, threshold, preemptive,
+                arcs.label_space,
+            )
+        if np.any(words >= arcs.label_space) or np.any(words < 0):
+            raise ValueError("word id outside the LM label space")
+        return self._resolve_batch_vectorized(
+            rows, words, entry_costs, threshold, preemptive
+        )
+
+    def _resolve_batch_replay(
+        self,
+        rows: list[ExpansionRow],
+        words: np.ndarray,
+        entry_costs: np.ndarray,
+        threshold: float,
+        preemptive: bool,
+        label_space: int,
+    ) -> BatchResolveResult:
+        """Sequential replay of the batch over cached expansion rows.
+
+        Literally the scalar ``resolve`` walk, item by item, except
+        every arc search collapses to O(1) reads of the item's
+        :class:`ExpansionRow` — so equality with the scalar engine
+        (weights, counters, OLT evolution) holds by construction.
+        Stats land on completion; like the vectorized engine, every
+        item is accounted before an exhausted item raises.
+        """
+        stats = self.stats
+        n = words.shape[0]
+        word_list = words.tolist()
+        entry_list = entry_costs.tolist()
+        out_weight = [0.0] * n
+        out_next = [-1] * n
+        out_pruned = [False] * n
+        out_levels = [0] * n
+        exhausted_word = -1
+        table = self.offset_table
+        use_olt = self.strategy is LookupStrategy.OFFSET_TABLE
+        if use_olt:
+            assert table is not None
+            slot_mask = table._mask
+            tag_mask = (1 << OffsetLookupTable.TAG_BITS) - 1
+            generation = table._generation
+            valid = table._valid
+            tags = table._tags
+            ordinals = table._offsets
+        lookups = probes = backoffs = prunes = hits = misses = 0
+        for i in range(n):
+            word = word_list[i]
+            if word < 0 or word >= label_space:
+                raise ValueError("word id outside the LM label space")
+            row = rows[i]
+            chain = row.chain_py
+            chain_w = row.chain_weights_py
+            steps = row.steps_py
+            fl = row.found_level_py[word]
+            entry = entry_list[i]
+            accumulated = entry
+            depth = len(chain)
+            level = 0
+            while True:
+                if level > 0:
+                    if level >= depth:
+                        if exhausted_word < 0:
+                            exhausted_word = word
+                        break
+                    probes += 1
+                    backoffs += 1
+                    accumulated += chain_w[level]
+                    if preemptive and accumulated > threshold:
+                        prunes += 1
+                        out_weight[i] = accumulated - entry
+                        out_next[i] = chain[level]
+                        out_pruned[i] = True
+                        out_levels[i] = level
+                        break
+                lookups += 1
+                found_here = fl == level
+                if use_olt:
+                    state_l = chain[level]
+                    index = (state_l ^ word) & slot_mask
+                    if valid[index] == generation:
+                        tag = (
+                            (state_l * 0x9E3779B1) ^ (word * 0x85EBCA77)
+                        ) & tag_mask
+                        if tags[index] == tag:
+                            # Cached entry: one validation probe on the
+                            # fetched arc, a hit iff it is the word's.
+                            probes += 1
+                            if (
+                                found_here
+                                and ordinals[index]
+                                == row.arc_ordinal_py[word]
+                            ):
+                                hits += 1
+                                out_weight[i] = (
+                                    accumulated - entry
+                                ) + row.arc_weight_py[word]
+                                out_next[i] = row.arc_next_py[word]
+                                out_levels[i] = level
+                                break
+                        misses += 1
+                        probes += steps[level][word]
+                        if found_here:
+                            valid[index] = generation
+                            tags[index] = tag
+                            ordinals[index] = row.arc_ordinal_py[word]
+                    else:
+                        misses += 1
+                        probes += steps[level][word]
+                        if found_here:
+                            valid[index] = generation
+                            tags[index] = (
+                                (state_l * 0x9E3779B1) ^ (word * 0x85EBCA77)
+                            ) & tag_mask
+                            ordinals[index] = row.arc_ordinal_py[word]
+                else:
+                    probes += steps[level][word]
+                if found_here:
+                    out_weight[i] = (accumulated - entry) + row.arc_weight_py[
+                        word
+                    ]
+                    out_next[i] = row.arc_next_py[word]
+                    out_levels[i] = level
+                    break
+                level += 1
+        stats.lookups += lookups
+        stats.arc_probes += probes
+        stats.backoff_arcs_taken += backoffs
+        stats.preemptive_prunes += prunes
+        stats.olt_hits += hits
+        stats.olt_misses += misses
+        if exhausted_word >= 0:
+            raise LookupError(
+                f"word {exhausted_word} not found at the unigram state; "
+                "the LM must keep all unigrams (Section 3.3 guarantee)"
+            )
+        return BatchResolveResult(
+            weight=np.array(out_weight, dtype=np.float64),
+            next_state=np.array(out_next, dtype=np.int64),
+            pruned=np.array(out_pruned, dtype=bool),
+            backoff_levels=np.array(out_levels, dtype=np.int64),
+        )
+
+    def _resolve_batch_vectorized(
+        self,
+        rows: list[ExpansionRow],
+        words: np.ndarray,
+        entry_costs: np.ndarray,
+        threshold: float,
+        preemptive: bool,
+    ) -> BatchResolveResult:
+        """Level-major vectorized engine for large batches."""
+        stats = self.stats
+        n = int(words.shape[0])
+        word_list = words.tolist()
+
+        max_levels = 0
+        for row in rows:
+            depth = row.chain.shape[0]
+            if depth > max_levels:
+                max_levels = depth
+        # Per-item views of the rows, padded to the deepest chain.
+        chain_len = np.empty(n, dtype=np.int64)
+        found_level = np.empty(n, dtype=np.int64)
+        term_weight = np.empty(n, dtype=np.float64)
+        term_next = np.empty(n, dtype=np.int64)
+        term_ordinal = np.empty(n, dtype=np.int64)
+        chain_state_mat = np.full((max_levels, n), -1, dtype=np.int64)
+        chain_weight_mat = np.zeros((max_levels, n), dtype=np.float64)
+        steps_mat = np.zeros((max_levels, n), dtype=np.int64)
+        for i, (row, word) in enumerate(zip(rows, word_list)):
+            depth = row.chain.shape[0]
+            chain_len[i] = depth
+            found_level[i] = row.found_level[word]
+            term_weight[i] = row.arc_weight[word]
+            term_next[i] = row.arc_next[word]
+            term_ordinal[i] = row.arc_ordinal[word]
+            chain_state_mat[:depth, i] = row.chain
+            chain_weight_mat[:depth, i] = row.chain_weights
+            steps_mat[:depth, i] = row.steps[:, word]
+
+        accumulated = entry_costs.astype(np.float64, copy=True)
+        out_weight = np.zeros(n, dtype=np.float64)
+        out_next = np.full(n, -1, dtype=np.int64)
+        out_pruned = np.zeros(n, dtype=bool)
+        out_levels = np.zeros(n, dtype=np.int64)
+        searched = np.zeros((max_levels, n), dtype=bool)
+        exhausted = np.zeros(n, dtype=bool)
+        alive = np.ones(n, dtype=bool)
+        for level in range(max_levels):
+            if level > 0:
+                # Items that missed at the previous level take one
+                # back-off arc (a probe), pay its penalty, then face
+                # the preemptive check — in exactly that scalar order.
+                dead_end = alive & (chain_len <= level)
+                if np.any(dead_end):
+                    exhausted |= dead_end
+                    alive &= ~dead_end
+                taking = int(np.count_nonzero(alive))
+                if taking == 0:
+                    break
+                stats.arc_probes += taking
+                stats.backoff_arcs_taken += taking
+                accumulated[alive] = (
+                    accumulated[alive] + chain_weight_mat[level, alive]
+                )
+                if preemptive:
+                    pruned_now = alive & (accumulated > threshold)
+                    count = int(np.count_nonzero(pruned_now))
+                    if count:
+                        stats.preemptive_prunes += count
+                        out_weight[pruned_now] = (
+                            accumulated[pruned_now] - entry_costs[pruned_now]
+                        )
+                        out_next[pruned_now] = chain_state_mat[level, pruned_now]
+                        out_pruned[pruned_now] = True
+                        out_levels[pruned_now] = level
+                        alive &= ~pruned_now
+            searching = int(np.count_nonzero(alive))
+            if searching == 0:
+                break
+            stats.lookups += searching
+            searched[level] = alive
+            found = alive & (found_level == level)
+            if np.any(found):
+                out_weight[found] = (
+                    accumulated[found] - entry_costs[found]
+                ) + term_weight[found]
+                out_next[found] = term_next[found]
+                out_levels[found] = level
+                alive &= ~found
+        exhausted |= alive  # missed at the deepest level, no back-off left
+
+        if self.strategy is LookupStrategy.OFFSET_TABLE:
+            self._replay_offset_table(
+                words, searched, found_level, term_ordinal, chain_state_mat,
+                steps_mat,
+            )
+        else:
+            stats.arc_probes += int(steps_mat[searched].sum())
+
+        if np.any(exhausted):
+            word = int(words[int(np.flatnonzero(exhausted)[0])])
+            raise LookupError(
+                f"word {word} not found at the unigram state; the LM "
+                "must keep all unigrams (Section 3.3 guarantee)"
+            )
+        return BatchResolveResult(
+            weight=out_weight,
+            next_state=out_next,
+            pruned=out_pruned,
+            backoff_levels=out_levels,
+        )
+
+    def _replay_offset_table(
+        self,
+        words: np.ndarray,
+        searched: np.ndarray,
+        found_level: np.ndarray,
+        term_ordinal: np.ndarray,
+        chain_state_mat: np.ndarray,
+        steps_mat: np.ndarray,
+    ) -> None:
+        """Replay the batch's OLT accesses exactly, in scalar order.
+
+        The access stream is item-major (each item walks its whole
+        chain before the next item starts).  An access's outcome
+        depends only on its slot's entry at access time; entries change
+        only when a *found-level* access misses and inserts — and after
+        any found-level access, hit or miss, the slot provably holds
+        exactly that (tag, ordinal) pair.  So each access's view of its
+        slot is: the nearest preceding found-level access in its slot
+        group if any, else the live table entry — a segmented
+        forward-fill, no sequential walk needed.
+        """
+        table = self.offset_table
+        assert table is not None
+        stats = self.stats
+        # (item, level) pairs in stream order.
+        pairs = np.argwhere(searched.T)
+        if pairs.shape[0] == 0:
+            return
+        item = pairs[:, 0]
+        level = pairs[:, 1]
+        a_state = chain_state_mat[level, item]
+        a_word = words[item]
+        a_found = found_level[item] == level
+        a_ordinal = term_ordinal[item]  # meaningful on found accesses
+        a_steps = steps_mat[level, item]
+        a_slot = (a_state ^ a_word) & table._mask
+        tag_mask = (1 << OffsetLookupTable.TAG_BITS) - 1
+        a_tag = ((a_state * 0x9E3779B1) ^ (a_word * 0x85EBCA77)) & tag_mask
+
+        # Group accesses by slot, keeping stream order within groups.
+        order = np.argsort(a_slot, kind="stable")
+        total = order.shape[0]
+        slot_sorted = a_slot[order]
+        tag_sorted = a_tag[order]
+        ordinal_sorted = a_ordinal[order]
+        found_sorted = a_found[order]
+        steps_sorted = a_steps[order]
+        new_group = np.empty(total, dtype=bool)
+        new_group[0] = True
+        np.not_equal(slot_sorted[1:], slot_sorted[:-1], out=new_group[1:])
+        group_index = np.cumsum(new_group) - 1
+        # Segmented forward-fill: index of the latest found-level access
+        # at-or-before each position within its slot group (-1 if none),
+        # via the banded running-max trick (bands are disjoint because
+        # every candidate is >= -1 and < total).
+        candidate = np.where(found_sorted, np.arange(total), -1)
+        band = candidate + group_index * np.int64(total + 1)
+        run_incl = np.maximum.accumulate(band) - group_index * np.int64(total + 1)
+        prev_found = np.empty(total, dtype=np.int64)
+        prev_found[0] = -1
+        prev_found[1:] = np.where(new_group[1:], -1, run_incl[:-1])
+
+        # Entry seen by each access: predecessor's pair, else live table.
+        has_prev = prev_found >= 0
+        prev_clipped = np.maximum(prev_found, 0)
+        entry_valid = np.where(
+            has_prev, True, table._valid[slot_sorted] == table._generation
+        )
+        entry_tag = np.where(
+            has_prev, tag_sorted[prev_clipped], table._tags[slot_sorted]
+        )
+        entry_ordinal = np.where(
+            has_prev, ordinal_sorted[prev_clipped], table._offsets[slot_sorted]
+        )
+
+        cached = entry_valid & (entry_tag == tag_sorted)
+        hit = found_sorted & cached & (entry_ordinal == ordinal_sorted)
+        # A live cached entry that fails validation costs one probe
+        # before the binary search.  (The scalar path would fault on an
+        # aliased ordinal past the state's arc count; the batch treats
+        # it as the failed validation probe it models.)
+        stale = cached & ~hit
+        misses = ~hit
+        stats.olt_hits += int(np.count_nonzero(hit))
+        stats.olt_misses += int(np.count_nonzero(misses))
+        stats.arc_probes += int(
+            np.count_nonzero(hit)
+            + np.count_nonzero(stale)
+            + steps_sorted[misses].sum()
+        )
+
+        # Final table contents: the last found-level access of each slot
+        # leaves exactly its own (tag, ordinal) pair, whether it hit
+        # (idempotent) or missed (inserted).
+        group_last = np.empty(total, dtype=bool)
+        group_last[-1] = True
+        group_last[:-1] = new_group[1:]
+        final_found = run_incl[group_last]
+        writes = final_found >= 0
+        write_pos = final_found[writes]
+        write_slot = slot_sorted[group_last][writes]
+        table._valid[write_slot] = table._generation
+        table._tags[write_slot] = tag_sorted[write_pos]
+        table._offsets[write_slot] = ordinal_sorted[write_pos]

@@ -17,7 +17,7 @@ from time import perf_counter
 import numpy as np
 
 from repro.am.graph import AmGraph
-from repro.core.arcs import EmittingArcs, plan_recombination
+from repro.core.arcs import EmittingArcs, EpsilonArcs, plan_recombination
 from repro.core.beam import BeamConfig, prune
 from repro.core.composition import LmLookup, LookupStats, LookupStrategy
 from repro.core.lattice import COMPACT_RECORD_BYTES, RAW_RECORD_BYTES, WordLattice
@@ -45,6 +45,11 @@ class DecoderConfig:
     #: needs exact per-event ordering.  Both paths produce identical
     #: results and DecoderStats.
     vectorized: bool = True
+    #: LM expansion cache capacity, in LM states (the software analogue
+    #: of the paper's LM arc cache).  Only the batched epsilon engine
+    #: consults it; rows are graph-derived, so capacity can never
+    #: change results — only how much search work is re-spent.
+    expansion_cache_states: int = 1024
     #: Record a per-phase wall-clock breakdown of each decode on the
     #: decoder's ``last_phase_seconds`` (perf harness support).
     profile: bool = False
@@ -148,6 +153,7 @@ class OnTheFlyDecoder:
             strategy=self.config.lookup_strategy,
             offset_table_entries=self.config.offset_table_entries,
             sink=self.sink,
+            expansion_cache_states=self.config.expansion_cache_states,
         )
         # Dense per-state arc views for the hot loop.
         fst = am.fst
@@ -159,8 +165,11 @@ class OnTheFlyDecoder:
             [(i, a) for i, a in enumerate(fst.out_arcs(s)) if a.ilabel == EPSILON]
             for s in fst.states()
         ]
-        # CSR columns for the vectorized emitting expansion.
+        # CSR columns for the vectorized emitting expansion and the
+        # batched epsilon phase.
         self._arcs = EmittingArcs.from_fst(fst)
+        self._eps_arcs = EpsilonArcs.from_fst(fst)
+        self._batched_epsilon_ok: bool | None = None  # resolved lazily
         self._num_lm = lm.fst.num_states
         self._epsilon_flags = np.array(
             [bool(arcs) for arcs in self._epsilon], dtype=bool
@@ -198,6 +207,7 @@ class OnTheFlyDecoder:
         vectorized = (
             config.vectorized and not tracing and self._arcs.pure_emitting
         )
+        batched_epsilon = vectorized and self._epsilon_batchable()
         profile = config.profile
         expand_seconds = epsilon_seconds = 0.0
         started = perf_counter() if profile else 0.0
@@ -235,7 +245,14 @@ class OnTheFlyDecoder:
             probes_before = self.lookup.stats.arc_probes
             writes_before = stats.token_writes
             mark = perf_counter() if profile else 0.0
-            self._epsilon_phase(next_table, frame, lattice, stats, beam_config)
+            if batched_epsilon:
+                self._epsilon_phase_batched(
+                    next_table, frame, lattice, stats, beam_config
+                )
+            else:
+                self._epsilon_phase(
+                    next_table, frame, lattice, stats, beam_config
+                )
             if profile:
                 epsilon_seconds += perf_counter() - mark
             stats.frame_work.append(
@@ -364,6 +381,137 @@ class OnTheFlyDecoder:
         )
         return next_table, num_survivors, frame_expansions, pruned
 
+    def _epsilon_batchable(self) -> bool:
+        """Whether the batched epsilon phase preserves scalar semantics.
+
+        Three conditions, checked once per decoder: the epsilon graph
+        must be single-level (the phase's worklist never grows, so the
+        whole phase is a function of its seeds), and both the epsilon
+        arc weights and the LM's costs must be non-negative (no
+        within-phase insert can beat ``best_cost``, so the frame's
+        pruning threshold — which the scalar loop re-reads per token —
+        is constant).  Anything else falls back to the scalar loop.
+        """
+        ok = self._batched_epsilon_ok
+        if ok is None:
+            ok = (
+                self._eps_arcs.single_level
+                and self._eps_arcs.nonneg_weights
+                and self.lookup.batch_supported
+            )
+            self._batched_epsilon_ok = ok
+        return ok
+
+    def _epsilon_phase_batched(
+        self,
+        table: SoaTokenTable,
+        frame: int,
+        lattice: WordLattice,
+        stats: DecoderStats,
+        beam_config: BeamConfig,
+    ) -> None:
+        """One frame's epsilon phase as batched composition.
+
+        Replays the scalar loop exactly under the :meth:`_epsilon_batchable`
+        gates: seeds are processed in the worklist's pop order (reverse
+        table order), LM transitions resolve through
+        :meth:`LmLookup.resolve_batch` (bit-identical weights and
+        lookup counters, including the OLT's evolution), and the
+        surviving arrivals are committed to the lattice and token
+        table in the same interleaved order the scalar loop used.
+        """
+        am_col, lm_col, cost_col, node_col = table.columns()
+        # The worklist pops seeds off the end: reverse table order.
+        seed_pos = np.flatnonzero(self._epsilon_flags[am_col])[::-1]
+        num_seeds = seed_pos.shape[0]
+        if num_seeds == 0:
+            return
+        threshold = table.best_cost + beam_config.beam
+        seed_cost = cost_col[seed_pos]
+        keep_pos = seed_pos[seed_cost <= threshold]
+        num_keep = keep_pos.shape[0]
+        stats.beam_pruned += int(num_seeds - num_keep)
+        if num_keep == 0:
+            return
+        eps = self._eps_arcs
+        token_index, flat = eps.gather(am_col[keep_pos])
+        num_pairs = int(flat.shape[0])
+        stats.am_arc_fetches += num_pairs
+        stats.expansions += num_pairs
+        if num_pairs == 0:
+            return
+        olabels = eps.olabel[flat]
+        pair_pos = keep_pos[token_index]
+        base_cost = cost_col[pair_pos] + eps.weight[flat]
+        pair_lm = lm_col[pair_pos]
+        dest_am = eps.nextstate[flat]
+
+        is_word = olabels != EPSILON
+        word_idx = np.flatnonzero(is_word)
+        num_words = int(word_idx.shape[0])
+        committed = None
+        if num_words == num_pairs:
+            # Common AM shape: every epsilon arc is a cross-word arc.
+            result = self.lookup.resolve_batch(
+                pair_lm,
+                olabels,
+                base_cost,
+                threshold=threshold,
+                preemptive=self.config.preemptive_pruning,
+            )
+            final_cost = base_cost + result.weight
+            final_lm = result.next_state
+            pruned = result.pruned
+            num_pruned = int(np.count_nonzero(pruned))
+            stats.preemptive_pruned += num_pruned
+            if num_pruned:
+                committed = np.logical_not(pruned).tolist()
+        elif num_words:
+            result = self.lookup.resolve_batch(
+                pair_lm[word_idx],
+                olabels[word_idx],
+                base_cost[word_idx],
+                threshold=threshold,
+                preemptive=self.config.preemptive_pruning,
+            )
+            stats.preemptive_pruned += int(np.count_nonzero(result.pruned))
+            final_cost = base_cost.copy()
+            final_cost[word_idx] += result.weight
+            final_lm = pair_lm.copy()
+            final_lm[word_idx] = result.next_state
+            committed_arr = np.ones(num_pairs, dtype=bool)
+            committed_arr[word_idx] = ~result.pruned
+            committed = committed_arr.tolist()
+        else:
+            final_cost = base_cost
+            final_lm = pair_lm
+
+        keys = dest_am * np.int64(self._num_lm) + final_lm
+        hints = table.base_slot_hints(keys).tolist()
+        pair_word = is_word.tolist()
+        pair_am = dest_am.tolist()
+        pair_lm_l = final_lm.tolist()
+        pair_cost = final_cost.tolist()
+        pair_node = node_col[pair_pos].tolist()
+        pair_olabel = olabels.tolist()
+        add = lattice.add
+        insert = table.insert_hinted
+        words_done = 0
+        # Single-level gate: no arrival re-enters the worklist, so the
+        # scalar loop's remaining work is exactly this commit sequence.
+        for i in range(num_pairs):
+            if committed is not None and not committed[i]:
+                continue
+            cost = pair_cost[i]
+            if pair_word[i]:
+                node = add(pair_olabel[i], frame, cost, pair_node[i])
+                words_done += 1
+                insert(pair_am[i], pair_lm_l[i], cost, node, hints[i])
+            else:
+                insert(pair_am[i], pair_lm_l[i], cost, pair_node[i], hints[i])
+        stats.token_writes += words_done
+        stats.words_emitted += words_done
+
     def _epsilon_phase(
         self,
         table: TokenTable,
@@ -487,6 +635,9 @@ class OnTheFlyDecoder:
             olt_misses=s.olt_misses,
             backoff_arcs_taken=s.backoff_arcs_taken,
             preemptive_prunes=s.preemptive_prunes,
+            expansion_hits=s.expansion_hits,
+            expansion_misses=s.expansion_misses,
+            expansion_evictions=s.expansion_evictions,
         )
 
     def _lookup_delta(self, before: LookupStats) -> LookupStats:
@@ -498,4 +649,7 @@ class OnTheFlyDecoder:
             olt_misses=s.olt_misses - before.olt_misses,
             backoff_arcs_taken=s.backoff_arcs_taken - before.backoff_arcs_taken,
             preemptive_prunes=s.preemptive_prunes - before.preemptive_prunes,
+            expansion_hits=s.expansion_hits - before.expansion_hits,
+            expansion_misses=s.expansion_misses - before.expansion_misses,
+            expansion_evictions=s.expansion_evictions - before.expansion_evictions,
         )

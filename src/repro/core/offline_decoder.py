@@ -18,7 +18,7 @@ from time import perf_counter
 
 import numpy as np
 
-from repro.core.arcs import EmittingArcs, plan_recombination
+from repro.core.arcs import EmittingArcs, EpsilonArcs, plan_recombination
 from repro.core.beam import BeamConfig
 from repro.core.decoder import DecodeResult, DecoderConfig, DecoderStats
 from repro.core.lattice import COMPACT_RECORD_BYTES, RAW_RECORD_BYTES, WordLattice
@@ -229,6 +229,80 @@ class _SoaTable:
                 seeds.append(self.materialize(state, base_size + index))
         return seeds
 
+    def epsilon_seed_columns(
+        self, has_epsilon: np.ndarray, num_lm: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Seed tokens as (state, cost, node) arrays, in table order.
+
+        The array analogue of :meth:`epsilon_seeds` for the batched
+        epsilon phase: no _Token objects are materialized, and the
+        returned columns are snapshots (the batched phase only runs
+        when seed costs provably cannot change mid-phase).
+        """
+        state_col, cost_col, node_col = self.columns()
+        if not state_col.shape[0]:
+            return state_col, cost_col, node_col
+        picked = np.flatnonzero(has_epsilon[state_col // num_lm])
+        return state_col[picked], cost_col[picked], node_col[picked]
+
+    def base_slot_hints(self, keys: np.ndarray) -> np.ndarray:
+        """Bulk-winner slot of each composed key, -1 where absent.
+
+        One vectorized binary search replacing a per-insert
+        ``searchsorted``; valid as long as no ``bulk_fill`` intervenes
+        (the sorted base index is static after it).
+        """
+        out = np.full(keys.shape[0], -1, dtype=np.int64)
+        sorted_keys = self._sorted_keys
+        size = sorted_keys.shape[0]
+        if size:
+            pos = np.minimum(np.searchsorted(sorted_keys, keys), size - 1)
+            match = sorted_keys[pos] == keys
+            out[match] = self._slot_for_sorted[pos[match]]
+        return out
+
+    def insert_hinted(
+        self, state: int, cost: float, lattice_node: int, base_slot: int
+    ) -> bool:
+        """:meth:`insert` with the base-index search precomputed.
+
+        ``base_slot`` is the key's entry from :meth:`base_slot_hints`
+        (-1 when the key is not among the bulk winners); epsilon-phase
+        arrivals are still looked up in the side dict.
+        """
+        slot = base_slot if base_slot >= 0 else self._extra_slot.get(state)
+        if slot is None:
+            self._extra_slot[state] = self._base_state.shape[0] + len(
+                self._extra_state
+            )
+            self._extra_state.append(state)
+            self._extra_cost.append(cost)
+            self._extra_node.append(lattice_node)
+            self.inserts += 1
+        else:
+            base_size = self._base_state.shape[0]
+            if slot < base_size:
+                current = self._base_cost[slot]
+            else:
+                current = self._extra_cost[slot - base_size]
+            if cost < current:
+                if slot < base_size:
+                    self._base_cost[slot] = cost
+                    self._base_node[slot] = lattice_node
+                else:
+                    self._extra_cost[slot - base_size] = cost
+                    self._extra_node[slot - base_size] = lattice_node
+                token = self._materialized.get(state)
+                if token is not None:
+                    token.cost = cost
+                    token.lattice_node = lattice_node
+            else:
+                self.recombinations += 1
+                return False
+        if cost < self.best_cost:
+            self.best_cost = cost
+        return True
+
     def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         if not self._extra_state:
             return self._base_state, self._base_cost, self._base_node
@@ -268,6 +342,11 @@ class FullyComposedDecoder:
         # epsilon), so one CSR build over the AM graph serves every
         # composed state — no lazy composition on the emitting path.
         self._arcs = EmittingArcs.from_fst(graph.am.fst)
+        # Composed epsilon arcs likewise mirror AM epsilon arcs: the
+        # batched epsilon phase composes the LM side itself through
+        # the graph's lookup, bypassing the lazy per-state arc cache.
+        self._eps_arcs = EpsilonArcs.from_fst(graph.am.fst)
+        self._batched_epsilon_ok: bool | None = None  # resolved lazily
         self._num_lm = graph.lm.fst.num_states
         # Epsilon out-degree depends only on the AM side; a flat flag
         # array keeps the worklist check off the lazy composed cache.
@@ -317,6 +396,7 @@ class FullyComposedDecoder:
         vectorized = (
             config.vectorized and not tracing and self._arcs.pure_emitting
         )
+        batched_epsilon = vectorized and self._epsilon_batchable()
         profile = config.profile
         expand_seconds = epsilon_seconds = 0.0
         started = perf_counter() if profile else 0.0
@@ -368,7 +448,10 @@ class FullyComposedDecoder:
             stats.am_arc_fetches += frame_expansions
             stats.expansions += frame_expansions
             mark = perf_counter() if profile else 0.0
-            self._epsilon_phase(next_table, frame, lattice, stats, beam)
+            if batched_epsilon:
+                self._epsilon_phase_batched(next_table, frame, lattice, stats, beam)
+            else:
+                self._epsilon_phase(next_table, frame, lattice, stats, beam)
             if profile:
                 epsilon_seconds += perf_counter() - mark
             stats.tokens_created += next_table.inserts
@@ -454,6 +537,111 @@ class FullyComposedDecoder:
                 beam.max_active, survivors, key=lambda t: t.cost
             )
         return survivors, total - len(survivors)
+
+    def _epsilon_batchable(self) -> bool:
+        """Whether the batched epsilon phase preserves scalar semantics.
+
+        Same gates as ``OnTheFlyDecoder._epsilon_batchable``: the
+        epsilon graph must be single-level and every composed epsilon
+        weight (AM arc weight, plus the LM's resolved total on
+        cross-word arcs) non-negative, so the frame's pruning
+        threshold stays constant for the whole phase.
+        """
+        ok = self._batched_epsilon_ok
+        if ok is None:
+            ok = (
+                self._eps_arcs.single_level
+                and self._eps_arcs.nonneg_weights
+                and self.graph._lookup.batch_supported
+            )
+            self._batched_epsilon_ok = ok
+        return ok
+
+    def _epsilon_phase_batched(
+        self,
+        table: _SoaTable,
+        frame: int,
+        lattice: WordLattice,
+        stats: DecoderStats,
+        beam: BeamConfig,
+    ) -> None:
+        """One frame's epsilon phase as batched composition.
+
+        Replays the scalar loop exactly under the
+        :meth:`_epsilon_batchable` gates, composing cross-word arcs
+        through :meth:`LmLookup.resolve_batch` instead of the lazy
+        per-state composed-arc cache: seeds are processed in the
+        worklist's pop order (reverse table order) and the arrivals
+        are committed in the scalar loop's interleaved order.
+        """
+        num_lm = self._num_lm
+        state_col, cost_col, node_col = table.epsilon_seed_columns(
+            self._has_epsilon_arr, num_lm
+        )
+        num_seeds = state_col.shape[0]
+        if num_seeds == 0:
+            return
+        threshold = table.best_cost + beam.beam
+        # The worklist pops seeds off the end: reverse table order.
+        state_col = state_col[::-1]
+        cost_col = cost_col[::-1]
+        node_col = node_col[::-1]
+        alive = cost_col <= threshold
+        keep = np.flatnonzero(alive)
+        stats.beam_pruned += int(num_seeds - keep.shape[0])
+        if keep.shape[0] == 0:
+            return
+        eps = self._eps_arcs
+        am_col, lm_col = np.divmod(state_col[keep], np.int64(num_lm))
+        token_index, flat = eps.gather(am_col)
+        num_pairs = int(flat.shape[0])
+        stats.am_arc_fetches += num_pairs
+        stats.expansions += num_pairs
+        if num_pairs == 0:
+            return
+        olabels = eps.olabel[flat]
+        pair_lm = lm_col[token_index]
+        pair_node = node_col[keep][token_index]
+        dest_am = eps.nextstate[flat]
+        # Composed weight first, token cost second — the scalar loop
+        # adds ``token.cost + arc.weight`` where the composed arc's
+        # weight was formed as ``am_weight + resolve.weight``.
+        composed_w = eps.weight[flat].copy()
+        final_lm = pair_lm.copy()
+
+        is_word = olabels != EPSILON
+        word_idx = np.flatnonzero(is_word)
+        if word_idx.shape[0]:
+            result = self.graph._lookup.resolve_batch(
+                pair_lm[word_idx],
+                olabels[word_idx],
+                np.zeros(word_idx.shape[0], dtype=np.float64),
+            )
+            composed_w[word_idx] = eps.weight[flat][word_idx] + result.weight
+            final_lm[word_idx] = result.next_state
+        cost = cost_col[keep][token_index] + composed_w
+
+        keys = dest_am * np.int64(num_lm) + final_lm
+        hints = table.base_slot_hints(keys).tolist()
+        commit_word = is_word.tolist()
+        commit_key = keys.tolist()
+        commit_cost = cost.tolist()
+        commit_node = pair_node.tolist()
+        commit_olabel = olabels.tolist()
+        add = lattice.add
+        insert = table.insert_hinted
+        words_done = 0
+        # Single-level gate: no arrival re-enters the worklist, so the
+        # scalar loop's remaining work is exactly this commit sequence.
+        for i in range(len(commit_key)):
+            arrival_cost = commit_cost[i]
+            node = commit_node[i]
+            if commit_word[i]:
+                node = add(commit_olabel[i], frame, arrival_cost, node)
+                words_done += 1
+            insert(commit_key[i], arrival_cost, node, hints[i])
+        stats.token_writes += words_done
+        stats.words_emitted += words_done
 
     def _epsilon_phase(
         self,

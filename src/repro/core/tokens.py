@@ -312,6 +312,93 @@ class SoaTokenTable:
                 seeds.append(self.materialize(key, base_size + index))
         return seeds
 
+    def epsilon_seed_columns(
+        self, has_epsilon: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Seed tokens as (am, lm, cost, node) arrays, in table order.
+
+        The array analogue of :meth:`epsilon_seeds` for the batched
+        epsilon phase: no Token objects are materialized, and the
+        returned columns are snapshots (the batched phase only runs
+        when seed costs provably cannot change mid-phase).
+        """
+        am_col, lm_col, cost_col, node_col = self.columns()
+        if not am_col.shape[0]:
+            return am_col, lm_col, cost_col, node_col
+        picked = np.flatnonzero(has_epsilon[am_col])
+        return (
+            am_col[picked],
+            lm_col[picked],
+            cost_col[picked],
+            node_col[picked],
+        )
+
+    def base_slot_hints(self, keys: np.ndarray) -> np.ndarray:
+        """Bulk-winner slot of each packed key, -1 where absent.
+
+        One vectorized binary search replacing a per-insert
+        ``searchsorted``; valid as long as no ``bulk_fill`` intervenes
+        (the sorted base index is static after it).
+        """
+        out = np.full(keys.shape[0], -1, dtype=np.int64)
+        sorted_keys = self._sorted_keys
+        size = sorted_keys.shape[0]
+        if size:
+            pos = np.minimum(np.searchsorted(sorted_keys, keys), size - 1)
+            match = sorted_keys[pos] == keys
+            out[match] = self._slot_for_sorted[pos[match]]
+        return out
+
+    def insert_hinted(
+        self,
+        am_state: int,
+        lm_state: int,
+        cost: float,
+        lattice_node: int,
+        base_slot: int,
+    ) -> bool:
+        """:meth:`insert` with the base-index search precomputed.
+
+        ``base_slot`` is the key's entry from :meth:`base_slot_hints`
+        (-1 when the key is not among the bulk winners); epsilon-phase
+        arrivals are still looked up in the side dict.
+        """
+        key = am_state * self.num_lm + lm_state
+        slot = base_slot if base_slot >= 0 else self._extra_slot.get(key)
+        if slot is None:
+            self._extra_slot[key] = self._base_am.shape[0] + len(
+                self._extra_am
+            )
+            self._extra_am.append(am_state)
+            self._extra_lm.append(lm_state)
+            self._extra_cost.append(cost)
+            self._extra_node.append(lattice_node)
+            self.inserts += 1
+        else:
+            base_size = self._base_am.shape[0]
+            if slot < base_size:
+                current = self._base_cost[slot]
+            else:
+                current = self._extra_cost[slot - base_size]
+            if cost < current:
+                if slot < base_size:
+                    self._base_cost[slot] = cost
+                    self._base_node[slot] = lattice_node
+                else:
+                    self._extra_cost[slot - base_size] = cost
+                    self._extra_node[slot - base_size] = lattice_node
+                token = self._materialized.get(key)
+                if token is not None:
+                    token.cost = cost
+                    token.lattice_node = lattice_node
+                self.improvements += 1
+            else:
+                self.recombinations += 1
+                return False
+        if cost < self.best_cost:
+            self.best_cost = cost
+        return True
+
     def columns(
         self,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:

@@ -217,6 +217,72 @@ def _measure_parallel(bundle, parallelism: int, config: DecoderConfig) -> dict:
     return out
 
 
+def check_report(
+    report: dict,
+    fail_below: float | None = None,
+    fail_epsilon_above: float | None = None,
+    fail_parallel_below: float | None = None,
+) -> tuple[list[str], list[str]]:
+    """Evaluate regression gates against a measured report.
+
+    Returns ``(failures, notes)``: human-readable failure lines (empty
+    when every gate passes) and informational lines for gates that
+    were evaluated or skipped.  Gates:
+
+    * ``fail_below`` — floor on the on-the-fly vectorized speedup;
+    * ``fail_epsilon_above`` — ceiling (seconds) on the vectorized
+      on-the-fly row's ``epsilon_s``, so the batched composition phase
+      can't silently regress while total throughput still passes;
+    * ``fail_parallel_below`` — floor on the pool's parallel speedup,
+      skipped (with a note) when the harness saw a single CPU, where a
+      process pool cannot beat the serial pass.
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    if fail_below is not None:
+        speedup = report["vectorized_speedup"]["on-the-fly"]
+        if speedup < fail_below:
+            failures.append(
+                f"on-the-fly vectorized speedup {speedup}x is below "
+                f"the {fail_below}x floor"
+            )
+        else:
+            notes.append(f"on-the-fly vectorized speedup {speedup}x")
+    if fail_epsilon_above is not None:
+        row = next(
+            r
+            for r in report["rows"]
+            if r["decoder"] == "on-the-fly" and r["mode"] == "vectorized"
+        )
+        epsilon_s = row["epsilon_s"]
+        if epsilon_s > fail_epsilon_above:
+            failures.append(
+                f"vectorized on-the-fly epsilon_s {epsilon_s}s exceeds "
+                f"the {fail_epsilon_above}s ceiling"
+            )
+        else:
+            notes.append(f"vectorized on-the-fly epsilon_s {epsilon_s}s")
+    if fail_parallel_below is not None:
+        parallel = report["parallel"]
+        speedup = parallel.get("parallel_speedup")
+        if speedup is None:
+            notes.append("parallel gate skipped: no parallel pass measured")
+        elif report["cpus"] < 2:
+            notes.append(
+                f"parallel gate skipped: {report['cpus']} visible cpu(s); "
+                f"measured {speedup}x for the record"
+            )
+        elif speedup < fail_parallel_below:
+            failures.append(
+                f"pool parallel speedup {speedup}x at parallelism "
+                f"{parallel['parallelism']} is below the "
+                f"{fail_parallel_below}x floor"
+            )
+        else:
+            notes.append(f"pool parallel speedup {speedup}x")
+    return failures, notes
+
+
 def _to_result(report: dict) -> ExperimentResult:
     rows = [dict(row) for row in report["rows"]]
     parallel = report["parallel"]

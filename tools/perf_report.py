@@ -6,10 +6,16 @@ both decoders, plus serial vs utterance-parallel pool throughput, and
 writes the numbers to ``BENCH_decode.json``::
 
     PYTHONPATH=src python tools/perf_report.py --preset small
-    PYTHONPATH=src python tools/perf_report.py --preset medium --fail-below 3.0
+    PYTHONPATH=src python tools/perf_report.py --preset medium --fail-below 3.0 \
+        --fail-epsilon-above 0.12 --fail-parallel-below 1.0
 
-``--fail-below X`` exits non-zero when the on-the-fly vectorized
-speedup drops under ``X`` — the CI regression gate.
+The CI regression gates, all optional and exit-1 on breach:
+``--fail-below X`` floors the on-the-fly vectorized speedup;
+``--fail-epsilon-above S`` caps the vectorized on-the-fly epsilon
+phase at ``S`` seconds (per-phase gate, not just total throughput);
+``--fail-parallel-below X`` floors the pool's parallel speedup, and is
+skipped with a warning on single-CPU machines where a process pool
+cannot win.
 """
 
 from __future__ import annotations
@@ -47,9 +53,25 @@ def main(argv: list[str] | None = None) -> int:
         metavar="X",
         help="exit 1 if the on-the-fly vectorized speedup is below X",
     )
+    parser.add_argument(
+        "--fail-epsilon-above",
+        type=float,
+        default=None,
+        metavar="S",
+        help="exit 1 if the vectorized on-the-fly epsilon phase takes "
+        "more than S seconds",
+    )
+    parser.add_argument(
+        "--fail-parallel-below",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 if the pool's parallel speedup is below X "
+        "(skipped with a warning on single-CPU machines)",
+    )
     args = parser.parse_args(argv)
 
-    from repro.experiments.perf_decode import write_bench_report
+    from repro.experiments.perf_decode import check_report, write_bench_report
 
     result = write_bench_report(
         preset=args.preset,
@@ -60,20 +82,20 @@ def main(argv: list[str] | None = None) -> int:
     print(result.render())
     print(f"\nwrote {args.output}")
 
-    if args.fail_below is not None:
-        import json
+    import json
 
-        report = json.loads(Path(args.output).read_text())
-        speedup = report["vectorized_speedup"]["on-the-fly"]
-        if speedup < args.fail_below:
-            print(
-                f"FAIL: on-the-fly vectorized speedup {speedup}x is below "
-                f"the {args.fail_below}x floor",
-                file=sys.stderr,
-            )
-            return 1
-        print(f"OK: on-the-fly vectorized speedup {speedup}x")
-    return 0
+    report = json.loads(Path(args.output).read_text())
+    failures, notes = check_report(
+        report,
+        fail_below=args.fail_below,
+        fail_epsilon_above=args.fail_epsilon_above,
+        fail_parallel_below=args.fail_parallel_below,
+    )
+    for note in notes:
+        print(f"OK: {note}" if "skipped" not in note else f"WARN: {note}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":
