@@ -1,8 +1,12 @@
-"""Dictation scenario: long-form decoding across all three platforms.
+"""Dictation scenario: *batch* decoding across all three platforms.
 
-Builds the Librispeech-scale task with its DNN front-end, decodes a
-batch of longer utterances, and reports per-platform latency, energy
-and WER — the whole-pipeline view of the paper's Section 5.2.
+Despite the name, this is not a network server — it is the platform
+comparison: build the Librispeech-scale task with its DNN front-end,
+decode a batch of longer utterances offline, and report per-platform
+latency, energy and WER — the whole-pipeline view of the paper's
+Section 5.2.  For an actual long-lived service (concurrent streaming
+sessions, admission control, live metrics), see
+``examples/live_service.py`` and :mod:`repro.serve`.
 
 Run:
     python examples/dictation_server.py

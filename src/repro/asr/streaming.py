@@ -22,7 +22,7 @@ import numpy as np
 from repro.core.beam import prune
 from repro.core.decoder import DecodeResult, DecoderStats, OnTheFlyDecoder
 from repro.core.lattice import WordLattice
-from repro.core.tokens import TokenTable
+from repro.core.tokens import SoaTokenTable, TokenTable
 
 
 @dataclass
@@ -36,11 +36,34 @@ class PartialHypothesis:
 
 
 class StreamingSession:
-    """Incremental decoding over one utterance."""
+    """Incremental decoding over one utterance.
+
+    The per-frame work dispatches exactly as
+    :meth:`~repro.core.decoder.OnTheFlyDecoder.decode` does: the
+    vectorized emitting expansion plus the batched epsilon phase
+    whenever the decoder's structure allows them, and the scalar
+    reference loop otherwise (always under a trace sink, which needs
+    exact per-event ordering).  Both paths produce bit-identical
+    partials, results and :class:`DecoderStats` — the streaming analogue
+    of the offline decoder's parity contract.
+    """
 
     def __init__(self, decoder: OnTheFlyDecoder) -> None:
         self.decoder = decoder
-        self._table = TokenTable()
+        config = decoder.config
+        self._vectorized = (
+            config.vectorized
+            and not decoder._tracing
+            and decoder._arcs.pure_emitting
+        )
+        self._batched_epsilon = (
+            self._vectorized and decoder._epsilon_batchable()
+        )
+        self._table: TokenTable | SoaTokenTable = (
+            SoaTokenTable(decoder._num_lm)
+            if self._vectorized
+            else TokenTable()
+        )
         self._table.insert(
             decoder.am.loop_state, decoder.lm.fst.start, 0.0, -1
         )
@@ -48,6 +71,12 @@ class StreamingSession:
         self._stats = DecoderStats()
         self._frames = 0
         self._finished = False
+        # Lookup-counter baseline so finish() can report this
+        # utterance's delta, as decode() does.  With several sessions
+        # interleaved on one decoder (the serving layer), the delta is
+        # decoder-wide over the session's lifetime rather than
+        # per-utterance; transcripts are unaffected either way.
+        self._lookup_start = decoder._snapshot_lookup()
 
     @property
     def frames_consumed(self) -> int:
@@ -57,39 +86,87 @@ class StreamingSession:
         """Consume one batch of frames; returns the running best guess."""
         if self._finished:
             raise RuntimeError("session already finished")
-        if scores.ndim != 2 or scores.shape[1] < self.decoder.am.num_senones:
+        if scores.ndim != 2:
+            raise ValueError(f"bad score batch shape {scores.shape}")
+        if scores.shape[0] == 0:
+            # A zero-frame batch is a legal keep-alive: no decoding
+            # work, the running hypothesis is simply re-read.
+            return self._partial()
+        if scores.shape[1] < self.decoder.am.num_senones:
             raise ValueError(f"bad score batch shape {scores.shape}")
         decoder = self.decoder
+        stats = self._stats
+        lattice = self._lattice
+        lookup = decoder.lookup
         beam_config = decoder.config.beam_config()
-        # One conversion per batch: the scalar hot loop wants plain
-        # Python floats, not per-element numpy indexing.
-        rows = np.ascontiguousarray(scores, dtype=np.float64).tolist()
-        for row in rows:
-            survivors, pruned = prune(self._table, beam_config)
-            self._stats.beam_pruned += pruned
-            next_table = TokenTable()
-            frame_expansions = decoder._expand_emitting_scalar(
-                survivors, row, next_table
+        vectorized = self._vectorized
+        scores = np.ascontiguousarray(scores, dtype=np.float64)
+        # The scalar hot loop wants plain Python floats, not
+        # per-element numpy indexing: one conversion per batch.
+        rows = None if vectorized else scores.tolist()
+        current = self._table
+        for i in range(scores.shape[0]):
+            if vectorized:
+                next_table, num_survivors, frame_expansions, pruned = (
+                    decoder._expand_frame_vectorized(
+                        current, scores[i], beam_config
+                    )
+                )
+            else:
+                survivors, pruned = prune(current, beam_config)
+                num_survivors = len(survivors)
+                next_table = TokenTable()
+                frame_expansions = decoder._expand_emitting_scalar(
+                    survivors, rows[i], next_table
+                )
+            stats.beam_pruned += pruned
+            stats.am_state_fetches += num_survivors
+            stats.am_arc_fetches += frame_expansions
+            stats.expansions += frame_expansions
+            expansions_before = stats.expansions
+            probes_before = lookup.stats.arc_probes
+            writes_before = stats.token_writes
+            if self._batched_epsilon:
+                decoder._epsilon_phase_batched(
+                    next_table, self._frames, lattice, stats, beam_config
+                )
+            else:
+                decoder._epsilon_phase(
+                    next_table, self._frames, lattice, stats, beam_config
+                )
+            stats.frame_work.append(
+                (
+                    num_survivors,
+                    frame_expansions
+                    + (stats.expansions - expansions_before),
+                    lookup.stats.arc_probes - probes_before,
+                    stats.token_writes - writes_before,
+                )
             )
-            self._stats.am_state_fetches += len(survivors)
-            self._stats.am_arc_fetches += frame_expansions
-            self._stats.expansions += frame_expansions
-            decoder._epsilon_phase(
-                next_table, self._frames, self._lattice, self._stats, beam_config
-            )
-            self._stats.tokens_created += next_table.inserts
-            self._stats.active_history.append(len(next_table))
-            self._table = next_table
+            stats.tokens_created += next_table.inserts
+            stats.tokens_recombined += next_table.recombinations
+            stats.active_history.append(len(next_table))
+            current = next_table
             self._frames += 1
+        self._table = current
         return self._partial()
 
     def _partial(self) -> PartialHypothesis:
         best_cost = math.inf
         best_node = -1
-        for token in self._table:
-            if token.cost < best_cost:
-                best_cost = token.cost
-                best_node = token.lattice_node
+        if isinstance(self._table, SoaTokenTable):
+            # Column order is iteration order, and argmin returns the
+            # first minimum — the same winner the scalar scan picks.
+            _, _, cost_col, node_col = self._table.columns()
+            if cost_col.shape[0]:
+                best = int(np.argmin(cost_col))
+                best_cost = float(cost_col[best])
+                best_node = int(node_col[best])
+        else:
+            for token in self._table:
+                if token.cost < best_cost:
+                    best_cost = token.cost
+                    best_node = token.lattice_node
         words = (
             [
                 self.decoder.lm.words.symbol_of(w)
@@ -111,6 +188,7 @@ class StreamingSession:
             raise RuntimeError("session already finished")
         self._finished = True
         self._stats.frames = self._frames
+        self._stats.lookup = self.decoder._lookup_delta(self._lookup_start)
         return self.decoder._finalize(self._table, self._lattice, self._stats)
 
 
@@ -133,6 +211,7 @@ def transcribe_streams(
     batch_frames: int = 32,
     parallelism: int = 1,
     scorer=None,
+    pool=None,
 ) -> list[DecodeResult]:
     """Run a batch of independent streams, optionally across processes.
 
@@ -143,7 +222,16 @@ def transcribe_streams(
     levels whenever a ``scorer`` is given — the pool's determinism
     contract (cold per-decode caches per stream, bundle-quantized
     weights) applies to both modes then.
+
+    A caller issuing many of these — a long-lived service — should
+    pass an existing ``pool`` (or go through
+    :meth:`~repro.asr.system.AsrSystem.transcribe_streams`, which
+    caches pools): building a pool per call would re-fork warm workers
+    every batch.  With ``pool`` given, ``parallelism``/``scorer`` are
+    ignored and the pool is left open for the caller.
     """
+    if pool is not None:
+        return pool.decode_streams(score_matrices, batch_frames)
     if scorer is None:
         if parallelism != 1:
             raise ValueError(

@@ -93,19 +93,11 @@ class AsrSystem:
     def score_all(self, utterances: list[Utterance]) -> list[np.ndarray]:
         return [self.scorer.score(u.features) for u in utterances]
 
-    def transcribe(
-        self,
-        utterances: list[Utterance],
-        config: DecoderConfig | None = None,
-        parallelism: int = 1,
-    ) -> list[DecodeResult]:
-        """Score and decode a batch with the software decoder.
+    def _pool_for(self, config: DecoderConfig | None, parallelism: int):
+        """The cached DecodePool for one (config, parallelism) pair.
 
-        ``parallelism > 1`` fans utterances out over worker processes
-        (see :class:`repro.asr.parallel.DecodePool`); results are
-        identical to a serial run, in input order.  The pool persists
-        across calls — workers warm up once, not per batch; call
-        :meth:`close` to release them.
+        Pools persist across calls — workers warm up once, not per
+        batch; :meth:`close` releases them.
         """
         from dataclasses import astuple
 
@@ -122,7 +114,40 @@ class AsrSystem:
                 parallelism=parallelism,
             )
             self._pools[key] = pool
-        return pool.decode_utterances(utterances)
+        return pool
+
+    def transcribe(
+        self,
+        utterances: list[Utterance],
+        config: DecoderConfig | None = None,
+        parallelism: int = 1,
+    ) -> list[DecodeResult]:
+        """Score and decode a batch with the software decoder.
+
+        ``parallelism > 1`` fans utterances out over worker processes
+        (see :class:`repro.asr.parallel.DecodePool`); results are
+        identical to a serial run, in input order.
+        """
+        return self._pool_for(config, parallelism).decode_utterances(
+            utterances
+        )
+
+    def transcribe_streams(
+        self,
+        utterances: list[Utterance],
+        config: DecoderConfig | None = None,
+        parallelism: int = 1,
+        batch_frames: int = 32,
+    ) -> list[DecodeResult]:
+        """Score and decode a batch through streaming sessions.
+
+        Same cached-pool reuse as :meth:`transcribe` — a server issuing
+        call after call keeps its warm workers instead of re-forking a
+        throwaway pool per batch.
+        """
+        pool = self._pool_for(config, parallelism)
+        scores = [self.scorer.score(u.features) for u in utterances]
+        return pool.decode_streams(scores, batch_frames)
 
     def close(self) -> None:
         """Shut down any worker pools transcribe has built."""

@@ -7,6 +7,8 @@ Subcommands::
     python -m repro experiment <id>      # regenerate one table/figure
     python -m repro report  [output]     # regenerate EXPERIMENTS.md
     python -m repro perf                 # decode throughput regression report
+    python -m repro serve   [task]       # live streaming transcription server
+    python -m repro serve-bench          # serving regression report
 
 Task names: tiny, kaldi-voxforge, kaldi-librispeech, kaldi-tedlium,
 eesen-tedlium.
@@ -104,6 +106,69 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.asr import build_scorer, build_task
+    from repro.core import DecoderConfig
+    from repro.serve import ServeConfig, TranscriptionServer
+
+    task = build_task(_task_config(args.task))
+    # Worker processes decode the persisted bundle, so they need the
+    # scorer; the in-process engine decodes the graphs directly.
+    scorer = build_scorer(task) if args.workers > 1 else None
+    config = DecoderConfig(beam=args.beam, vectorized=True)
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        max_queued_batches=args.max_queued_batches,
+        idle_timeout_seconds=args.idle_timeout,
+        workers=args.workers,
+    )
+
+    async def _serve() -> None:
+        server = TranscriptionServer(
+            task.am,
+            task.lm,
+            decoder_config=config,
+            serve_config=serve_config,
+            scorer=scorer,
+        )
+        await server.start()
+        print(
+            f"serving {task.name} on {server.config.host}:{server.port} "
+            f"(workers={args.workers}, max_sessions={args.max_sessions}; "
+            f"Ctrl-C drains and stops)",
+            flush=True,
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop(drain=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("drained and stopped")
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.serve_bench import write_bench_report
+
+    report = write_bench_report(
+        preset=args.preset,
+        output=args.output,
+        concurrency=args.concurrency,
+        batch_frames=args.batch_frames,
+        transport=args.transport,
+        workers=args.workers,
+    )
+    print(report.render())
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.registry import run_experiment
 
@@ -154,6 +219,45 @@ def main(argv: list[str] | None = None) -> int:
     p_perf.add_argument("--output", default="BENCH_decode.json")
     p_perf.add_argument("--parallelism", type=int, default=2)
     p_perf.set_defaults(func=cmd_perf)
+
+    p_serve = sub.add_parser(
+        "serve", help="live streaming transcription server (NDJSON TCP)"
+    )
+    p_serve.add_argument("task", nargs="?", default="tiny")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port"
+    )
+    p_serve.add_argument("--beam", type=float, default=14.0)
+    p_serve.add_argument("--max-sessions", type=int, default=8)
+    p_serve.add_argument("--max-queued-batches", type=int, default=4)
+    p_serve.add_argument("--idle-timeout", type=float, default=30.0)
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="decode worker processes (1 = in-process engine)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_serve_bench = sub.add_parser(
+        "serve-bench",
+        help="serving throughput/latency report (BENCH_serve.json)",
+    )
+    p_serve_bench.add_argument(
+        "--preset", choices=("small", "medium"), default="small"
+    )
+    p_serve_bench.add_argument("--output", default="BENCH_serve.json")
+    p_serve_bench.add_argument("--concurrency", type=int, default=4)
+    p_serve_bench.add_argument("--batch-frames", type=int, default=8)
+    p_serve_bench.add_argument(
+        "--transport",
+        choices=("local", "tcp"),
+        default="local",
+        help="in-process client or real TCP sockets",
+    )
+    p_serve_bench.add_argument("--workers", type=int, default=1)
+    p_serve_bench.set_defaults(func=cmd_serve_bench)
 
     p_exp = sub.add_parser("experiment", help="regenerate one table/figure")
     p_exp.add_argument("id", help="e.g. fig08, table1, ablation-lookup")

@@ -24,6 +24,7 @@ from repro.experiments import (
     fig12_overall_time,
     fig13_overall_energy,
     perf_decode,
+    serve_bench,
     table1_wfst_sizes,
     table2_compressed_sizes,
     table5_latency,
@@ -63,6 +64,10 @@ EXPERIMENTS: dict[str, tuple[Callable[[], ExperimentResult], str]] = {
     "perf-decode": (
         perf_decode.run,
         "software decode throughput regression harness",
+    ),
+    "serve-bench": (
+        serve_bench.run,
+        "streaming service throughput/latency regression harness",
     ),
 }
 

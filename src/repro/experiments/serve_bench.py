@@ -1,0 +1,289 @@
+"""Serving-layer regression harness (serve-bench).
+
+Not a paper figure: like :mod:`repro.experiments.perf_decode`, this
+experiment guards software we built around the paper — here the
+:mod:`repro.serve` streaming service.  It starts a real
+:class:`~repro.serve.server.TranscriptionServer` on one preset, replays
+the preset's utterances through the load generator at a fixed
+concurrency (over the in-process client or genuine TCP sockets),
+asserts every concurrent transcript matches a sequential
+:func:`~repro.asr.streaming.decode_streaming` pass, asserts shutdown
+drained every admitted session, and reports throughput plus latency
+percentiles from both the client's and the server's (metrics registry)
+point of view.
+
+``write_bench_report`` persists the numbers as ``BENCH_serve.json`` so
+service regressions show up as a diff; ``tools/perf_report.py
+--serve`` is the command-line wrapper with the CI gates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+from repro.core.decoder import DecoderConfig, OnTheFlyDecoder
+from repro.experiments.common import MAX_ACTIVE, ExperimentResult, get_bundle
+from repro.experiments.perf_decode import BEAM, PRESETS, _visible_cpus
+
+#: Defaults sized so backpressure is reachable but not constant: the
+#: table holds the bench concurrency, queues stay shallow.
+DEFAULT_CONCURRENCY = 4
+DEFAULT_BATCH_FRAMES = 8
+
+TRANSPORTS = ("local", "tcp")
+
+
+def measure(
+    preset: str = "small",
+    concurrency: int = DEFAULT_CONCURRENCY,
+    batch_frames: int = DEFAULT_BATCH_FRAMES,
+    transport: str = "local",
+    workers: int = 1,
+    max_sessions: int | None = None,
+    max_queued_batches: int = 4,
+) -> dict:
+    """Run one load-generation pass against a live server.
+
+    Raises ``AssertionError`` when any concurrent transcript diverges
+    from the sequential reference or the drain leaves sessions behind —
+    a bench that measured wrong answers has nothing worth reporting.
+    """
+    if preset not in PRESETS:
+        raise ValueError(
+            f"unknown preset {preset!r}; choose from {sorted(PRESETS)}"
+        )
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; choose from {TRANSPORTS}"
+        )
+    bundle = get_bundle(PRESETS[preset])
+    task = bundle.task
+    scores = bundle.scores
+    config = DecoderConfig(beam=BEAM, max_active=MAX_ACTIVE, vectorized=True)
+
+    # Sequential reference.  The inline engine decodes the parent
+    # graphs; worker processes decode the bundle-quantized recognizer
+    # (DecodePool's contract), so each mode is compared against a
+    # reference decoding the same graphs it serves.
+    if workers == 1:
+        from repro.asr.streaming import transcribe_streams
+
+        decoder = OnTheFlyDecoder(task.am, task.lm, config)
+        expected = transcribe_streams(decoder, scores, batch_frames)
+    else:
+        from repro.asr.parallel import DecodePool
+
+        with DecodePool(
+            task.am,
+            task.lm,
+            scorer=bundle.scorer,
+            config=config,
+            parallelism=1,
+        ) as ref_pool:
+            expected = ref_pool.decode_streams(scores, batch_frames)
+
+    load, metrics, drained = asyncio.run(
+        _drive(
+            bundle,
+            config,
+            concurrency=concurrency,
+            batch_frames=batch_frames,
+            transport=transport,
+            workers=workers,
+            max_sessions=max_sessions or max(concurrency, 2),
+            max_queued_batches=max_queued_batches,
+        )
+    )
+
+    mismatched = [
+        o.index
+        for o, ref in zip(load.outcomes, expected)
+        if o.words != ref.words or o.cost != ref.cost
+    ]
+    if mismatched:
+        raise AssertionError(
+            f"served transcripts diverge from sequential streaming on "
+            f"utterances {mismatched}"
+        )
+    if not drained:
+        raise AssertionError("graceful stop left sessions undrained")
+
+    report = {
+        "preset": preset,
+        "task": task.name,
+        "cpus": _visible_cpus(),
+        "transport": transport,
+        "workers": workers,
+        "max_sessions": max_sessions or max(concurrency, 2),
+        "max_queued_batches": max_queued_batches,
+        "matches_sequential": True,
+        "drained": True,
+        "metrics": metrics,
+    }
+    report.update(load.to_dict())
+    return report
+
+
+async def _drive(
+    bundle,
+    config: DecoderConfig,
+    concurrency: int,
+    batch_frames: int,
+    transport: str,
+    workers: int,
+    max_sessions: int,
+    max_queued_batches: int,
+):
+    """Server up, load through, graceful drain down."""
+    from repro.serve import ServeConfig, TcpClient, TranscriptionServer
+    from repro.serve.loadgen import run_load
+
+    serve_config = ServeConfig(
+        port=0 if transport == "tcp" else None,
+        max_sessions=max_sessions,
+        max_queued_batches=max_queued_batches,
+        workers=workers,
+    )
+    server = TranscriptionServer(
+        bundle.task.am,
+        bundle.task.lm,
+        decoder_config=config,
+        serve_config=serve_config,
+        scorer=bundle.scorer,
+    )
+    await server.start()
+    try:
+        if transport == "tcp":
+            client = await TcpClient.connect(server.config.host, server.port)
+        else:
+            client = server.connect_local()
+        try:
+            load = await run_load(
+                client,
+                bundle.scores,
+                concurrency=concurrency,
+                batch_frames=batch_frames,
+            )
+        finally:
+            await client.close()
+    finally:
+        await server.stop(drain=True)
+    drained = server.scheduler.active_sessions == 0
+    return load, server.metrics.snapshot(), drained
+
+
+def check_serve_report(
+    report: dict,
+    fail_fps_below: float | None = None,
+    fail_p95_above: float | None = None,
+) -> tuple[list[str], list[str]]:
+    """Evaluate the serving regression gates against a measured report.
+
+    Returns ``(failures, notes)`` like
+    :func:`repro.experiments.perf_decode.check_report`.  Gates:
+
+    * ``fail_fps_below`` — floor on served frames per second;
+    * ``fail_p95_above`` — ceiling (seconds) on the p95 per-push decode
+      latency seen by clients.
+
+    Correctness invariants (``matches_sequential``, ``drained``, at
+    least one decoded frame in the server's own metrics) are always
+    checked — a report that flunks those is wrong, not just slow.
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    if not report.get("matches_sequential"):
+        failures.append("served transcripts diverged from sequential decode")
+    if not report.get("drained"):
+        failures.append("graceful stop left sessions undrained")
+    served = (
+        report.get("metrics", {}).get("counters", {}).get("frames_decoded", 0)
+    )
+    if served <= 0:
+        failures.append("server metrics report zero decoded frames")
+    else:
+        notes.append(f"server metrics: {served} frames decoded")
+    if fail_fps_below is not None:
+        fps = report["frames_per_second"]
+        if fps < fail_fps_below:
+            failures.append(
+                f"serve throughput {fps} frames/s is below the "
+                f"{fail_fps_below} frames/s floor"
+            )
+        else:
+            notes.append(f"serve throughput {fps} frames/s")
+    if fail_p95_above is not None:
+        p95 = report["latency"]["push_seconds"].get("p95")
+        if p95 is None:
+            failures.append("no push-latency samples to gate on")
+        elif p95 > fail_p95_above:
+            failures.append(
+                f"serve push p95 {p95:.4f}s exceeds the "
+                f"{fail_p95_above}s ceiling"
+            )
+        else:
+            notes.append(f"serve push p95 {p95:.4f}s")
+    return failures, notes
+
+
+def _to_result(report: dict) -> ExperimentResult:
+    latency = report["latency"]
+
+    def ms(summary: dict, key: str):
+        value = summary.get(key)
+        return None if value is None else round(1e3 * value, 2)
+
+    rows = [
+        {
+            "transport": report["transport"],
+            "workers": report["workers"],
+            "concurrency": report["concurrency"],
+            "utterances": report["utterances"],
+            "frames": report["frames"],
+            "utt_per_sec": report["utterances_per_second"],
+            "frames_per_sec": report["frames_per_second"],
+            "busy": report["busy_rejections"],
+            "push_p50_ms": ms(latency["push_seconds"], "p50"),
+            "push_p95_ms": ms(latency["push_seconds"], "p95"),
+            "first_partial_p95_ms": ms(
+                latency["first_partial_seconds"], "p95"
+            ),
+        }
+    ]
+    notes = (
+        f"preset={report['preset']} batch_frames={report['batch_frames']} "
+        f"on {report['cpus']} cpu(s); transcripts match sequential "
+        f"streaming, drain clean"
+    )
+    return ExperimentResult(
+        experiment_id="serve-bench",
+        title="streaming service throughput and latency (regression harness)",
+        rows=rows,
+        notes=notes,
+    )
+
+
+def run() -> ExperimentResult:
+    return _to_result(measure(preset="small", concurrency=2))
+
+
+def write_bench_report(
+    preset: str = "small",
+    output: str | Path = "BENCH_serve.json",
+    concurrency: int = DEFAULT_CONCURRENCY,
+    batch_frames: int = DEFAULT_BATCH_FRAMES,
+    transport: str = "local",
+    workers: int = 1,
+) -> ExperimentResult:
+    """Measure one preset and persist ``BENCH_serve.json``."""
+    report = measure(
+        preset=preset,
+        concurrency=concurrency,
+        batch_frames=batch_frames,
+        transport=transport,
+        workers=workers,
+    )
+    Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    return _to_result(report)

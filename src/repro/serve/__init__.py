@@ -1,0 +1,43 @@
+"""repro.serve — the asynchronous streaming transcription service.
+
+The serving layer above :mod:`repro.asr`: a long-lived
+:class:`TranscriptionServer` multiplexing concurrent streaming
+sessions over one decode engine, with admission control, fair
+round-robin micro-batching, live metrics, an NDJSON TCP protocol, and
+a load generator.  See README "Serving" for the quickstart.
+"""
+
+from repro.serve.client import TcpClient, TcpSession
+from repro.serve.engine import EngineError, InlineEngine, ProcessEngine
+from repro.serve.loadgen import LoadReport, UtteranceOutcome, run_load
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.protocol import ProtocolError
+from repro.serve.scheduler import Busy, Scheduler, SchedulerConfig
+from repro.serve.server import (
+    InProcessClient,
+    InProcessSession,
+    ServeConfig,
+    ServeError,
+    TranscriptionServer,
+)
+
+__all__ = [
+    "Busy",
+    "EngineError",
+    "InlineEngine",
+    "InProcessClient",
+    "InProcessSession",
+    "LoadReport",
+    "MetricsRegistry",
+    "ProcessEngine",
+    "ProtocolError",
+    "run_load",
+    "Scheduler",
+    "SchedulerConfig",
+    "ServeConfig",
+    "ServeError",
+    "TcpClient",
+    "TcpSession",
+    "TranscriptionServer",
+    "UtteranceOutcome",
+]

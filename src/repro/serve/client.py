@@ -1,0 +1,169 @@
+"""TCP client for the transcription service.
+
+The socket-side mirror of the in-process client: the same ``open`` /
+``push`` / ``finish`` / ``status`` surface over the NDJSON wire
+protocol, so the load generator (and any application) can target
+either transport unchanged.
+
+A background reader task demultiplexes server messages: events tagged
+with a session id go to that session's queue, untagged replies
+(``started`` / admission ``busy`` / ``status`` / ``error``) resolve
+the oldest pending control request.  Control requests (``open`` and
+``status``) are serialized per connection; per-session streaming is
+fully concurrent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.serve import protocol
+from repro.serve.scheduler import Busy
+from repro.serve.server import ServeError
+
+#: Reply types carrying no session id, routed to the control queue.
+_CONTROL_TYPES = (protocol.STARTED, protocol.STATUS)
+
+
+class TcpClient:
+    """One NDJSON connection multiplexing many sessions."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._sessions: dict[str, asyncio.Queue] = {}
+        self._control: asyncio.Queue = asyncio.Queue()
+        self._control_lock = asyncio.Lock()
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name="serve-client-reader"
+        )
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "TcpClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                message = protocol.decode_message(line)
+                session_id = message.get("session")
+                queue = (
+                    self._sessions.get(session_id)
+                    if session_id is not None
+                    else None
+                )
+                if queue is not None:
+                    queue.put_nowait(message)
+                else:
+                    self._control.put_nowait(message)
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            self._closed = True
+            # Unblock anyone still waiting.
+            eof = protocol.error_message("connection closed")
+            self._control.put_nowait(eof)
+            for queue in self._sessions.values():
+                queue.put_nowait(eof)
+
+    async def _send(self, message: dict) -> None:
+        if self._closed:
+            raise ServeError("connection closed")
+        async with self._write_lock:
+            self._writer.write(protocol.encode_message(message))
+            await self._writer.drain()
+
+    async def _control_request(self, message: dict) -> dict:
+        async with self._control_lock:
+            await self._send(message)
+            return await self._control.get()
+
+    async def open(self) -> "TcpSession":
+        """Open a session; raises :class:`Busy` on admission reject."""
+        reply = await self._control_request({"type": protocol.START})
+        if reply["type"] == protocol.BUSY:
+            raise Busy(reply.get("reason", "busy"))
+        if reply["type"] != protocol.STARTED:
+            raise ServeError(reply.get("error", f"unexpected reply {reply}"))
+        session_id = reply["session"]
+        queue: asyncio.Queue = asyncio.Queue()
+        self._sessions[session_id] = queue
+        return TcpSession(self, session_id, queue)
+
+    async def status(self) -> dict:
+        reply = await self._control_request({"type": protocol.STATUS})
+        if reply["type"] != protocol.STATUS:
+            raise ServeError(reply.get("error", f"unexpected reply {reply}"))
+        return reply
+
+    async def close(self) -> None:
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+
+
+class TcpSession:
+    """One streaming session over a :class:`TcpClient` connection."""
+
+    def __init__(
+        self, client: TcpClient, session_id: str, events: asyncio.Queue
+    ) -> None:
+        self._client = client
+        self.session_id = session_id
+        self._events = events
+        #: Partial-hypothesis messages observed so far, in order.
+        self.partials: list[dict] = []
+
+    async def _next_event(self) -> dict:
+        event = await self._events.get()
+        if event["type"] == protocol.PARTIAL:
+            self.partials.append(event)
+        return event
+
+    async def push(self, scores: np.ndarray) -> dict:
+        """Send one batch and wait for its partial hypothesis."""
+        await self._client._send(
+            {
+                "type": protocol.FRAMES,
+                "session": self.session_id,
+                "scores": protocol.scores_to_payload(np.asarray(scores)),
+            }
+        )
+        event = await self._next_event()
+        if event["type"] == protocol.PARTIAL:
+            return event
+        if event["type"] == protocol.BUSY:
+            raise Busy(event.get("reason", "busy"))
+        raise ServeError(event.get("error", "session ended unexpectedly"))
+
+    async def finish(self) -> dict:
+        """End the utterance and wait for the final result."""
+        await self._client._send(
+            {"type": protocol.FINISH, "session": self.session_id}
+        )
+        while True:
+            event = await self._next_event()
+            if event["type"] == protocol.FINAL:
+                self._client._sessions.pop(self.session_id, None)
+                return event
+            if event["type"] == protocol.ERROR:
+                self._client._sessions.pop(self.session_id, None)
+                raise ServeError(event["error"])

@@ -1,0 +1,286 @@
+"""Stream decode engines: where a session's Viterbi state lives.
+
+The scheduler (``repro.serve.scheduler``) is transport- and
+process-agnostic; an *engine* owns the actual
+:class:`~repro.asr.streaming.StreamingSession` objects and executes
+their frame batches.  Two implementations:
+
+* :class:`InlineEngine` — one in-process decoder shared by every
+  session.  Sessions interleave on it freely: the decoder's transient
+  caches (Offset Lookup Table, LM expansion cache) only change how
+  much work is re-spent, never results, so concurrent sessions decode
+  to exactly what a sequential pass would.
+* :class:`ProcessEngine` — ``workers`` dedicated worker processes,
+  each owning a decoder plus the sessions *pinned* to it.  A streaming
+  session is stateful (its token table must stay where its last frame
+  was decoded), which is why this is not
+  :class:`~repro.asr.parallel.DecodePool`: the pool's map-style
+  executor hands jobs to whichever worker is free, the engine pins
+  each session to one worker for its lifetime.  The bundle machinery
+  is shared with the pool, though — workers adopt a parent-built
+  recognizer through fork copy-on-write where possible, and load the
+  persisted bundle themselves under ``spawn``.
+
+Engines are synchronous; the scheduler calls them from executor
+threads sized to ``engine.workers``.  Every method is safe to call
+concurrently for *different* sessions; per-worker locks serialize the
+underlying pipes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import tempfile
+import threading
+
+import numpy as np
+
+from repro.am.graph import AmGraph
+from repro.am.scorer import AcousticScorer
+from repro.asr.persist import load_recognizer, save_recognizer
+from repro.asr.streaming import PartialHypothesis, StreamingSession
+from repro.core.decoder import DecodeResult, DecoderConfig, OnTheFlyDecoder
+from repro.lm.graph import LmGraph
+
+
+class EngineError(RuntimeError):
+    """A session operation the engine could not perform."""
+
+
+class InlineEngine:
+    """All sessions on one in-process decoder (``workers == 1``)."""
+
+    def __init__(
+        self,
+        am: AmGraph,
+        lm: LmGraph,
+        config: DecoderConfig | None = None,
+    ) -> None:
+        self.workers = 1
+        self._decoder = OnTheFlyDecoder(am, lm, config)
+        self._sessions: dict[str, StreamingSession] = {}
+
+    def start(self, session_id: str) -> None:
+        if session_id in self._sessions:
+            raise EngineError(f"session {session_id!r} already started")
+        self._sessions[session_id] = StreamingSession(self._decoder)
+
+    def _session(self, session_id: str) -> StreamingSession:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise EngineError(f"unknown session {session_id!r}")
+        return session
+
+    def push(self, session_id: str, scores: np.ndarray) -> PartialHypothesis:
+        return self._session(session_id).push(scores)
+
+    def finish(self, session_id: str) -> DecodeResult:
+        session = self._session(session_id)
+        try:
+            return session.finish()
+        finally:
+            del self._sessions[session_id]
+
+    def cancel(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)
+
+    def active_sessions(self) -> int:
+        return len(self._sessions)
+
+    def close(self) -> None:
+        self._sessions.clear()
+
+
+# -- process engine ---------------------------------------------------------
+
+# Parent-built recognizers inherited by forked workers (same idiom as
+# repro.asr.parallel._FORK_STATE; keyed so engines don't collide).
+_FORK_DECODERS: dict[int, OnTheFlyDecoder] = {}
+_FORK_KEYS = itertools.count()
+
+
+def _worker_main(conn, config: DecoderConfig, bundle_dir: str | None, fork_key):
+    """Worker loop: own one decoder and the sessions pinned here."""
+    if fork_key is not None:
+        decoder = _FORK_DECODERS[fork_key]
+    else:
+        bundle = load_recognizer(bundle_dir)
+        decoder = OnTheFlyDecoder(bundle.am, bundle.lm, config)
+    sessions: dict[str, StreamingSession] = {}
+    while True:
+        try:
+            command, session_id, payload = conn.recv()
+        except EOFError:
+            break
+        try:
+            if command == "stop":
+                conn.send(("ok", None))
+                break
+            if command == "start":
+                if session_id in sessions:
+                    raise EngineError(
+                        f"session {session_id!r} already started"
+                    )
+                sessions[session_id] = StreamingSession(decoder)
+                conn.send(("ok", None))
+            elif command == "push":
+                conn.send(("ok", sessions[session_id].push(payload)))
+            elif command == "finish":
+                result = sessions.pop(session_id).finish()
+                conn.send(("ok", result))
+            elif command == "cancel":
+                sessions.pop(session_id, None)
+                conn.send(("ok", None))
+            else:
+                raise EngineError(f"unknown command {command!r}")
+        except KeyError:
+            conn.send(("err", f"unknown session {session_id!r}"))
+        except Exception as exc:  # surfaced to the caller, loop survives
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+class _Worker:
+    """Parent-side handle: pipe + lock + pinned-session count."""
+
+    def __init__(self, ctx, config, bundle_dir, fork_key) -> None:
+        parent_conn, child_conn = ctx.Pipe()
+        self.conn = parent_conn
+        self.lock = threading.Lock()
+        self.sessions = 0
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, config, bundle_dir, fork_key),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    def request(self, command: str, session_id: str | None, payload=None):
+        with self.lock:
+            self.conn.send((command, session_id, payload))
+            status, value = self.conn.recv()
+        if status != "ok":
+            raise EngineError(value)
+        return value
+
+
+class ProcessEngine:
+    """Sessions pinned across dedicated worker processes.
+
+    Requires a ``scorer`` so the recognizer ships to workers as the
+    persisted bundle (exactly :class:`~repro.asr.parallel.DecodePool`'s
+    contract): every worker decodes the bundle-quantized graphs, so a
+    session's transcript is independent of which worker it landed on.
+    """
+
+    def __init__(
+        self,
+        am: AmGraph,
+        lm: LmGraph,
+        scorer: AcousticScorer,
+        config: DecoderConfig | None = None,
+        workers: int = 2,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.config = config or DecoderConfig()
+        self._fork_key: int | None = None
+        self._tempdir: tempfile.TemporaryDirectory | None = None
+        self._tempdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        bundle_dir = os.path.join(self._tempdir.name, "recognizer")
+        save_recognizer(bundle_dir, am, lm, scorer)
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+            bundle = load_recognizer(bundle_dir)
+            self._fork_key = next(_FORK_KEYS)
+            _FORK_DECODERS[self._fork_key] = OnTheFlyDecoder(
+                bundle.am, bundle.lm, self.config
+            )
+            self._tempdir.cleanup()
+            self._tempdir = None
+            self._workers = [
+                _Worker(ctx, self.config, None, self._fork_key)
+                for _ in range(workers)
+            ]
+        else:  # pragma: no cover - spawn-only platforms
+            ctx = multiprocessing.get_context()
+            self._workers = [
+                _Worker(ctx, self.config, bundle_dir, None)
+                for _ in range(workers)
+            ]
+        self._placement: dict[str, _Worker] = {}
+        self._placement_lock = threading.Lock()
+
+    def start(self, session_id: str) -> None:
+        with self._placement_lock:
+            if session_id in self._placement:
+                raise EngineError(f"session {session_id!r} already started")
+            # Least-loaded placement; ties resolve to the first worker,
+            # so a quiet engine degenerates to round-robin as sessions
+            # arrive and retire.
+            worker = min(self._workers, key=lambda w: w.sessions)
+            worker.sessions += 1
+            self._placement[session_id] = worker
+        try:
+            worker.request("start", session_id)
+        except EngineError:
+            self._forget(session_id)
+            raise
+
+    def _pinned(self, session_id: str) -> _Worker:
+        with self._placement_lock:
+            worker = self._placement.get(session_id)
+        if worker is None:
+            raise EngineError(f"unknown session {session_id!r}")
+        return worker
+
+    def _forget(self, session_id: str) -> None:
+        with self._placement_lock:
+            worker = self._placement.pop(session_id, None)
+            if worker is not None:
+                worker.sessions -= 1
+
+    def push(self, session_id: str, scores: np.ndarray) -> PartialHypothesis:
+        return self._pinned(session_id).request("push", session_id, scores)
+
+    def finish(self, session_id: str) -> DecodeResult:
+        worker = self._pinned(session_id)
+        try:
+            return worker.request("finish", session_id)
+        finally:
+            self._forget(session_id)
+
+    def cancel(self, session_id: str) -> None:
+        try:
+            worker = self._pinned(session_id)
+        except EngineError:
+            return
+        try:
+            worker.request("cancel", session_id)
+        finally:
+            self._forget(session_id)
+
+    def active_sessions(self) -> int:
+        with self._placement_lock:
+            return len(self._placement)
+
+    def close(self) -> None:
+        for worker in self._workers:
+            try:
+                worker.request("stop", None)
+            except (EngineError, EOFError, OSError, BrokenPipeError):
+                pass
+            worker.conn.close()
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+        if self._fork_key is not None:
+            _FORK_DECODERS.pop(self._fork_key, None)
+            self._fork_key = None
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None

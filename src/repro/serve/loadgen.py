@@ -1,0 +1,188 @@
+"""Load generator: replay utterances against the service.
+
+Drives N concurrent streaming sessions through either client (TCP or
+in-process), replaying a list of score matrices in fixed frame
+batches — the service-side mirror of
+:func:`~repro.asr.streaming.decode_streaming`'s batching.  Reports
+what a capacity test needs: throughput (utterances and frames per
+second), per-push decode latency percentiles, time-to-first-partial
+percentiles, and how often admission control pushed back.
+
+Admission ``BUSY`` rejections are part of the contract, not failures:
+a worker that gets rejected backs off and retries, and the report
+counts every rejection so a bench can assert backpressure actually
+engaged (or didn't).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.serve.metrics import percentile
+from repro.serve.scheduler import Busy
+
+#: Back-off between admission retries; short, the point is only to
+#: yield until the scheduler retires a session.
+RETRY_SECONDS = 0.01
+
+
+@dataclass
+class UtteranceOutcome:
+    """What one replayed utterance came back with."""
+
+    index: int
+    words: list[str]
+    cost: float
+    frames: int
+    first_partial_seconds: float
+    push_seconds: list[float] = field(default_factory=list)
+
+
+@dataclass
+class LoadReport:
+    """Aggregate results of one load-generation run."""
+
+    concurrency: int
+    batch_frames: int
+    utterances: int
+    frames: int
+    batches: int
+    wall_seconds: float
+    busy_rejections: int
+    outcomes: list[UtteranceOutcome] = field(default_factory=list)
+
+    @property
+    def utterances_per_second(self) -> float:
+        return self.utterances / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def frames_per_second(self) -> float:
+        return self.frames / self.wall_seconds if self.wall_seconds else 0.0
+
+    def _push_samples(self) -> list[float]:
+        samples: list[float] = []
+        for outcome in self.outcomes:
+            samples.extend(outcome.push_seconds)
+        return sorted(samples)
+
+    def latency_summary(self) -> dict:
+        """p50/p95/p99 of per-push decode latency and first-partial."""
+        pushes = self._push_samples()
+        firsts = sorted(
+            o.first_partial_seconds for o in self.outcomes
+        )
+
+        def summarize(ordered: list[float]) -> dict:
+            if not ordered:
+                return {"count": 0, "p50": None, "p95": None, "p99": None}
+            return {
+                "count": len(ordered),
+                "mean": sum(ordered) / len(ordered),
+                "p50": percentile(ordered, 50.0),
+                "p95": percentile(ordered, 95.0),
+                "p99": percentile(ordered, 99.0),
+            }
+
+        return {
+            "push_seconds": summarize(pushes),
+            "first_partial_seconds": summarize(firsts),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "concurrency": self.concurrency,
+            "batch_frames": self.batch_frames,
+            "utterances": self.utterances,
+            "frames": self.frames,
+            "batches": self.batches,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "utterances_per_second": round(self.utterances_per_second, 2),
+            "frames_per_second": round(self.frames_per_second, 1),
+            "busy_rejections": self.busy_rejections,
+            "latency": self.latency_summary(),
+        }
+
+
+async def run_load(
+    client,
+    score_matrices: list[np.ndarray],
+    concurrency: int = 4,
+    batch_frames: int = 32,
+) -> LoadReport:
+    """Replay every matrix once, ``concurrency`` sessions at a time.
+
+    ``client`` is anything with an async ``open()`` returning a
+    session handle with ``push``/``finish`` (both provided clients
+    qualify).  Results come back in ``score_matrices`` order on the
+    report's ``outcomes``.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    if batch_frames < 1:
+        raise ValueError("batch_frames must be positive")
+    work: asyncio.Queue = asyncio.Queue()
+    for index, matrix in enumerate(score_matrices):
+        work.put_nowait((index, matrix))
+    outcomes: dict[int, UtteranceOutcome] = {}
+    rejections = 0
+
+    async def worker() -> None:
+        nonlocal rejections
+        while True:
+            try:
+                index, matrix = work.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            while True:
+                try:
+                    session = await client.open()
+                    break
+                except Busy:
+                    rejections += 1
+                    await asyncio.sleep(RETRY_SECONDS)
+            opened = perf_counter()
+            push_seconds: list[float] = []
+            first_partial = 0.0
+            for start in range(0, matrix.shape[0], batch_frames):
+                batch = matrix[start : start + batch_frames]
+                push_started = perf_counter()
+                while True:
+                    try:
+                        await session.push(batch)
+                        break
+                    except Busy:  # frame queue full: real backpressure
+                        rejections += 1
+                        await asyncio.sleep(RETRY_SECONDS)
+                now = perf_counter()
+                push_seconds.append(now - push_started)
+                if not first_partial:
+                    first_partial = now - opened
+            final = await session.finish()
+            outcomes[index] = UtteranceOutcome(
+                index=index,
+                words=list(final["words"]),
+                cost=final["cost"],
+                frames=final["frames"],
+                first_partial_seconds=first_partial,
+                push_seconds=push_seconds,
+            )
+
+    started = perf_counter()
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    wall = perf_counter() - started
+
+    ordered = [outcomes[i] for i in sorted(outcomes)]
+    return LoadReport(
+        concurrency=concurrency,
+        batch_frames=batch_frames,
+        utterances=len(ordered),
+        frames=sum(o.frames for o in ordered),
+        batches=sum(len(o.push_seconds) for o in ordered),
+        wall_seconds=wall,
+        busy_rejections=rejections,
+        outcomes=ordered,
+    )

@@ -1,0 +1,140 @@
+"""Newline-delimited-JSON wire protocol for the transcription service.
+
+One message per line, UTF-8 JSON with a ``type`` field.  The same
+message dicts flow over the TCP transport and through the in-process
+client, so tests and the load generator exercise the identical
+protocol surface either way.
+
+Client -> server::
+
+    {"type": "start"}                              open a session
+    {"type": "frames", "session": s, "scores": [[...], ...]}
+    {"type": "finish", "session": s}               end-of-utterance
+    {"type": "status"}                             health + metrics
+
+Server -> client::
+
+    {"type": "started", "session": s}
+    {"type": "busy", "reason": r [, "session": s]}  admission/queue reject
+    {"type": "partial", "session": s, "words": [...], "cost": c,
+     "frames_consumed": n, "active_tokens": k}
+    {"type": "final", "session": s, "words": [...], "cost": c,
+     "frames": n, "success": b}
+    {"type": "status", "ok": b, "draining": b, "active_sessions": n,
+     "metrics": {...}}
+    {"type": "error", "error": e [, "session": s]}
+
+Score batches cross the wire as nested lists of floats — verbose but
+dependency-free and exact (JSON doubles are the decoder's float64).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+#: Message type tags.
+START = "start"
+STARTED = "started"
+FRAMES = "frames"
+FINISH = "finish"
+STATUS = "status"
+PARTIAL = "partial"
+FINAL = "final"
+BUSY = "busy"
+ERROR = "error"
+
+CLIENT_TYPES = frozenset({START, FRAMES, FINISH, STATUS})
+
+
+class ProtocolError(ValueError):
+    """A malformed or out-of-contract message."""
+
+
+def encode_message(message: dict) -> bytes:
+    """One wire line for a message dict (newline-terminated)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes | str) -> dict:
+    """Parse one wire line; raises :class:`ProtocolError` on junk."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty message")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad JSON: {exc}") from exc
+    if not isinstance(message, dict) or not isinstance(
+        message.get("type"), str
+    ):
+        raise ProtocolError("message must be an object with a 'type'")
+    return message
+
+
+def scores_to_payload(scores: np.ndarray) -> list[list[float]]:
+    """A score batch as the wire's nested-list form."""
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ProtocolError(f"score batch must be 2-D, got {scores.shape}")
+    return scores.tolist()
+
+
+def payload_to_scores(payload) -> np.ndarray:
+    """The wire's nested lists back to a (frames, senones) matrix."""
+    if not isinstance(payload, list):
+        raise ProtocolError("scores must be a list of frame rows")
+    try:
+        scores = np.asarray(payload, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad score payload: {exc}") from exc
+    if scores.ndim == 1 and scores.shape[0] == 0:
+        # An empty list is a legal zero-frame batch, but numpy gives
+        # it shape (0,); the session API wants 2-D.
+        scores = scores.reshape(0, 0)
+    if scores.ndim != 2:
+        raise ProtocolError(
+            f"scores must form a 2-D matrix, got shape {scores.shape}"
+        )
+    return scores
+
+
+def partial_message(session_id: str, partial) -> dict:
+    """A :class:`~repro.asr.streaming.PartialHypothesis` on the wire."""
+    return {
+        "type": PARTIAL,
+        "session": session_id,
+        "words": list(partial.words),
+        "cost": partial.cost,
+        "frames_consumed": partial.frames_consumed,
+        "active_tokens": partial.active_tokens,
+    }
+
+
+def final_message(session_id: str, result) -> dict:
+    """A :class:`~repro.core.decoder.DecodeResult` on the wire."""
+    return {
+        "type": FINAL,
+        "session": session_id,
+        "words": list(result.words),
+        "cost": result.cost,
+        "frames": result.stats.frames,
+        "success": bool(result.success),
+    }
+
+
+def busy_message(reason: str, session_id: str | None = None) -> dict:
+    message = {"type": BUSY, "reason": reason}
+    if session_id is not None:
+        message["session"] = session_id
+    return message
+
+
+def error_message(error: str, session_id: str | None = None) -> dict:
+    message = {"type": ERROR, "error": error}
+    if session_id is not None:
+        message["session"] = session_id
+    return message

@@ -1,0 +1,374 @@
+"""Session scheduling: admission control + fair micro-batching.
+
+The scheduler is the serving layer's core loop.  It owns the bounded
+session table, each session's bounded queue of undecoded frame
+batches, and a round-robin dispatch policy: every cycle it picks up to
+``engine.workers`` distinct sessions — resuming *after* the session
+served last, so a chatty stream cannot starve a quiet one — and
+decodes exactly one queued batch per picked session.  That is the
+paper's Section 5.2 batched operation turned into a multi-tenant
+policy: decode works in frame batches, and between batches the engine
+is free to serve someone else.
+
+Backpressure is explicit everywhere (the ROADMAP's "heavy traffic"
+requirement): a full session table rejects new sessions with ``BUSY``
+instead of queueing them, a full per-session frame queue rejects the
+push instead of buffering unboundedly, idle sessions are evicted on a
+timeout, and shutdown drains in-flight sessions to real final results
+before the engine goes away.
+
+Every outcome a client observes is delivered as a protocol message
+dict on the session's ``events`` queue (partials, finals, errors), so
+the TCP transport and the in-process client share one code path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.serve import protocol
+from repro.serve.metrics import MetricsRegistry
+
+#: How often the loop re-checks timers when no work is queued.
+IDLE_POLL_SECONDS = 0.05
+
+
+class Busy(Exception):
+    """An admission-control rejection (session table or frame queue)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Admission-control and pacing knobs."""
+
+    max_sessions: int = 8
+    max_queued_batches: int = 4
+    idle_timeout_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if self.max_queued_batches < 1:
+            raise ValueError("max_queued_batches must be >= 1")
+        if self.idle_timeout_seconds <= 0:
+            raise ValueError("idle_timeout_seconds must be positive")
+
+
+@dataclass
+class Session:
+    """One admitted stream and its scheduler-side state."""
+
+    session_id: str
+    queue: deque = field(default_factory=deque)
+    events: asyncio.Queue = field(default_factory=asyncio.Queue)
+    finish_requested: bool = False
+    closed: bool = False
+    inflight: bool = False
+    admitted_at: float = 0.0
+    last_activity: float = 0.0
+    frames_decoded: int = 0
+    saw_first_partial: bool = False
+
+
+class Scheduler:
+    """Multiplex admitted sessions' frame batches over one engine."""
+
+    def __init__(
+        self,
+        engine,
+        config: SchedulerConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or SchedulerConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self._sessions: dict[str, Session] = {}
+        self._order: list[str] = []  # round-robin ring
+        self._rr_next = 0
+        self._wake = asyncio.Event()
+        self._stopping = False
+        self._draining = False
+        self._task: asyncio.Task | None = None
+        self._ids = iter(range(1, 1 << 62))
+        self._executor = ThreadPoolExecutor(
+            max_workers=engine.workers,
+            thread_name_prefix="serve-engine",
+        )
+
+    # -- client-facing operations (called from the event loop) --------------
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def draining(self) -> bool:
+        return self._stopping
+
+    async def admit(self) -> Session:
+        """Admit one session or raise :class:`Busy` — never queue."""
+        if self._stopping:
+            self.metrics.counter("sessions_rejected").inc()
+            raise Busy("server is shutting down")
+        if len(self._sessions) >= self.config.max_sessions:
+            self.metrics.counter("sessions_rejected").inc()
+            raise Busy(
+                f"session table full ({self.config.max_sessions} active)"
+            )
+        session_id = f"s{next(self._ids)}"
+        await self._run_engine(self.engine.start, session_id)
+        now = perf_counter()
+        session = Session(
+            session_id=session_id, admitted_at=now, last_activity=now
+        )
+        self._sessions[session_id] = session
+        self._order.append(session_id)
+        self.metrics.counter("sessions_admitted").inc()
+        self.metrics.gauge("active_sessions").set(len(self._sessions))
+        return session
+
+    def get(self, session_id: str) -> Session | None:
+        return self._sessions.get(session_id)
+
+    def push(self, session: Session, scores: np.ndarray) -> None:
+        """Queue one frame batch or raise :class:`Busy` — never buffer
+        beyond the session's bound."""
+        if session.closed:
+            raise Busy("session already closed")
+        if session.finish_requested:
+            raise Busy("session already finishing")
+        if len(session.queue) >= self.config.max_queued_batches:
+            self.metrics.counter("pushes_rejected").inc()
+            raise Busy(
+                f"frame queue full ({self.config.max_queued_batches} batches)"
+            )
+        session.queue.append(scores)
+        session.last_activity = perf_counter()
+        self._update_queue_gauge()
+        self._wake.set()
+
+    def request_finish(self, session: Session) -> None:
+        """Ask for the final result once queued batches are decoded."""
+        if session.closed:
+            raise Busy("session already closed")
+        session.finish_requested = True
+        session.last_activity = perf_counter()
+        self._wake.set()
+
+    async def cancel(self, session: Session) -> None:
+        """Drop a session without a final result (client went away)."""
+        if session.closed:
+            return
+        session.queue.clear()
+        try:
+            await self._run_engine(self.engine.cancel, session.session_id)
+        except Exception:
+            pass
+        self._retire(session, "sessions_cancelled")
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="serve-scheduler"
+            )
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the loop; with ``drain`` every admitted session gets a
+        real final result first (shutdown implies finish)."""
+        self._stopping = True
+        self._draining = drain
+        if not drain:
+            for session in list(self._sessions.values()):
+                await self._run_engine(self.engine.cancel, session.session_id)
+                self._emit(
+                    session,
+                    protocol.error_message(
+                        "server stopped", session.session_id
+                    ),
+                )
+                self._retire(session, "sessions_cancelled")
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        self._executor.shutdown(wait=True)
+
+    # -- scheduler loop -----------------------------------------------------
+
+    async def _run(self) -> None:
+        while True:
+            selected = self._select()
+            if not selected:
+                if self._stopping and not self._sessions:
+                    break
+                try:
+                    await asyncio.wait_for(
+                        self._wake.wait(), timeout=IDLE_POLL_SECONDS
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    pass
+                self._wake.clear()
+                await self._evict_idle()
+                continue
+            await asyncio.gather(
+                *(self._serve_one(session) for session in selected)
+            )
+
+    def _has_turn(self, session: Session) -> bool:
+        if session.closed or session.inflight:
+            return False
+        if session.queue or session.finish_requested:
+            return True
+        # Drain: shutdown finishes sessions whose clients never will.
+        if self._stopping and self._draining:
+            session.finish_requested = True
+            return True
+        return False
+
+    def _select(self) -> list[Session]:
+        """Up to ``engine.workers`` sessions, round-robin from the one
+        after the last session served."""
+        ring = self._order
+        if not ring:
+            return []
+        selected: list[Session] = []
+        size = len(ring)
+        start = self._rr_next % size
+        for step in range(size):
+            session = self._sessions.get(ring[(start + step) % size])
+            if session is not None and self._has_turn(session):
+                selected.append(session)
+                if len(selected) >= self.engine.workers:
+                    self._rr_next = (start + step + 1) % size
+                    break
+        else:
+            self._rr_next = start
+        return selected
+
+    async def _serve_one(self, session: Session) -> None:
+        session.inflight = True
+        try:
+            if session.queue:
+                await self._decode_batch(session)
+            elif session.finish_requested:
+                await self._finish(session)
+        finally:
+            session.inflight = False
+            session.last_activity = perf_counter()
+            self._wake.set()
+
+    async def _decode_batch(self, session: Session) -> None:
+        scores = session.queue.popleft()
+        self._update_queue_gauge()
+        started = perf_counter()
+        try:
+            partial = await self._run_engine(
+                self.engine.push, session.session_id, scores
+            )
+        except Exception as exc:
+            await self._fail(session, f"decode failed: {exc}")
+            return
+        elapsed = perf_counter() - started
+        frames = int(scores.shape[0])
+        session.frames_decoded += frames
+        self.metrics.counter("batches_decoded").inc()
+        self.metrics.counter("frames_decoded").inc(frames)
+        self.metrics.histogram("batch_decode_seconds").observe(elapsed)
+        if not session.saw_first_partial:
+            session.saw_first_partial = True
+            self.metrics.histogram("time_to_first_partial_seconds").observe(
+                perf_counter() - session.admitted_at
+            )
+        self._emit(
+            session, protocol.partial_message(session.session_id, partial)
+        )
+
+    async def _finish(self, session: Session) -> None:
+        try:
+            result = await self._run_engine(
+                self.engine.finish, session.session_id
+            )
+        except Exception as exc:
+            await self._fail(session, f"finish failed: {exc}", cancel=False)
+            return
+        self.metrics.histogram("session_seconds").observe(
+            perf_counter() - session.admitted_at
+        )
+        self._emit(
+            session, protocol.final_message(session.session_id, result)
+        )
+        self._retire(session, "sessions_completed")
+
+    async def _fail(
+        self, session: Session, error: str, cancel: bool = True
+    ) -> None:
+        if cancel:
+            try:
+                await self._run_engine(
+                    self.engine.cancel, session.session_id
+                )
+            except Exception:  # the session is gone either way
+                pass
+        self._emit(
+            session, protocol.error_message(error, session.session_id)
+        )
+        self._retire(session, "sessions_failed")
+
+    async def _evict_idle(self) -> None:
+        timeout = self.config.idle_timeout_seconds
+        now = perf_counter()
+        for session in list(self._sessions.values()):
+            if session.inflight or session.queue or session.finish_requested:
+                continue
+            if now - session.last_activity >= timeout:
+                try:
+                    await self._run_engine(
+                        self.engine.cancel, session.session_id
+                    )
+                except Exception:
+                    pass
+                self._emit(
+                    session,
+                    protocol.error_message(
+                        "idle timeout", session.session_id
+                    ),
+                )
+                self._retire(session, "sessions_timed_out")
+
+    # -- plumbing -----------------------------------------------------------
+
+    async def _run_engine(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    def _emit(self, session: Session, message: dict) -> None:
+        session.events.put_nowait(message)
+
+    def _retire(self, session: Session, counter: str) -> None:
+        session.closed = True
+        self._sessions.pop(session.session_id, None)
+        try:
+            self._order.remove(session.session_id)
+        except ValueError:
+            pass
+        self.metrics.counter(counter).inc()
+        self.metrics.gauge("active_sessions").set(len(self._sessions))
+        self._update_queue_gauge()
+
+    def _update_queue_gauge(self) -> None:
+        self.metrics.gauge("queued_batches").set(
+            sum(len(s.queue) for s in self._sessions.values())
+        )

@@ -1,0 +1,337 @@
+"""The asynchronous transcription server.
+
+:class:`TranscriptionServer` assembles the serving stack: an engine
+(in-process decoder, or pinned worker processes when ``workers > 1``),
+the :class:`~repro.serve.scheduler.Scheduler` with its admission
+bounds, a :class:`~repro.serve.metrics.MetricsRegistry`, and — when a
+port is configured — a newline-delimited-JSON TCP listener speaking
+:mod:`repro.serve.protocol`.
+
+Two client surfaces, one protocol:
+
+* the TCP transport, for real deployments and the load generator;
+* :meth:`TranscriptionServer.connect_local` — an in-process client
+  whose sessions speak the same message dicts straight to the
+  scheduler.  Tests and the serve bench use it to drive genuinely
+  concurrent sessions without sockets.
+
+Shutdown is graceful by default: ``stop()`` stops admitting, drains
+every in-flight session to a real final result, then closes the
+engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.am.graph import AmGraph
+from repro.am.scorer import AcousticScorer
+from repro.core.decoder import DecoderConfig
+from repro.lm.graph import LmGraph
+from repro.serve import protocol
+from repro.serve.engine import InlineEngine, ProcessEngine
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.scheduler import Busy, Scheduler, SchedulerConfig, Session
+
+
+class ServeError(RuntimeError):
+    """A server-side error event surfaced to a client call."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server assembly knobs (transport + admission + engine)."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; ``None`` serves in-process clients only, ``0`` binds
+    #: an ephemeral port (read it back from ``server.port``).
+    port: int | None = None
+    max_sessions: int = 8
+    max_queued_batches: int = 4
+    idle_timeout_seconds: float = 30.0
+    #: Decode worker processes; 1 = in-process engine.
+    workers: int = 1
+
+    def scheduler_config(self) -> SchedulerConfig:
+        return SchedulerConfig(
+            max_sessions=self.max_sessions,
+            max_queued_batches=self.max_queued_batches,
+            idle_timeout_seconds=self.idle_timeout_seconds,
+        )
+
+
+class TranscriptionServer:
+    """Serve concurrent streaming transcription sessions."""
+
+    def __init__(
+        self,
+        am: AmGraph,
+        lm: LmGraph,
+        decoder_config: DecoderConfig | None = None,
+        serve_config: ServeConfig | None = None,
+        scorer: AcousticScorer | None = None,
+    ) -> None:
+        self.config = serve_config or ServeConfig()
+        if self.config.workers > 1:
+            if scorer is None:
+                raise ValueError(
+                    "a scorer is required to ship the recognizer bundle "
+                    "to worker processes"
+                )
+            self.engine = ProcessEngine(
+                am,
+                lm,
+                scorer=scorer,
+                config=decoder_config,
+                workers=self.config.workers,
+            )
+        else:
+            self.engine = InlineEngine(am, lm, decoder_config)
+        self.metrics = MetricsRegistry()
+        self.scheduler = Scheduler(
+            self.engine,
+            config=self.config.scheduler_config(),
+            metrics=self.metrics,
+        )
+        self.port: int | None = None
+        self._tcp_server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._started = False
+        self._stopped = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.scheduler.start()
+        if self.config.port is not None:
+            self._tcp_server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
+            self.port = self._tcp_server.sockets[0].getsockname()[1]
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting work; with ``drain``, finish what's admitted."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        await self.scheduler.stop(drain=drain)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self.engine.close()
+
+    async def __aenter__(self) -> "TranscriptionServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- shared message handling -------------------------------------------
+
+    def status_message(self) -> dict:
+        """The ``/healthz``-style status + metrics snapshot."""
+        return {
+            "type": protocol.STATUS,
+            "ok": not self._stopped,
+            "draining": self.scheduler.draining,
+            "active_sessions": self.scheduler.active_sessions,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def connect_local(self) -> "InProcessClient":
+        """A client that speaks the protocol without a socket."""
+        return InProcessClient(self)
+
+    # -- TCP transport ------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        owned: dict[str, Session] = {}
+        pumps: list[asyncio.Task] = []
+        write_lock = asyncio.Lock()
+
+        async def send(message: dict) -> None:
+            async with write_lock:
+                writer.write(protocol.encode_message(message))
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = protocol.decode_message(line)
+                    await self._dispatch(message, owned, pumps, send)
+                except protocol.ProtocolError as exc:
+                    await send(protocol.error_message(str(exc)))
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            # The client went away: sessions it still owns are dropped
+            # (no final result to deliver to anyone).
+            for session in owned.values():
+                if not session.closed:
+                    await self.scheduler.cancel(session)
+            for pump_task in pumps:
+                pump_task.cancel()
+            if pumps:
+                await asyncio.gather(*pumps, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError, asyncio.CancelledError):
+                # Teardown only: the transport is gone either way, and
+                # letting a late cancel escape here trips asyncio's
+                # connection_made callback on 3.11.
+                pass
+
+    async def _dispatch(
+        self,
+        message: dict,
+        owned: dict[str, Session],
+        pumps: list[asyncio.Task],
+        send,
+    ) -> None:
+        kind = message["type"]
+        if kind == protocol.START:
+            try:
+                session = await self.scheduler.admit()
+            except Busy as exc:
+                await send(protocol.busy_message(exc.reason))
+                return
+            owned[session.session_id] = session
+            pumps.append(asyncio.get_running_loop().create_task(
+                self._pump(session, send)
+            ))
+            await send(
+                {"type": protocol.STARTED, "session": session.session_id}
+            )
+        elif kind == protocol.STATUS:
+            await send(self.status_message())
+        elif kind in (protocol.FRAMES, protocol.FINISH):
+            session = owned.get(message.get("session"))
+            if session is None:
+                await send(
+                    protocol.error_message(
+                        f"unknown session {message.get('session')!r}",
+                        message.get("session"),
+                    )
+                )
+                return
+            try:
+                if kind == protocol.FRAMES:
+                    scores = protocol.payload_to_scores(
+                        message.get("scores")
+                    )
+                    self.scheduler.push(session, scores)
+                else:
+                    self.scheduler.request_finish(session)
+            except Busy as exc:
+                await send(
+                    protocol.busy_message(exc.reason, session.session_id)
+                )
+        else:
+            await send(protocol.error_message(f"unknown type {kind!r}"))
+
+    async def _pump(self, session: Session, send) -> None:
+        while True:
+            event = await session.events.get()
+            try:
+                await send(event)
+            except (ConnectionResetError, OSError):
+                return
+            if event["type"] in (protocol.FINAL, protocol.ERROR):
+                return
+
+
+class InProcessClient:
+    """The protocol surface without the socket (tests, benches)."""
+
+    def __init__(self, server: TranscriptionServer) -> None:
+        self._server = server
+
+    async def open(self) -> "InProcessSession":
+        """Open one streaming session; raises :class:`Busy` when the
+        admission controller rejects it."""
+        session = await self._server.scheduler.admit()
+        return InProcessSession(self._server, session)
+
+    async def status(self) -> dict:
+        return self._server.status_message()
+
+    async def close(self) -> None:  # symmetry with the TCP client
+        return None
+
+
+class InProcessSession:
+    """One admitted stream driven through the in-process client."""
+
+    def __init__(
+        self, server: TranscriptionServer, session: Session
+    ) -> None:
+        self._server = server
+        self._session = session
+        #: Partial-hypothesis messages observed so far, in order.
+        self.partials: list[dict] = []
+
+    @property
+    def session_id(self) -> str:
+        return self._session.session_id
+
+    async def _next_event(self) -> dict:
+        event = await self._session.events.get()
+        if event["type"] == protocol.PARTIAL:
+            self.partials.append(event)
+        return event
+
+    async def push(self, scores: np.ndarray) -> dict:
+        """Queue one batch and wait for its partial hypothesis.
+
+        Raises :class:`~repro.serve.scheduler.Busy` when the session's
+        frame queue is full (explicit backpressure — retry after the
+        next partial arrives) and :class:`ServeError` when the server
+        dropped the session.
+        """
+        self._server.scheduler.push(self._session, np.asarray(scores))
+        event = await self._next_event()
+        if event["type"] == protocol.PARTIAL:
+            return event
+        raise ServeError(event.get("error", "session ended unexpectedly"))
+
+    def push_nowait(self, scores: np.ndarray) -> None:
+        """Queue one batch without waiting (pipelined pushes); partials
+        arrive via :meth:`finish`'s collection or :attr:`partials`."""
+        self._server.scheduler.push(self._session, np.asarray(scores))
+
+    async def finish(self) -> dict:
+        """End the utterance; returns the final message after draining
+        any still-pending partials into :attr:`partials`."""
+        try:
+            self._server.scheduler.request_finish(self._session)
+        except Busy:
+            # Already finishing or retired (drain, eviction, stop): the
+            # final or error event is queued — deliver that instead.
+            pass
+        while True:
+            event = await self._next_event()
+            if event["type"] == protocol.FINAL:
+                return event
+            if event["type"] == protocol.ERROR:
+                raise ServeError(event["error"])

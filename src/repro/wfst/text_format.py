@@ -111,7 +111,9 @@ def read_symbol_table(lines: Iterable[str], name: str = "symbols") -> SymbolTabl
     entries: list[tuple[int, str]] = []
     for raw in lines:
         line = raw.strip()
-        if not line or line.startswith("#"):
+        # No comment syntax here: "#"-prefixed symbols (#phi, Kaldi's
+        # disambiguation #0, #1, ...) are legitimate table entries.
+        if not line:
             continue
         parts = line.split()
         if len(parts) != 2:

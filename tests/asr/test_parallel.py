@@ -131,3 +131,56 @@ class TestTranscribeStreams:
             assert got.words == want.words
             assert got.cost == want.cost
             assert got.stats == want.stats
+
+    def test_existing_pool_is_reused_not_rebuilt(
+        self, tiny_task, tiny_scorer, tiny_scores, monkeypatch
+    ):
+        """With ``pool=`` given, no throwaway pool is constructed and
+        the caller's pool stays open afterwards."""
+        import repro.asr.parallel as parallel_mod
+
+        decoder = OnTheFlyDecoder(tiny_task.am, tiny_task.lm, CONFIG)
+        with DecodePool(
+            tiny_task.am, tiny_task.lm, scorer=tiny_scorer, config=CONFIG
+        ) as pool:
+            expected = pool.decode_streams(tiny_scores, batch_frames=16)
+
+            def forbidden(*args, **kwargs):
+                raise AssertionError(
+                    "transcribe_streams built a new DecodePool"
+                )
+
+            monkeypatch.setattr(parallel_mod, "DecodePool", forbidden)
+            got = transcribe_streams(
+                decoder, tiny_scores, batch_frames=16, pool=pool
+            )
+            # Still usable: transcribe_streams must not close it.
+            again = pool.decode_streams(tiny_scores, batch_frames=16)
+        for a, b, c in zip(got, expected, again):
+            assert a.words == b.words == c.words
+            assert a.cost == b.cost == c.cost
+
+
+class TestAsrSystemStreams:
+    def test_system_caches_one_pool_across_calls(
+        self, tiny_task, tiny_scorer, tiny_utterances
+    ):
+        from repro.asr import AsrSystem
+
+        with AsrSystem(task=tiny_task, scorer=tiny_scorer) as system:
+            first = system.transcribe_streams(
+                tiny_utterances, config=CONFIG, batch_frames=16
+            )
+            second = system.transcribe_streams(
+                tiny_utterances, config=CONFIG, batch_frames=16
+            )
+            assert len(system._pools) == 1
+            # transcribe shares the same cached pool (same key).
+            batch = system.transcribe(tiny_utterances, config=CONFIG)
+            assert len(system._pools) == 1
+        for got, want in zip(first, second):
+            assert got.words == want.words
+            assert got.cost == want.cost
+        for got, want in zip(first, batch):
+            assert got.words == want.words
+            assert got.cost == pytest.approx(want.cost, rel=1e-9)

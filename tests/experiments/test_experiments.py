@@ -152,6 +152,7 @@ class TestRegistry:
             "fig08", "fig09", "fig10", "fig11", "table5", "table6",
             "fig12", "fig13", "ablation-preemptive", "ablation-lookup",
             "ablation-two-pass", "ablation-lattice", "perf-decode",
+            "serve-bench",
         }
         assert set(EXPERIMENTS) == expected
 

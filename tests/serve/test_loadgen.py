@@ -1,0 +1,88 @@
+"""Load-generator tests: replay, ordering, backpressure accounting."""
+
+import asyncio
+
+import pytest
+
+from repro.asr.streaming import transcribe_streams
+from repro.core import DecoderConfig, OnTheFlyDecoder
+from repro.serve import ServeConfig, TranscriptionServer
+from repro.serve.loadgen import run_load
+
+CONFIG = DecoderConfig(beam=14.0)
+
+
+def replay(tiny_task, tiny_scores, concurrency, **server_overrides):
+    async def scenario():
+        serve_config = ServeConfig(**server_overrides)
+        server = TranscriptionServer(
+            tiny_task.am,
+            tiny_task.lm,
+            decoder_config=CONFIG,
+            serve_config=serve_config,
+        )
+        async with server:
+            return await run_load(
+                server.connect_local(),
+                tiny_scores,
+                concurrency=concurrency,
+                batch_frames=8,
+            )
+
+    return asyncio.run(scenario())
+
+
+class TestRunLoad:
+    def test_outcomes_in_input_order_and_correct(
+        self, tiny_task, tiny_scores
+    ):
+        decoder = OnTheFlyDecoder(tiny_task.am, tiny_task.lm, CONFIG)
+        expected = transcribe_streams(decoder, tiny_scores, 8)
+        report = replay(tiny_task, tiny_scores, concurrency=4)
+        assert [o.index for o in report.outcomes] == list(
+            range(len(tiny_scores))
+        )
+        for outcome, want in zip(report.outcomes, expected):
+            assert outcome.words == want.words
+            assert outcome.cost == want.cost
+            assert outcome.frames == want.stats.frames
+
+    def test_report_accounting(self, tiny_task, tiny_scores):
+        report = replay(tiny_task, tiny_scores, concurrency=2)
+        assert report.utterances == len(tiny_scores)
+        assert report.frames == sum(s.shape[0] for s in tiny_scores)
+        assert report.batches == sum(
+            -(-s.shape[0] // 8) for s in tiny_scores
+        )
+        assert report.wall_seconds > 0
+        assert report.frames_per_second > 0
+        summary = report.latency_summary()
+        assert summary["push_seconds"]["count"] == report.batches
+        assert summary["push_seconds"]["p95"] > 0
+        assert (
+            summary["first_partial_seconds"]["count"] == report.utterances
+        )
+
+    def test_busy_rejections_counted_under_tight_admission(
+        self, tiny_task, tiny_scores
+    ):
+        """With one session slot and four workers, admission control
+        must engage — and nobody may hang or lose an utterance."""
+        report = replay(
+            tiny_task, tiny_scores, concurrency=4, max_sessions=1
+        )
+        assert report.utterances == len(tiny_scores)
+        assert report.busy_rejections > 0
+
+    def test_to_dict_is_json_ready(self, tiny_task, tiny_scores):
+        import json
+
+        report = replay(tiny_task, tiny_scores[:2], concurrency=2)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["concurrency"] == 2
+        assert payload["utterances"] == 2
+        assert "latency" in payload
+
+    def test_validation(self, tiny_task, tiny_scores):
+        with pytest.raises(ValueError):
+            replay(tiny_task, tiny_scores, concurrency=0)

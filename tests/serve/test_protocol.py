@@ -1,0 +1,87 @@
+"""Wire-protocol tests: message round-trips and malformed input."""
+
+import numpy as np
+import pytest
+
+from repro.serve import protocol
+
+
+class TestMessageRoundTrip:
+    def test_encode_decode(self):
+        message = {"type": "frames", "session": "s1", "scores": [[1.0, 2.0]]}
+        line = protocol.encode_message(message)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]  # one message per line
+        assert protocol.decode_message(line) == message
+
+    @pytest.mark.parametrize(
+        "junk",
+        [b"", b"   \n", b"not json\n", b"[1,2]\n", b'{"no_type": 1}\n',
+         b'{"type": 5}\n'],
+    )
+    def test_junk_rejected(self, junk):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_message(junk)
+
+
+class TestScorePayload:
+    def test_round_trip_is_exact(self):
+        rng = np.random.default_rng(0)
+        scores = rng.standard_normal((5, 7))
+        payload = protocol.scores_to_payload(scores)
+        back = protocol.payload_to_scores(payload)
+        # JSON doubles are float64: bit-exact across the wire.
+        assert back.dtype == np.float64
+        assert np.array_equal(back, scores)
+
+    def test_json_round_trip_is_exact(self):
+        rng = np.random.default_rng(1)
+        scores = rng.standard_normal((3, 4))
+        line = protocol.encode_message(
+            {"type": "frames", "scores": protocol.scores_to_payload(scores)}
+        )
+        back = protocol.payload_to_scores(
+            protocol.decode_message(line)["scores"]
+        )
+        assert np.array_equal(back, scores)
+
+    def test_empty_batch_is_zero_frame_matrix(self):
+        back = protocol.payload_to_scores([])
+        assert back.shape == (0, 0)
+
+    @pytest.mark.parametrize("bad", ["x", [[1.0], [1.0, 2.0]], [[[1.0]]]])
+    def test_bad_payload_rejected(self, bad):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.payload_to_scores(bad)
+
+    def test_non_matrix_scores_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.scores_to_payload(np.zeros(3))
+
+
+class TestServerMessages:
+    def test_busy_and_error_session_field_optional(self):
+        assert "session" not in protocol.busy_message("full")
+        assert protocol.busy_message("full", "s1")["session"] == "s1"
+        assert "session" not in protocol.error_message("boom")
+        assert protocol.error_message("boom", "s2")["session"] == "s2"
+
+    def test_partial_and_final_shapes(self, tiny_task, tiny_scores):
+        from repro.asr.streaming import StreamingSession
+        from repro.core import DecoderConfig, OnTheFlyDecoder
+
+        decoder = OnTheFlyDecoder(
+            tiny_task.am, tiny_task.lm, DecoderConfig(beam=14.0)
+        )
+        session = StreamingSession(decoder)
+        partial = session.push(tiny_scores[0][:8])
+        message = protocol.partial_message("s1", partial)
+        assert message["type"] == protocol.PARTIAL
+        assert message["frames_consumed"] == 8
+        assert message["words"] == partial.words
+        result = session.finish()
+        final = protocol.final_message("s1", result)
+        assert final["type"] == protocol.FINAL
+        assert final["words"] == result.words
+        assert final["frames"] == 8
+        assert final["success"] == result.success

@@ -1,0 +1,354 @@
+"""Transcription-server tests: the ISSUE's acceptance criteria.
+
+Concurrent sessions must transcribe exactly what sequential streaming
+does; admission control must reject, never hang; graceful shutdown
+must drain; metrics must show real work.  Every test drives the real
+asyncio stack via ``asyncio.run`` (no event-loop test plugin needed).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.asr.streaming import transcribe_streams
+from repro.core import DecoderConfig, OnTheFlyDecoder
+from repro.serve import (
+    Busy,
+    ServeConfig,
+    ServeError,
+    TcpClient,
+    TranscriptionServer,
+)
+
+CONFIG = DecoderConfig(beam=14.0)
+BATCH_FRAMES = 8
+
+
+@pytest.fixture(scope="module")
+def sequential_results(tiny_task, tiny_scores):
+    """The ground truth every served transcript must match."""
+    decoder = OnTheFlyDecoder(tiny_task.am, tiny_task.lm, CONFIG)
+    return transcribe_streams(decoder, tiny_scores, BATCH_FRAMES)
+
+
+def make_server(tiny_task, **overrides) -> TranscriptionServer:
+    serve_config = ServeConfig(**overrides)
+    return TranscriptionServer(
+        tiny_task.am, tiny_task.lm, decoder_config=CONFIG,
+        serve_config=serve_config,
+    )
+
+
+async def stream_one(client, scores, batch_frames=BATCH_FRAMES):
+    session = await client.open()
+    for start in range(0, scores.shape[0], batch_frames):
+        await session.push(scores[start : start + batch_frames])
+    return await session.finish()
+
+
+class TestConcurrentSessions:
+    def test_concurrent_streams_match_sequential(
+        self, tiny_task, tiny_scores, sequential_results
+    ):
+        """N >= 4 interleaved sessions, each transcript bit-equal to the
+        sequential pass (the subsystem's core acceptance criterion)."""
+        assert len(tiny_scores) >= 4
+
+        async def scenario():
+            async with make_server(tiny_task, max_sessions=8) as server:
+                client = server.connect_local()
+                return await asyncio.gather(
+                    *(stream_one(client, scores) for scores in tiny_scores)
+                )
+
+        finals = asyncio.run(scenario())
+        for final, want in zip(finals, sequential_results):
+            assert final["words"] == want.words
+            assert final["cost"] == want.cost
+            assert final["frames"] == want.stats.frames
+
+    def test_partials_flow_during_streaming(self, tiny_task, tiny_scores):
+        async def scenario():
+            async with make_server(tiny_task) as server:
+                session = await server.connect_local().open()
+                partials = [
+                    await session.push(tiny_scores[0][i : i + BATCH_FRAMES])
+                    for i in range(0, 24, BATCH_FRAMES)
+                ]
+                await session.finish()
+                return partials
+
+        partials = asyncio.run(scenario())
+        consumed = [p["frames_consumed"] for p in partials]
+        assert consumed == sorted(consumed)
+        assert all(p["type"] == "partial" for p in partials)
+
+    def test_finish_with_no_pushes(self, tiny_task):
+        async def scenario():
+            async with make_server(tiny_task) as server:
+                session = await server.connect_local().open()
+                return await session.finish()
+
+        final = asyncio.run(scenario())
+        assert final["words"] == []
+        assert final["frames"] == 0
+
+
+class TestAdmissionControl:
+    def test_session_table_full_rejects_explicitly(
+        self, tiny_task, tiny_scores
+    ):
+        async def scenario():
+            async with make_server(tiny_task, max_sessions=2) as server:
+                client = server.connect_local()
+                first = await client.open()
+                second = await client.open()
+                with pytest.raises(Busy) as excinfo:
+                    await client.open()
+                reason = excinfo.value.reason
+                # Retiring a session frees the slot.
+                await first.finish()
+                third = await client.open()
+                await second.finish()
+                await third.finish()
+                return reason, server.metrics.snapshot()
+
+        reason, metrics = asyncio.run(scenario())
+        assert "session table full" in reason
+        assert metrics["counters"]["sessions_rejected"] == 1
+
+    def test_full_frame_queue_rejects_push(self, tiny_task, tiny_scores):
+        async def scenario():
+            async with make_server(
+                tiny_task, max_queued_batches=1
+            ) as server:
+                session = await server.connect_local().open()
+                rejected = 0
+                # Synchronous burst: the scheduler never gets the loop
+                # back between pushes, so the second must bounce.
+                session.push_nowait(tiny_scores[0][:BATCH_FRAMES])
+                try:
+                    session.push_nowait(tiny_scores[0][:BATCH_FRAMES])
+                except Busy:
+                    rejected += 1
+                await session.finish()
+                return rejected, server.metrics.snapshot()
+
+        rejected, metrics = asyncio.run(scenario())
+        assert rejected == 1
+        assert metrics["counters"]["pushes_rejected"] == 1
+
+    def test_idle_session_evicted(self, tiny_task, tiny_scores):
+        async def scenario():
+            async with make_server(
+                tiny_task, idle_timeout_seconds=0.05
+            ) as server:
+                session = await server.connect_local().open()
+                await session.push(tiny_scores[0][:BATCH_FRAMES])
+                await asyncio.sleep(0.3)  # go quiet past the timeout
+                with pytest.raises(ServeError, match="idle timeout"):
+                    await session.finish()
+                return server.metrics.snapshot()
+
+        metrics = asyncio.run(scenario())
+        assert metrics["counters"]["sessions_timed_out"] == 1
+
+
+class TestShutdown:
+    def test_graceful_stop_drains_inflight_sessions(
+        self, tiny_task, tiny_scores, sequential_results
+    ):
+        """Sessions mid-utterance at stop() still get real finals."""
+
+        async def scenario():
+            server = make_server(tiny_task, max_sessions=4)
+            await server.start()
+            client = server.connect_local()
+            sessions = []
+            for scores in tiny_scores[:3]:
+                session = await client.open()
+                await session.push(scores[:BATCH_FRAMES])
+                sessions.append(session)
+            stop_task = asyncio.ensure_future(server.stop(drain=True))
+            finals = [
+                await asyncio.wait_for(s.finish(), timeout=30)
+                for s in sessions
+            ]
+            await stop_task
+            return finals, server.scheduler.active_sessions
+
+        finals, remaining = asyncio.run(scenario())
+        assert remaining == 0
+        for final, want in zip(finals, sequential_results):
+            # Only the first batch was pushed before the drain, so the
+            # final is a real result over those frames.
+            assert final["type"] == "final"
+            assert final["frames"] == min(
+                BATCH_FRAMES, want.stats.frames
+            )
+
+    def test_drain_finishes_abandoned_sessions(self, tiny_task, tiny_scores):
+        """Shutdown must not wait forever on a client that never calls
+        finish — drain implies finish."""
+
+        async def scenario():
+            server = make_server(tiny_task)
+            await server.start()
+            session = await server.connect_local().open()
+            await session.push(tiny_scores[0][:BATCH_FRAMES])
+            await asyncio.wait_for(server.stop(drain=True), timeout=30)
+            return server.scheduler.active_sessions, server.metrics.snapshot()
+
+        remaining, metrics = asyncio.run(scenario())
+        assert remaining == 0
+        assert metrics["counters"]["sessions_completed"] == 1
+
+    def test_non_drain_stop_errors_sessions(self, tiny_task, tiny_scores):
+        async def scenario():
+            server = make_server(tiny_task)
+            await server.start()
+            session = await server.connect_local().open()
+            await session.push(tiny_scores[0][:BATCH_FRAMES])
+            await server.stop(drain=False)
+            with pytest.raises(ServeError, match="server stopped"):
+                await session.finish()
+            return server.scheduler.active_sessions
+
+        assert asyncio.run(scenario()) == 0
+
+    def test_admission_rejected_while_stopping(self, tiny_task):
+        async def scenario():
+            server = make_server(tiny_task)
+            await server.start()
+            await server.stop()
+            client = server.connect_local()
+            with pytest.raises(Busy, match="shutting down"):
+                await client.open()
+
+        asyncio.run(scenario())
+
+
+class TestMetricsAndStatus:
+    def test_status_reports_nonzero_metrics_after_load(
+        self, tiny_task, tiny_scores
+    ):
+        async def scenario():
+            async with make_server(tiny_task) as server:
+                client = server.connect_local()
+                await stream_one(client, tiny_scores[0])
+                return await client.status()
+
+        status = asyncio.run(scenario())
+        assert status["type"] == "status"
+        assert status["ok"] is True
+        counters = status["metrics"]["counters"]
+        assert counters["sessions_admitted"] == 1
+        assert counters["sessions_completed"] == 1
+        assert counters["frames_decoded"] == tiny_scores[0].shape[0]
+        assert counters["batches_decoded"] > 0
+        latency = status["metrics"]["histograms"]["batch_decode_seconds"]
+        assert latency["count"] == counters["batches_decoded"]
+        assert latency["p95"] > 0
+
+
+class TestTcpTransport:
+    def test_tcp_round_trip_matches_sequential(
+        self, tiny_task, tiny_scores, sequential_results
+    ):
+        """Two concurrent utterances through real sockets."""
+
+        async def scenario():
+            try:
+                server = make_server(tiny_task, port=0)
+                await server.start()
+            except OSError as exc:  # pragma: no cover - no loopback
+                pytest.skip(f"cannot bind a TCP socket: {exc}")
+            async with server:
+                client = await TcpClient.connect(
+                    server.config.host, server.port
+                )
+                try:
+                    status = await client.status()
+                    finals = await asyncio.gather(
+                        *(
+                            stream_one(client, scores)
+                            for scores in tiny_scores[:2]
+                        )
+                    )
+                finally:
+                    await client.close()
+                return status, finals
+
+        status, finals = asyncio.run(scenario())
+        assert status["type"] == "status"
+        for final, want in zip(finals, sequential_results[:2]):
+            assert final["words"] == want.words
+            assert final["cost"] == want.cost
+
+    def test_tcp_busy_on_full_table(self, tiny_task, tiny_scores):
+        async def scenario():
+            try:
+                server = make_server(tiny_task, port=0, max_sessions=1)
+                await server.start()
+            except OSError as exc:  # pragma: no cover - no loopback
+                pytest.skip(f"cannot bind a TCP socket: {exc}")
+            async with server:
+                client = await TcpClient.connect(
+                    server.config.host, server.port
+                )
+                try:
+                    session = await client.open()
+                    with pytest.raises(Busy, match="session table full"):
+                        await client.open()
+                    await session.finish()
+                finally:
+                    await client.close()
+
+        asyncio.run(scenario())
+
+
+class TestProcessEngine:
+    def test_worker_processes_match_pool_reference(
+        self, tiny_task, tiny_scorer, tiny_scores
+    ):
+        """workers > 1 pins sessions to processes; transcripts equal the
+        bundle-quantized DecodePool reference."""
+        from repro.asr.parallel import DecodePool
+
+        with DecodePool(
+            tiny_task.am, tiny_task.lm, scorer=tiny_scorer, config=CONFIG
+        ) as pool:
+            expected = pool.decode_streams(
+                tiny_scores[:4], batch_frames=BATCH_FRAMES
+            )
+
+        async def scenario():
+            server = TranscriptionServer(
+                tiny_task.am,
+                tiny_task.lm,
+                decoder_config=CONFIG,
+                serve_config=ServeConfig(max_sessions=4, workers=2),
+                scorer=tiny_scorer,
+            )
+            async with server:
+                client = server.connect_local()
+                return await asyncio.gather(
+                    *(
+                        stream_one(client, scores)
+                        for scores in tiny_scores[:4]
+                    )
+                )
+
+        finals = asyncio.run(scenario())
+        for final, want in zip(finals, expected):
+            assert final["words"] == want.words
+            assert final["cost"] == want.cost
+
+    def test_workers_require_scorer(self, tiny_task):
+        with pytest.raises(ValueError, match="scorer"):
+            TranscriptionServer(
+                tiny_task.am,
+                tiny_task.lm,
+                serve_config=ServeConfig(workers=2),
+            )

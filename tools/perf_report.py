@@ -16,6 +16,19 @@ phase at ``S`` seconds (per-phase gate, not just total throughput);
 ``--fail-parallel-below X`` floors the pool's parallel speedup, and is
 skipped with a warning on single-CPU machines where a process pool
 cannot win.
+
+The serving layer has its own bench and gates::
+
+    PYTHONPATH=src python tools/perf_report.py --preset small --serve-only \
+        --serve-transport tcp --serve-concurrency 2 \
+        --fail-serve-p95-above 2.0 --fail-serve-fps-below 100
+
+``--serve`` additionally runs the streaming-service bench (a live
+server plus the load generator) and writes ``BENCH_serve.json``;
+``--serve-only`` skips the decode bench.  ``--fail-serve-fps-below X``
+floors served frames per second and ``--fail-serve-p95-above S`` caps
+the client-observed p95 per-push latency; transcript parity with
+sequential streaming and a clean drain are always required.
 """
 
 from __future__ import annotations
@@ -69,28 +82,94 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 if the pool's parallel speedup is below X "
         "(skipped with a warning on single-CPU machines)",
     )
-    args = parser.parse_args(argv)
-
-    from repro.experiments.perf_decode import check_report, write_bench_report
-
-    result = write_bench_report(
-        preset=args.preset,
-        output=args.output,
-        parallelism=args.parallelism,
-        repeats=args.repeats,
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="also run the streaming-service bench (BENCH_serve.json)",
     )
-    print(result.render())
-    print(f"\nwrote {args.output}")
+    parser.add_argument(
+        "--serve-only",
+        action="store_true",
+        help="run only the streaming-service bench",
+    )
+    parser.add_argument("--serve-output", default="BENCH_serve.json")
+    parser.add_argument("--serve-concurrency", type=int, default=4)
+    parser.add_argument("--serve-batch-frames", type=int, default=8)
+    parser.add_argument(
+        "--serve-transport", choices=("local", "tcp"), default="local"
+    )
+    parser.add_argument("--serve-workers", type=int, default=1)
+    parser.add_argument(
+        "--fail-serve-fps-below",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 if the service decodes fewer than X frames/second",
+    )
+    parser.add_argument(
+        "--fail-serve-p95-above",
+        type=float,
+        default=None,
+        metavar="S",
+        help="exit 1 if the client-observed p95 per-push latency "
+        "exceeds S seconds",
+    )
+    args = parser.parse_args(argv)
 
     import json
 
-    report = json.loads(Path(args.output).read_text())
-    failures, notes = check_report(
-        report,
-        fail_below=args.fail_below,
-        fail_epsilon_above=args.fail_epsilon_above,
-        fail_parallel_below=args.fail_parallel_below,
-    )
+    failures: list[str] = []
+    notes: list[str] = []
+
+    if not args.serve_only:
+        from repro.experiments.perf_decode import (
+            check_report,
+            write_bench_report,
+        )
+
+        result = write_bench_report(
+            preset=args.preset,
+            output=args.output,
+            parallelism=args.parallelism,
+            repeats=args.repeats,
+        )
+        print(result.render())
+        print(f"\nwrote {args.output}")
+        report = json.loads(Path(args.output).read_text())
+        decode_failures, decode_notes = check_report(
+            report,
+            fail_below=args.fail_below,
+            fail_epsilon_above=args.fail_epsilon_above,
+            fail_parallel_below=args.fail_parallel_below,
+        )
+        failures.extend(decode_failures)
+        notes.extend(decode_notes)
+
+    if args.serve or args.serve_only:
+        from repro.experiments.serve_bench import (
+            check_serve_report,
+            write_bench_report as write_serve_report,
+        )
+
+        serve_result = write_serve_report(
+            preset=args.preset,
+            output=args.serve_output,
+            concurrency=args.serve_concurrency,
+            batch_frames=args.serve_batch_frames,
+            transport=args.serve_transport,
+            workers=args.serve_workers,
+        )
+        print(serve_result.render())
+        print(f"\nwrote {args.serve_output}")
+        serve_report = json.loads(Path(args.serve_output).read_text())
+        serve_failures, serve_notes = check_serve_report(
+            serve_report,
+            fail_fps_below=args.fail_serve_fps_below,
+            fail_p95_above=args.fail_serve_p95_above,
+        )
+        failures.extend(serve_failures)
+        notes.extend(serve_notes)
+
     for note in notes:
         print(f"OK: {note}" if "skipped" not in note else f"WARN: {note}")
     for failure in failures:
