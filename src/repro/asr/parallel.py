@@ -31,6 +31,14 @@ submission order.  Two mechanisms make that hold:
   would differ from the workers' in the last bits.  ``parallelism=1``
   without a scorer skips the round-trip and decodes the given graphs
   directly (no worker machinery either way).
+
+The lockstep :class:`~repro.core.batch.BatchDecoder` honors the same
+contract (cold forked caches per utterance), so the pool can swap
+process fan-out for in-process batch fusion — it does exactly that,
+automatically, when asked for ``parallelism > 1`` on a host exposing a
+single CPU, where forked workers would only add serialization overhead
+on top of zero actual concurrency.  Each result records which strategy
+produced it in ``DecodeResult.strategy``.
 """
 
 from __future__ import annotations
@@ -48,6 +56,14 @@ from repro.am.scorer import AcousticScorer
 from repro.asr.persist import load_recognizer, save_recognizer
 from repro.core.decoder import DecodeResult, DecoderConfig, OnTheFlyDecoder
 from repro.lm.graph import LmGraph
+
+def visible_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
 
 # Per-worker-process state, installed by the pool initializer.
 _WORKER_DECODER: OnTheFlyDecoder | None = None
@@ -109,6 +125,14 @@ class DecodePool:
         scorer: acoustic scorer; required for :meth:`decode_utterances`.
         config: decoder configuration shared by every worker.
         parallelism: worker process count; ``1`` decodes in-process.
+        batch_size: lockstep batch width for the in-process paths.
+            ``None`` keeps them per-utterance; ``B > 1`` decodes score
+            batches through a :class:`~repro.core.batch.BatchDecoder`
+            (bit-identical, fewer kernel dispatches).
+        single_cpu_fallback: when ``parallelism > 1`` but the host
+            exposes a single visible CPU, quietly decode in-process
+            with batch fusion instead of forking workers that would
+            time-slice one core.  Results are identical either way.
     """
 
     def __init__(
@@ -118,6 +142,8 @@ class DecodePool:
         scorer: AcousticScorer | None = None,
         config: DecoderConfig | None = None,
         parallelism: int = 1,
+        batch_size: int | None = None,
+        single_cpu_fallback: bool = True,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
@@ -126,8 +152,24 @@ class DecodePool:
                 "a scorer is required to ship the recognizer bundle "
                 "to worker processes"
             )
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.requested_parallelism = parallelism
+        if (
+            parallelism > 1
+            and single_cpu_fallback
+            and visible_cpus() < 2
+        ):
+            # One visible core: worker processes can't overlap, they
+            # just add pickling and scheduling.  Fuse in-process
+            # instead — the determinism contract makes this invisible
+            # apart from DecodeResult.strategy.
+            parallelism = 1
+            if batch_size is None:
+                batch_size = 8
         self.config = config or DecoderConfig()
         self.parallelism = parallelism
+        self.batch_size = batch_size
         self._scorer = scorer
         self._executor: ProcessPoolExecutor | None = None
         self._tempdir: tempfile.TemporaryDirectory | None = None
@@ -174,6 +216,20 @@ class DecodePool:
                 )
         else:
             self._decoder = OnTheFlyDecoder(am, lm, self.config)
+        self._batch = None
+        if self._decoder is not None and batch_size is not None and batch_size > 1:
+            from repro.core.batch import BatchDecoder
+
+            self._batch = BatchDecoder(self._decoder, batch_size)
+
+    @property
+    def strategy(self) -> str:
+        """How this pool decodes: ``serial``, ``pool[N]`` or ``batch[B]``."""
+        if self._executor is not None:
+            return f"pool[{self.parallelism}]"
+        if self._batch is not None and self._batch.lockstep_supported:
+            return f"batch[{self._batch.batch_size}]"
+        return "serial"
 
     def _chunksize(self, num_jobs: int) -> int:
         """Batch jobs per pickle: a couple of chunks per worker."""
@@ -185,12 +241,15 @@ class DecodePool:
         """Decode pre-computed score matrices; results in input order."""
         if self._executor is None:
             assert self._decoder is not None
+            if self._batch is not None:
+                return self._batch.decode(scores)
             return [_cold_decode(self._decoder, s) for s in scores]
-        return list(
+        results = list(
             self._executor.map(
                 _decode_scores_job, scores, chunksize=self._chunksize(len(scores))
             )
         )
+        return self._stamp(results)
 
     def decode_utterances(self, utterances) -> list[DecodeResult]:
         """Score and decode utterances; results in input order."""
@@ -198,17 +257,27 @@ class DecodePool:
             raise ValueError("DecodePool built without a scorer")
         if self._executor is None:
             assert self._decoder is not None
+            if self._batch is not None:
+                return self._batch.decode(
+                    [self._scorer.score(u.features) for u in utterances]
+                )
             return [
                 _cold_decode(self._decoder, self._scorer.score(u.features))
                 for u in utterances
             ]
-        return list(
+        results = list(
             self._executor.map(
                 _decode_features_job,
                 [u.features for u in utterances],
                 chunksize=self._chunksize(len(utterances)),
             )
         )
+        return self._stamp(results)
+
+    def _stamp(self, results: list[DecodeResult]) -> list[DecodeResult]:
+        for result in results:
+            result.strategy = f"pool[{self.parallelism}]"
+        return results
 
     def decode_streams(
         self, scores: list[np.ndarray], batch_frames: int = 32
@@ -226,11 +295,13 @@ class DecodePool:
                 )
                 results.append(result)
             return results
-        return list(
-            self._executor.map(
-                _streaming_job,
-                [(m, batch_frames) for m in scores],
-                chunksize=self._chunksize(len(scores)),
+        return self._stamp(
+            list(
+                self._executor.map(
+                    _streaming_job,
+                    [(m, batch_frames) for m in scores],
+                    chunksize=self._chunksize(len(scores)),
+                )
             )
         )
 

@@ -48,9 +48,15 @@ class StreamingSession:
     of the offline decoder's parity contract.
     """
 
-    def __init__(self, decoder: OnTheFlyDecoder) -> None:
+    def __init__(self, decoder: OnTheFlyDecoder, lookup=None) -> None:
         self.decoder = decoder
         config = decoder.config
+        # Sessions default to the decoder's own lookup; a serving layer
+        # running several sessions on one decoder passes each a
+        # ``decoder.lookup.fork()`` instead, giving every session its
+        # own OLT/expansion-cache evolution (solo-identical counters)
+        # and making the sessions fusable by :func:`push_sessions`.
+        self._lookup = lookup if lookup is not None else decoder.lookup
         self._vectorized = (
             config.vectorized
             and not decoder._tracing
@@ -75,8 +81,9 @@ class StreamingSession:
         # utterance's delta, as decode() does.  With several sessions
         # interleaved on one decoder (the serving layer), the delta is
         # decoder-wide over the session's lifetime rather than
-        # per-utterance; transcripts are unaffected either way.
-        self._lookup_start = decoder._snapshot_lookup()
+        # per-utterance — unless each session got its own fork;
+        # transcripts are unaffected either way.
+        self._lookup_start = decoder._snapshot_lookup(self._lookup)
 
     @property
     def frames_consumed(self) -> int:
@@ -97,7 +104,7 @@ class StreamingSession:
         decoder = self.decoder
         stats = self._stats
         lattice = self._lattice
-        lookup = decoder.lookup
+        lookup = self._lookup
         beam_config = decoder.config.beam_config()
         vectorized = self._vectorized
         scores = np.ascontiguousarray(scores, dtype=np.float64)
@@ -128,11 +135,21 @@ class StreamingSession:
             writes_before = stats.token_writes
             if self._batched_epsilon:
                 decoder._epsilon_phase_batched(
-                    next_table, self._frames, lattice, stats, beam_config
+                    next_table,
+                    self._frames,
+                    lattice,
+                    stats,
+                    beam_config,
+                    lookup=lookup,
                 )
             else:
                 decoder._epsilon_phase(
-                    next_table, self._frames, lattice, stats, beam_config
+                    next_table,
+                    self._frames,
+                    lattice,
+                    stats,
+                    beam_config,
+                    lookup=lookup,
                 )
             stats.frame_work.append(
                 (
@@ -188,8 +205,83 @@ class StreamingSession:
             raise RuntimeError("session already finished")
         self._finished = True
         self._stats.frames = self._frames
-        self._stats.lookup = self.decoder._lookup_delta(self._lookup_start)
+        self._stats.lookup = self.decoder._lookup_delta(
+            self._lookup_start, lookup=self._lookup
+        )
         return self.decoder._finalize(self._table, self._lattice, self._stats)
+
+
+def push_sessions(
+    sessions: list[StreamingSession],
+    batches: list[np.ndarray],
+) -> list[PartialHypothesis]:
+    """Advance several sessions through their batches in lockstep.
+
+    The multi-session analogue of :meth:`StreamingSession.push`: per
+    frame index, every session still holding frames advances through
+    one fused :func:`~repro.core.batch.step_segments` kernel call
+    (ragged batches retire early, zero-frame batches are keep-alives).
+    Each session's partials, final result and stats are bit-identical
+    to pushing its batch alone — provided the sessions share one
+    decoder but *not* one lookup (each needs its own
+    ``decoder.lookup.fork()``, or the interleaving would reorder a
+    shared cache's evolution).  Sessions that don't meet the fusion
+    conditions — mixed decoders, a shared lookup, scalar or traced
+    configs — are simply pushed one by one.
+    """
+    from repro.core.batch import BatchSegment, lockstep_supported, step_segments
+
+    if len(sessions) != len(batches):
+        raise ValueError("one score batch per session required")
+    if not sessions:
+        return []
+    # Validate everything before touching anyone's state: a caller
+    # seeing an exception from here may retry the batches one session
+    # at a time (to attribute the failure), which is only safe when a
+    # raise implies no session advanced.
+    matrices = []
+    for session, scores in zip(sessions, batches):
+        if session._finished:
+            raise RuntimeError("session already finished")
+        if scores.ndim != 2 or (
+            scores.shape[0]
+            and scores.shape[1] < session.decoder.am.num_senones
+        ):
+            raise ValueError(f"bad score batch shape {scores.shape}")
+        matrices.append(np.ascontiguousarray(scores, dtype=np.float64))
+    decoder = sessions[0].decoder
+    fusable = (
+        len(sessions) > 1
+        and all(s.decoder is decoder for s in sessions)
+        and lockstep_supported(decoder)
+        and all(s._batched_epsilon for s in sessions)
+        and len({id(s._lookup) for s in sessions}) == len(sessions)
+    )
+    if not fusable:
+        return [s.push(b) for s, b in zip(sessions, matrices)]
+    segments = [
+        # scores stays None: the segment's frame field is the *global*
+        # lattice frame stamp, while this batch indexes from zero — the
+        # loop below drives consumption with its own local index.
+        BatchSegment(
+            table=session._table,
+            lookup=session._lookup,
+            lattice=session._lattice,
+            stats=session._stats,
+            frame=session._frames,
+            index=i,
+        )
+        for i, session in enumerate(sessions)
+    ]
+    lengths = [m.shape[0] for m in matrices]
+    for local in range(max(lengths)):
+        active = [seg for seg in segments if local < lengths[seg.index]]
+        rows = [matrices[seg.index][local] for seg in active]
+        step_segments(decoder, active, rows)
+    for session, seg in zip(sessions, segments):
+        session._table = seg.table
+        session._frames = seg.frame
+    return [session._partial() for session in sessions]
 
 
 def decode_streaming(

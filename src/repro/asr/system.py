@@ -93,8 +93,13 @@ class AsrSystem:
     def score_all(self, utterances: list[Utterance]) -> list[np.ndarray]:
         return [self.scorer.score(u.features) for u in utterances]
 
-    def _pool_for(self, config: DecoderConfig | None, parallelism: int):
-        """The cached DecodePool for one (config, parallelism) pair.
+    def _pool_for(
+        self,
+        config: DecoderConfig | None,
+        parallelism: int,
+        batch_size: int | None = None,
+    ):
+        """The cached DecodePool for one (config, parallelism, batch) key.
 
         Pools persist across calls — workers warm up once, not per
         batch; :meth:`close` releases them.
@@ -103,7 +108,11 @@ class AsrSystem:
 
         from repro.asr.parallel import DecodePool
 
-        key = (parallelism, None if config is None else astuple(config))
+        key = (
+            parallelism,
+            batch_size,
+            None if config is None else astuple(config),
+        )
         pool = self._pools.get(key)
         if pool is None:
             pool = DecodePool(
@@ -112,6 +121,7 @@ class AsrSystem:
                 scorer=self.scorer,
                 config=config,
                 parallelism=parallelism,
+                batch_size=batch_size,
             )
             self._pools[key] = pool
         return pool
@@ -121,16 +131,22 @@ class AsrSystem:
         utterances: list[Utterance],
         config: DecoderConfig | None = None,
         parallelism: int = 1,
+        batch_size: int | None = None,
     ) -> list[DecodeResult]:
         """Score and decode a batch with the software decoder.
 
         ``parallelism > 1`` fans utterances out over worker processes
-        (see :class:`repro.asr.parallel.DecodePool`); results are
-        identical to a serial run, in input order.
+        (see :class:`repro.asr.parallel.DecodePool`); ``batch_size > 1``
+        instead decodes utterances in lockstep through one fused kernel
+        per frame (:class:`repro.core.batch.BatchDecoder`).  On hosts
+        with a single visible CPU a ``parallelism > 1`` request quietly
+        becomes lockstep batching — process fan-out can't help there.
+        Every strategy returns bit-identical results in input order;
+        ``DecodeResult.strategy`` records which one ran.
         """
-        return self._pool_for(config, parallelism).decode_utterances(
-            utterances
-        )
+        return self._pool_for(
+            config, parallelism, batch_size
+        ).decode_utterances(utterances)
 
     def transcribe_streams(
         self,

@@ -81,6 +81,7 @@ def cmd_decode(args: argparse.Namespace) -> int:
         scorer=scorer,
         config=config,
         parallelism=args.parallelism,
+        batch_size=args.batch_size,
     ) as pool:
         results = pool.decode_utterances(utterances)
     hypotheses = []
@@ -90,7 +91,10 @@ def cmd_decode(args: argparse.Namespace) -> int:
         print(f"ref{marker} {' '.join(utterance.words)}")
         print(f"hyp{marker} {' '.join(result.words)}")
     wer = word_error_rate([u.words for u in utterances], hypotheses)
-    print(f"\nWER: {wer:.1%} over {len(utterances)} utterances")
+    print(
+        f"\nWER: {wer:.1%} over {len(utterances)} utterances "
+        f"(strategy: {results[0].strategy if results else '-'})"
+    )
     return 0
 
 
@@ -101,6 +105,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
         preset=args.preset,
         output=args.output,
         parallelism=args.parallelism,
+        batch_size=args.batch_size,
     )
     print(report.render())
     return 0
@@ -125,6 +130,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_queued_batches=args.max_queued_batches,
         idle_timeout_seconds=args.idle_timeout,
         workers=args.workers,
+        fuse_sessions=not args.no_fuse,
     )
 
     async def _serve() -> None:
@@ -164,6 +170,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         batch_frames=args.batch_frames,
         transport=args.transport,
         workers=args.workers,
+        seed=args.seed,
+        fusion_concurrency=args.fusion_concurrency,
     )
     print(report.render())
     return 0
@@ -208,6 +216,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="force the scalar reference hot loop",
     )
+    p_decode.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="decode utterances in lockstep batches of this width "
+        "(in-process; bit-identical to per-utterance decoding)",
+    )
     p_decode.set_defaults(func=cmd_decode)
 
     p_perf = sub.add_parser(
@@ -218,6 +233,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_perf.add_argument("--output", default="BENCH_decode.json")
     p_perf.add_argument("--parallelism", type=int, default=2)
+    p_perf.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="lockstep batch width for the batched-decode comparison",
+    )
     p_perf.set_defaults(func=cmd_perf)
 
     p_serve = sub.add_parser(
@@ -238,6 +259,11 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="decode worker processes (1 = in-process engine)",
     )
+    p_serve.add_argument(
+        "--no-fuse",
+        action="store_true",
+        help="disable lockstep session fusion on the in-process engine",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_serve_bench = sub.add_parser(
@@ -257,6 +283,18 @@ def main(argv: list[str] | None = None) -> int:
         help="in-process client or real TCP sockets",
     )
     p_serve_bench.add_argument("--workers", type=int, default=1)
+    p_serve_bench.add_argument(
+        "--seed",
+        type=int,
+        default=1234,
+        help="load-generator submission-order seed",
+    )
+    p_serve_bench.add_argument(
+        "--fusion-concurrency",
+        type=int,
+        default=8,
+        help="sessions in the fused-vs-unfused comparison",
+    )
     p_serve_bench.set_defaults(func=cmd_serve_bench)
 
     p_exp = sub.add_parser("experiment", help="regenerate one table/figure")

@@ -7,6 +7,12 @@ from repro.core.arcs import (
     RecombinationPlan,
     plan_recombination,
 )
+from repro.core.batch import (
+    BatchDecoder,
+    BatchSegment,
+    lockstep_supported,
+    step_segments,
+)
 from repro.core.beam import BeamConfig, frame_threshold, prune
 from repro.core.composition import (
     BatchResolveResult,
@@ -64,6 +70,10 @@ __all__ = [
     "DecoderStats",
     "DecodeResult",
     "OnTheFlyDecoder",
+    "BatchDecoder",
+    "BatchSegment",
+    "lockstep_supported",
+    "step_segments",
     "FullyComposedDecoder",
     "TwoPassDecoder",
     "TwoPassStats",

@@ -39,7 +39,7 @@ equivalence-tested against the scalar path down to ``DecoderStats``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -381,10 +381,41 @@ class RecombinationPlan:
     inserts: int
     improvements: int
     recombinations: int
+    #: Candidate index of every insert-or-improve event, in the sorted
+    #: key order the replay walked.  The lockstep batch decoder uses it
+    #: to split the aggregate counters back out per utterance (events
+    #: of a fused segment are exactly the events its solo decode sees).
+    improved_sources: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+
+def stable_cost_order(costs: np.ndarray) -> np.ndarray:
+    """``np.argsort(costs, kind="stable")``, cheaper.
+
+    Stable float sorts cost several times an introsort per element;
+    two introsorts — one for exact tie-sharing integer ranks, one over
+    ``rank * 2**b + arrival`` (arrival index in the low bits) —
+    reproduce the stable permutation bit-for-bit: the ranks compare
+    exactly like the floats do, and arrival order breaks ties.
+    """
+    total = int(costs.shape[0])
+    if total < 2:
+        return np.zeros(total, dtype=np.int64)
+    cost_order = np.argsort(costs)
+    sorted_costs = costs[cost_order]
+    distinct = np.empty(total, dtype=np.int64)
+    distinct[0] = 0
+    np.not_equal(sorted_costs[1:], sorted_costs[:-1], out=distinct[1:])
+    ranks = np.empty(total, dtype=np.int64)
+    ranks[cost_order] = np.cumsum(distinct)
+    bits = int(total - 1).bit_length()
+    encoded = (ranks << np.int64(bits)) + np.arange(total, dtype=np.int64)
+    return np.argsort(encoded)
 
 
 def plan_recombination(
-    keys: np.ndarray, costs: np.ndarray
+    keys: np.ndarray, costs: np.ndarray, encoded_order: bool = False
 ) -> RecombinationPlan:
     """Replay ``TokenTable.insert`` over a whole candidate batch.
 
@@ -401,11 +432,28 @@ def plan_recombination(
     single global running minimum acts as a per-key running minimum.
     Strict drops of that running minimum are exactly the sequential
     insert/improve events.
+
+    ``encoded_order`` replaces the stable key sort with an introsort
+    over ``key * 2**b + arrival`` (arrival index packed into the low
+    bits) — the identical permutation, roughly 3x cheaper on the fused
+    lockstep batches whose key sort dominates.  Opt-in so the solo
+    decoder's measured profile is untouched; falls back to the stable
+    sort when the packed value would overflow ``int64``.
     """
     total = int(keys.shape[0])
     if total == 0:
         raise ValueError("empty candidate batch")
-    order = np.argsort(keys, kind="stable")
+    order = None
+    if encoded_order and total > 1:
+        bits = int(total - 1).bit_length()
+        max_key = int(keys.max())
+        if max_key < (1 << (62 - bits)):
+            encoded = (keys << np.int64(bits)) + np.arange(
+                total, dtype=np.int64
+            )
+            order = np.argsort(encoded)
+    if order is None:
+        order = np.argsort(keys, kind="stable")
     sorted_keys = keys[order]
     new_group = np.empty(total, dtype=bool)
     new_group[0] = True
@@ -439,7 +487,11 @@ def plan_recombination(
     # Reorder groups into first-arrival order to match dict insertion.
     first_pos = np.flatnonzero(new_group)
     first_arrival = order[first_pos]
-    perm = np.argsort(first_arrival, kind="stable")
+    # One candidate per group, so the values are distinct and sort
+    # stability is irrelevant; introsort when the caller opted in.
+    perm = np.argsort(
+        first_arrival, kind=None if encoded_order else "stable"
+    )
     winners = winners[perm]
     slots = np.empty(num_groups, dtype=np.int64)
     slots[perm] = np.arange(num_groups, dtype=np.int64)
@@ -450,4 +502,5 @@ def plan_recombination(
         inserts=num_groups,
         improvements=improved_total - num_groups,
         recombinations=total - improved_total,
+        improved_sources=order[improved_pos],
     )

@@ -1,0 +1,562 @@
+"""Lockstep cross-utterance batched Viterbi decoding.
+
+One utterance at a time, the vectorized decoder already spends its
+frames in a handful of numpy calls — but each call runs over only that
+utterance's active tokens, so B concurrent utterances (a batch decode,
+or B serve sessions) pay B small-array dispatch overheads per frame.
+This module advances B utterances *in lockstep*: per frame, the
+segments' active-token SoA columns are concatenated with a segment-id
+column and the emitting expansion, Viterbi recombination and the
+epsilon/back-off phase run as single fused numpy calls over the
+concatenation — the software analogue of Braun et al.'s GPU batched
+decoder (arXiv:1910.10032) and of the multi-channel sharing UNFOLD's
+on-the-fly design enables (Section 3: small per-channel state instead
+of a giant composed WFST per stream).
+
+Exactness is non-negotiable: a fused step must be bit-identical, per
+segment, to the frame body of
+:meth:`~repro.core.decoder.OnTheFlyDecoder.decode`.  The construction
+that makes this work:
+
+* Fused recombination keys are ``seg * K + am * num_lm + lm`` with
+  ``K = num_am * num_lm``, so segments occupy disjoint key bands and a
+  single :func:`~repro.core.arcs.plan_recombination` call replays every
+  segment's sequential insert order at once.  Candidates are laid out
+  segment-major in solo arrival order, so the plan's first-arrival
+  winner order, sorted keys and slots all split back into per-segment
+  slices (the per-segment views are handed straight to ``bulk_fill``).
+* Beam thresholds are per-segment (each table's own ``best_cost``);
+  the fused prune masks against ``thr[seg_ids]``.
+* LM resolution stays per-segment: each segment owns a *forked*
+  :class:`~repro.core.composition.LmLookup` (fresh OLT + expansion
+  cache over the shared graph arrays), so its cache evolution — and
+  therefore every lookup counter — matches a solo cold decode exactly.
+* Ragged lengths retire finished segments mid-batch: a retired
+  segment simply stops appearing in the fused arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.arcs import plan_recombination, stable_cost_order
+from repro.core.decoder import DecodeResult, DecoderStats, OnTheFlyDecoder
+from repro.core.lattice import WordLattice
+from repro.core.tokens import SoaTokenTable
+from repro.wfst.fst import EPSILON
+
+__all__ = [
+    "BatchDecoder",
+    "BatchSegment",
+    "lockstep_supported",
+    "step_segments",
+]
+
+
+class BatchSegment:
+    """One utterance's (or session's) live state inside a lockstep batch.
+
+    The fused kernel reads and writes exactly these fields; anything
+    holding them — the offline :class:`BatchDecoder`, the streaming
+    multi-session API — can be stepped.
+    """
+
+    __slots__ = (
+        "table",
+        "lattice",
+        "stats",
+        "lookup",
+        "frame",
+        "scores",
+        "num_frames",
+        "index",
+    )
+
+    def __init__(
+        self,
+        table: SoaTokenTable,
+        lookup,
+        lattice: WordLattice | None = None,
+        stats: DecoderStats | None = None,
+        frame: int = 0,
+        scores: np.ndarray | None = None,
+        index: int = 0,
+    ) -> None:
+        self.table = table
+        self.lattice = lattice if lattice is not None else WordLattice()
+        self.stats = stats if stats is not None else DecoderStats()
+        self.lookup = lookup
+        #: Index of the next frame this segment consumes (the lattice
+        #: frame stamp of its epsilon-phase word arrivals).
+        self.frame = frame
+        self.scores = scores
+        self.num_frames = scores.shape[0] if scores is not None else 0
+        self.index = index
+
+    @property
+    def done(self) -> bool:
+        return self.frame >= self.num_frames
+
+
+def lockstep_supported(decoder: OnTheFlyDecoder) -> bool:
+    """Whether the fused kernel preserves ``decoder``'s solo semantics.
+
+    The same gates the solo decode uses to pick its fast paths: the
+    vectorized emitting expansion (no trace sink, pure-emitting AM) and
+    the batched epsilon phase (single-level epsilon graph, non-negative
+    weights).  Anything else falls back to sequential decoding.
+    """
+    return (
+        decoder.config.vectorized
+        and not decoder._tracing
+        and decoder._arcs.pure_emitting
+        and decoder._epsilon_batchable()
+    )
+
+
+def _step_single(
+    decoder: OnTheFlyDecoder, seg: BatchSegment, row: np.ndarray
+) -> None:
+    """The solo frame body, against one segment's state.
+
+    Ragged batches end in a tail where only the longest utterance is
+    still live; fusion machinery (concatenation, segment ids, slice
+    splitting) would only add copies there, so a single live segment
+    steps through the decoder's own frame body — bit-identity is by
+    construction.
+    """
+    beam_config = decoder.config.beam_config()
+    stats = seg.stats
+    next_table, num_survivors, frame_expansions, pruned = (
+        decoder._expand_frame_vectorized(
+            seg.table, row, beam_config, encoded_order=True
+        )
+    )
+    stats.beam_pruned += pruned
+    stats.am_state_fetches += num_survivors
+    stats.am_arc_fetches += frame_expansions
+    stats.expansions += frame_expansions
+    expansions_before = stats.expansions
+    probes_before = seg.lookup.stats.arc_probes
+    writes_before = stats.token_writes
+    decoder._epsilon_phase_batched(
+        next_table,
+        seg.frame,
+        seg.lattice,
+        stats,
+        beam_config,
+        lookup=seg.lookup,
+    )
+    stats.frame_work.append(
+        (
+            num_survivors,
+            frame_expansions + (stats.expansions - expansions_before),
+            seg.lookup.stats.arc_probes - probes_before,
+            stats.token_writes - writes_before,
+        )
+    )
+    stats.tokens_created += next_table.inserts
+    stats.tokens_recombined += next_table.recombinations
+    stats.active_history.append(len(next_table))
+    seg.table = next_table
+    seg.frame += 1
+
+
+def step_segments(
+    decoder: OnTheFlyDecoder,
+    segments: list[BatchSegment],
+    rows: list[np.ndarray] | np.ndarray,
+) -> None:
+    """Advance every segment one frame through one fused kernel call.
+
+    ``rows[i]`` is segment ``i``'s acoustic score row for its current
+    frame (float64, at least ``num_senones`` wide); a ready-stacked 2-D
+    array is used as-is.  Each segment's
+    table, lattice, stats and lookup evolve bit-identically to the solo
+    decode's frame body; ``seg.table`` is replaced by the next frontier
+    and ``seg.frame`` advances.
+
+    Requires :func:`lockstep_supported` on ``decoder``; callers gate.
+    """
+    n = len(segments)
+    if n == 0:
+        return
+    if n == 1:
+        _step_single(decoder, segments[0], rows[0])
+        return
+    config = decoder.config
+    beam_config = config.beam_config()
+    beam = beam_config.beam
+    max_active = beam_config.max_active
+    num_lm = decoder._num_lm
+    num_am = decoder.am.fst.num_states
+    seg_span = np.int64(num_am) * np.int64(num_lm)
+    num_senones = decoder.am.num_senones
+    arcs = decoder._arcs
+    scale = config.acoustic_scale
+
+    # -- fused frontier (segment-major, solo order within segments) ---
+    cols = [seg.table.columns() for seg in segments]
+    counts = np.array([c[0].shape[0] for c in cols], dtype=np.int64)
+    am_f = np.concatenate([c[0] for c in cols])
+    lm_f = np.concatenate([c[1] for c in cols])
+    cost_f = np.concatenate([c[2] for c in cols])
+    node_f = np.concatenate([c[3] for c in cols])
+    seg_ids = np.repeat(np.arange(n, dtype=np.int64), counts)
+
+    # -- fused beam prune (per-segment thresholds) ---------------------
+    thr = np.array([seg.table.best_cost for seg in segments]) + beam
+    keep = np.flatnonzero(cost_f <= thr[seg_ids])
+    kept_counts = np.bincount(seg_ids[keep], minlength=n)
+    pruned_counts = counts - kept_counts
+    if max_active and bool(np.any(kept_counts > max_active)):
+        # Capped segments keep their max_active best in stable cost
+        # order — exactly the solo truncation (survivor order matters:
+        # it is the candidate arrival order recombination replays).
+        col_off = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+        )
+        bounds = np.searchsorted(keep, col_off)
+        parts = []
+        for i in range(n):
+            part = keep[bounds[i] : bounds[i + 1]]
+            if part.shape[0] > max_active:
+                part = part[stable_cost_order(cost_f[part])[:max_active]]
+                pruned_counts[i] = counts[i] - max_active
+                kept_counts[i] = max_active
+            parts.append(part)
+        keep = np.concatenate(parts)
+
+    # -- fused emitting expansion --------------------------------------
+    token_index, flat = arcs.gather(am_f[keep])
+    num_cand = int(flat.shape[0])
+    plan = None
+    if num_cand:
+        cand_src = keep[token_index]
+        seg_cand = seg_ids[cand_src]
+        cand_counts = np.bincount(seg_cand, minlength=n)
+        if isinstance(rows, np.ndarray) and rows.ndim == 2:
+            rows2d = rows[:, :num_senones]
+        else:
+            rows2d = np.stack([r[:num_senones] for r in rows])
+        cand_cost = (
+            cost_f[cand_src]
+            + arcs.weight[flat]
+            - scale * rows2d[seg_cand, arcs.score_index[flat]]
+        )
+        cand_next = arcs.nextstate[flat]
+        cand_lm = lm_f[cand_src]
+        keys = (
+            seg_cand * seg_span
+            + cand_next * np.int64(num_lm)
+            + cand_lm
+        )
+        plan = plan_recombination(keys, cand_cost, encoded_order=True)
+        winners = plan.winners
+        win_next = cand_next[winners]
+        win_lm = cand_lm[winners]
+        win_cost = cand_cost[winners]
+        win_node = node_f[cand_src[winners]]
+        # Winners/sorted keys/slots are segment-major (disjoint key
+        # bands + segment-major arrival order), so each segment's share
+        # is a slice.
+        win_off = np.searchsorted(seg_cand[winners], np.arange(n + 1))
+        key_off = np.searchsorted(
+            plan.sorted_keys, np.arange(n + 1) * seg_span
+        )
+        imp_counts = np.bincount(
+            seg_cand[plan.improved_sources], minlength=n
+        )
+
+    next_tables: list[SoaTokenTable] = []
+    for i in range(n):
+        table = SoaTokenTable(num_lm)
+        if plan is not None:
+            wa, wb = int(win_off[i]), int(win_off[i + 1])
+            if wb > wa:
+                ka, kb = int(key_off[i]), int(key_off[i + 1])
+                table.bulk_fill(
+                    win_next[wa:wb],
+                    win_lm[wa:wb],
+                    win_cost[wa:wb],
+                    win_node[wa:wb],
+                    plan.sorted_keys[ka:kb] - np.int64(i) * seg_span,
+                    plan.slots[ka:kb] - wa,
+                    int(imp_counts[i]) - (wb - wa),
+                    int(cand_counts[i]) - int(imp_counts[i]),
+                )
+        next_tables.append(table)
+
+    # -- per-segment bookkeeping, exactly the solo frame body's --------
+    eps_marks = []
+    for i, seg in enumerate(segments):
+        stats = seg.stats
+        stats.beam_pruned += int(pruned_counts[i])
+        stats.am_state_fetches += int(kept_counts[i])
+        fe = int(cand_counts[i]) if num_cand else 0
+        stats.am_arc_fetches += fe
+        stats.expansions += fe
+        eps_marks.append(
+            (
+                stats.expansions,
+                seg.lookup.stats.arc_probes,
+                stats.token_writes,
+                fe,
+            )
+        )
+
+    _epsilon_fused(decoder, segments, next_tables)
+
+    for i, seg in enumerate(segments):
+        stats = seg.stats
+        exp_before, probes_before, writes_before, fe = eps_marks[i]
+        stats.frame_work.append(
+            (
+                int(kept_counts[i]),
+                fe + (stats.expansions - exp_before),
+                seg.lookup.stats.arc_probes - probes_before,
+                stats.token_writes - writes_before,
+            )
+        )
+        table = next_tables[i]
+        stats.tokens_created += table.inserts
+        stats.tokens_recombined += table.recombinations
+        stats.active_history.append(len(table))
+        seg.table = table
+        seg.frame += 1
+
+
+def _epsilon_fused(
+    decoder: OnTheFlyDecoder,
+    segments: list[BatchSegment],
+    tables: list[SoaTokenTable],
+) -> None:
+    """The batched epsilon phase, fused across segments.
+
+    The numpy work — seed selection, threshold prune, CSR gather, cost
+    arithmetic, slot hints — runs once over the concatenation; the LM
+    resolution and the commit loop run per segment, against the
+    segment's own lookup, lattice and frame index (resolution *must*
+    stay per-segment: each fork's OLT/expansion-cache evolution is what
+    makes its counters match a solo decode).  Word items reach
+    ``resolve_batch`` in the same order and count as the solo phase's
+    call, so the replay-vs-vectorized path choice and every counter
+    land identically.
+    """
+    n = len(segments)
+    eps = decoder._eps_arcs
+    flags = decoder._epsilon_flags
+    num_lm = decoder._num_lm
+    beam = decoder.config.beam
+    preemptive = decoder.config.preemptive_pruning
+
+    cols = [t.columns() for t in tables]
+    counts = np.array([c[0].shape[0] for c in cols], dtype=np.int64)
+    am_f = np.concatenate([c[0] for c in cols])
+    if am_f.shape[0] == 0:
+        return
+    lm_f = np.concatenate([c[1] for c in cols])
+    cost_f = np.concatenate([c[2] for c in cols])
+    node_f = np.concatenate([c[3] for c in cols])
+    seg_ids = np.repeat(np.arange(n, dtype=np.int64), counts)
+
+    # Seeds pop off the end of the solo worklist: reverse table order,
+    # *within* each segment.
+    pos = np.flatnonzero(flags[am_f])
+    if pos.shape[0] == 0:
+        return
+    seg_pos = seg_ids[pos]
+    seed_counts = np.bincount(seg_pos, minlength=n)
+    offs = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(seed_counts)]
+    )
+    ar = np.arange(pos.shape[0], dtype=np.int64)
+    seed_pos = pos[offs[seg_pos] + offs[seg_pos + 1] - 1 - ar]
+
+    thr = np.array([t.best_cost for t in tables]) + beam
+    seg_seed = seg_ids[seed_pos]
+    keepm = cost_f[seed_pos] <= thr[seg_seed]
+    keep_pos = seed_pos[keepm]
+    seg_keep = seg_seed[keepm]
+    kept = np.bincount(seg_keep, minlength=n)
+    for i, seg in enumerate(segments):
+        seg.stats.beam_pruned += int(seed_counts[i] - kept[i])
+    if keep_pos.shape[0] == 0:
+        return
+
+    token_index, flat = eps.gather(am_f[keep_pos])
+    seg_pair = seg_keep[token_index]
+    pair_counts = np.bincount(seg_pair, minlength=n)
+    for i, seg in enumerate(segments):
+        seg.stats.am_arc_fetches += int(pair_counts[i])
+        seg.stats.expansions += int(pair_counts[i])
+    num_pairs = int(flat.shape[0])
+    if num_pairs == 0:
+        return
+
+    olabels = eps.olabel[flat]
+    pair_pos = keep_pos[token_index]
+    base_cost = cost_f[pair_pos] + eps.weight[flat]
+    pair_lm = lm_f[pair_pos]
+    dest_am = eps.nextstate[flat]
+    pair_node = node_f[pair_pos]
+
+    is_word = olabels != EPSILON
+    final_cost = base_cost.copy()
+    final_lm = pair_lm.copy()
+    committed = np.ones(num_pairs, dtype=bool)
+    p_off = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(pair_counts)]
+    )
+    for i, seg in enumerate(segments):
+        a, b = int(p_off[i]), int(p_off[i + 1])
+        if a == b:
+            continue
+        w_loc = np.flatnonzero(is_word[a:b])
+        if w_loc.shape[0] == 0:
+            continue
+        g = a + w_loc
+        result = seg.lookup.resolve_batch(
+            pair_lm[g],
+            olabels[g],
+            base_cost[g],
+            threshold=float(thr[i]),
+            preemptive=preemptive,
+        )
+        seg.stats.preemptive_pruned += int(np.count_nonzero(result.pruned))
+        final_cost[g] += result.weight
+        final_lm[g] = result.next_state
+        committed[g] = ~result.pruned
+
+    keys = dest_am * np.int64(num_lm) + final_lm
+    fc = final_cost.tolist()
+    fl = final_lm.tolist()
+    da = dest_am.tolist()
+    pn = pair_node.tolist()
+    ol = olabels.tolist()
+    iw = is_word.tolist()
+    cm = committed.tolist()
+    for i, seg in enumerate(segments):
+        a, b = int(p_off[i]), int(p_off[i + 1])
+        if a == b:
+            continue
+        table = tables[i]
+        hints = table.base_slot_hints(keys[a:b]).tolist()
+        add = seg.lattice.add
+        insert = table.insert_hinted
+        frame = seg.frame
+        words_done = 0
+        for j in range(a, b):
+            if not cm[j]:
+                continue
+            cost = fc[j]
+            if iw[j]:
+                node = add(ol[j], frame, cost, pn[j])
+                words_done += 1
+                insert(da[j], fl[j], cost, node, hints[j - a])
+            else:
+                insert(da[j], fl[j], cost, pn[j], hints[j - a])
+        seg.stats.token_writes += words_done
+        seg.stats.words_emitted += words_done
+
+
+class BatchDecoder:
+    """Decode batches of utterances in lockstep through fused kernels.
+
+    Wraps an :class:`~repro.core.decoder.OnTheFlyDecoder`; utterances
+    are processed in waves of ``batch_size``, each wave advancing one
+    frame per :func:`step_segments` call.  Every segment decodes
+    against a fork of the decoder's lookup (cold OLT + expansion
+    cache), so results, stats, lattices and lookup counters are
+    bit-identical to decoding each utterance alone after
+    ``lookup.reset_transient_state()`` — the same determinism contract
+    as the process pool's.
+
+    When the decoder can't take the fused path (trace sink attached,
+    scalar config, multi-level epsilon graph) ``decode`` transparently
+    falls back to exactly that sequential reference.
+    """
+
+    def __init__(
+        self, decoder: OnTheFlyDecoder, batch_size: int = 8
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.decoder = decoder
+        self.batch_size = batch_size
+        #: Fused kernel invocations across all decodes (the bench's
+        #: kernel-calls metric; a solo decode costs one per frame).
+        self.kernel_calls = 0
+
+    @property
+    def lockstep_supported(self) -> bool:
+        return lockstep_supported(self.decoder)
+
+    def decode(self, score_matrices: list[np.ndarray]) -> list[DecodeResult]:
+        """Decode a batch; results are in input order."""
+        decoder = self.decoder
+        num_senones = decoder.am.num_senones
+        matrices = []
+        for scores in score_matrices:
+            if scores.ndim != 2 or scores.shape[1] < num_senones:
+                raise ValueError(
+                    f"score matrix shape {scores.shape} incompatible "
+                    f"with {num_senones} senones"
+                )
+            matrices.append(np.ascontiguousarray(scores, dtype=np.float64))
+        if not self.lockstep_supported:
+            out = []
+            for scores in matrices:
+                decoder.lookup.reset_transient_state()
+                out.append(decoder.decode(scores))
+            return out
+        results: list[DecodeResult | None] = [None] * len(matrices)
+        label = f"batch[{self.batch_size}]"
+        for start in range(0, len(matrices), self.batch_size):
+            chunk = matrices[start : start + self.batch_size]
+            wave = [
+                self._new_segment(scores, start + j)
+                for j, scores in enumerate(chunk)
+            ]
+            # One padded (B, T, senones) tensor per wave: each step's
+            # stacked score rows become a single fancy-index gather.
+            t_max = max(s.shape[0] for s in chunk)
+            pad = np.zeros((len(chunk), max(t_max, 1), num_senones))
+            for j, scores in enumerate(chunk):
+                pad[j, : scores.shape[0]] = scores[:, :num_senones]
+            while True:
+                active = [seg for seg in wave if not seg.done]
+                if not active:
+                    break
+                # Active segments advance together, so they share a
+                # frame index; retired ones just drop out of the gather.
+                frame = active[0].frame
+                idx = np.array(
+                    [seg.index - start for seg in active], dtype=np.int64
+                )
+                step_segments(decoder, active, pad[idx, frame])
+                self.kernel_calls += 1
+            for seg in wave:
+                results[seg.index] = self._finish(seg, label)
+        return results
+
+    def _new_segment(self, scores: np.ndarray, index: int) -> BatchSegment:
+        decoder = self.decoder
+        table = SoaTokenTable(decoder._num_lm)
+        table.insert(decoder.am.loop_state, decoder.lm.fst.start, 0.0, -1)
+        return BatchSegment(
+            table=table,
+            lookup=decoder.lookup.fork(),
+            scores=scores,
+            index=index,
+        )
+
+    def _finish(self, seg: BatchSegment, label: str) -> DecodeResult:
+        stats = seg.stats
+        stats.frames = seg.num_frames
+        # The fork started from zero, so its running totals *are* this
+        # utterance's delta — what decode() reports per utterance.
+        stats.lookup = self.decoder._snapshot_lookup(seg.lookup)
+        result = self.decoder._finalize(seg.table, seg.lattice, stats)
+        result.strategy = label
+        return result

@@ -258,6 +258,7 @@ class LmExpansionCache:
         strategy: "LookupStrategy",
         stats: LookupStats,
         capacity: int = 1024,
+        row_source: dict[int, ExpansionRow] | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -266,6 +267,12 @@ class LmExpansionCache:
         self.stats = stats
         self.capacity = capacity
         self._rows: OrderedDict[int, ExpansionRow] = OrderedDict()
+        # Built rows are pure functions of the immutable LM graph, so
+        # caches over the same graph (a lookup and its forks) can share
+        # one build memo: residency — and with it every hit/miss/evict
+        # counter — stays per-cache, only the construction cost is
+        # shared.  Bounded by the number of LM states with word arcs.
+        self._row_source = row_source if row_source is not None else {}
         self._words_iota = np.arange(word_arcs.label_space, dtype=np.int64)
 
     def __len__(self) -> int:
@@ -300,7 +307,10 @@ class LmExpansionCache:
             row = rows.get(state)
             if row is None:
                 misses += 1
-                row = self._build_row(state)
+                row = self._row_source.get(state)
+                if row is None:
+                    row = self._build_row(state)
+                    self._row_source[state] = row
                 rows[state] = row
                 while len(rows) > self.capacity:
                     rows.popitem(last=False)
@@ -396,6 +406,10 @@ class LmLookup:
         self._expansion_cache_states = expansion_cache_states
         self._soa: LmWordArcs | None = None
         self.expansion_cache: LmExpansionCache | None = None
+        # Shared expansion-row build memo (see LmExpansionCache); forks
+        # reference the same dict so B lockstep channels build each hot
+        # row once between them instead of once per channel.
+        self._row_memo: dict[int, ExpansionRow] = {}
         # Below this many items a batch resolves by sequential replay
         # over the cached expansion rows: fixed array-op overhead beats
         # the per-item work until batches get fairly large.  Same
@@ -539,6 +553,7 @@ class LmLookup:
                 self.strategy,
                 self.stats,
                 capacity=self._expansion_cache_states,
+                row_source=self._row_memo,
             )
         return self._soa
 
@@ -563,6 +578,50 @@ class LmLookup:
             self.offset_table.invalidate()
         if self.expansion_cache is not None:
             self.expansion_cache.clear()
+
+    def fork(self) -> "LmLookup":
+        """A cold clone sharing the immutable graph structures.
+
+        The clone shares everything derived from the graph — per-state
+        arc views, back-off arcs, the CSR word-arc columns — but owns
+        fresh *transient* state: zeroed :class:`LookupStats`, an empty
+        Offset Lookup Table of the same geometry, and an empty LM
+        expansion cache.  A fork therefore behaves exactly like the
+        parent lookup immediately after ``reset_transient_state()``,
+        which is what gives each utterance of a lockstep batch (and
+        each serve session) the same cache evolution — hence identical
+        counters — as a solo cold decode.  Forks never trace: batched
+        work has no per-event order to report, and the batched engines
+        are gated off under a real sink anyway.
+        """
+        clone = object.__new__(LmLookup)
+        clone.graph = self.graph
+        clone.strategy = self.strategy
+        clone.sink = NullSink()
+        clone._tracing = False
+        clone.stats = LookupStats()
+        clone.offset_table = None
+        if self.strategy is LookupStrategy.OFFSET_TABLE:
+            entries = (
+                self.offset_table.num_entries
+                if self.offset_table is not None
+                else 32 * 1024
+            )
+            clone.offset_table = OffsetLookupTable(entries)
+        clone._word_arcs = self._word_arcs
+        clone._backoff = self._backoff
+        clone._expansion_cache_states = self._expansion_cache_states
+        clone._soa = self._ensure_batch_structures()
+        clone._row_memo = self._row_memo
+        clone.expansion_cache = LmExpansionCache(
+            clone._soa,
+            clone.strategy,
+            clone.stats,
+            capacity=clone._expansion_cache_states,
+            row_source=clone._row_memo,
+        )
+        clone.batch_sequential_cutoff = self.batch_sequential_cutoff
+        return clone
 
     def resolve_batch(
         self,

@@ -17,7 +17,12 @@ from time import perf_counter
 import numpy as np
 
 from repro.am.graph import AmGraph
-from repro.core.arcs import EmittingArcs, EpsilonArcs, plan_recombination
+from repro.core.arcs import (
+    EmittingArcs,
+    EpsilonArcs,
+    plan_recombination,
+    stable_cost_order,
+)
 from repro.core.beam import BeamConfig, prune
 from repro.core.composition import LmLookup, LookupStats, LookupStrategy
 from repro.core.lattice import COMPACT_RECORD_BYTES, RAW_RECORD_BYTES, WordLattice
@@ -101,6 +106,10 @@ class DecodeResult:
     lattice: WordLattice
     #: Final hypotheses as (total cost, lattice node), best first.
     finals: list[tuple[float, int]] = field(default_factory=list)
+    #: How this result was produced: ``"serial"``, ``"pool[N]"``, or
+    #: ``"batch[B]"``.  Informational only — every strategy yields
+    #: bit-identical results; benches and the 1-CPU fallback report it.
+    strategy: str = "serial"
 
     @property
     def success(self) -> bool:
@@ -326,6 +335,7 @@ class OnTheFlyDecoder:
         table: SoaTokenTable,
         score_row: np.ndarray,
         beam_config: BeamConfig,
+        encoded_order: bool = False,
     ) -> tuple[SoaTokenTable, int, int, int]:
         """Prune + emitting expansion for one frame, in bulk numpy.
 
@@ -334,6 +344,10 @@ class OnTheFlyDecoder:
         argsort reproduces it), candidate costs computed with the same
         operation order on the same float64 values, and sequential
         recombination outcomes replayed by :func:`plan_recombination`.
+
+        ``encoded_order`` swaps the two stable sorts for their
+        bit-identical encoded-introsort equivalents (the lockstep batch
+        path opts in; the solo profile stays untouched).
 
         Returns (next_table, num_survivors, frame_expansions, pruned).
         """
@@ -347,9 +361,13 @@ class OnTheFlyDecoder:
         pruned = total - keep.shape[0]
         max_active = beam_config.max_active
         if max_active and keep.shape[0] > max_active:
-            keep = keep[
-                np.argsort(cost_col[keep], kind="stable")[:max_active]
-            ]
+            kept_costs = cost_col[keep]
+            order = (
+                stable_cost_order(kept_costs)
+                if encoded_order
+                else np.argsort(kept_costs, kind="stable")
+            )
+            keep = keep[order[:max_active]]
             pruned = total - max_active
         num_survivors = int(keep.shape[0])
         arcs = self._arcs
@@ -367,7 +385,7 @@ class OnTheFlyDecoder:
         candidate_next = arcs.nextstate[flat]
         candidate_lm = survivor_lm[token_index]
         keys = candidate_next * np.int64(self._num_lm) + candidate_lm
-        plan = plan_recombination(keys, candidate_cost)
+        plan = plan_recombination(keys, candidate_cost, encoded_order)
         winners = plan.winners
         next_table.bulk_fill(
             candidate_next[winners],
@@ -409,6 +427,7 @@ class OnTheFlyDecoder:
         lattice: WordLattice,
         stats: DecoderStats,
         beam_config: BeamConfig,
+        lookup: LmLookup | None = None,
     ) -> None:
         """One frame's epsilon phase as batched composition.
 
@@ -420,6 +439,8 @@ class OnTheFlyDecoder:
         surviving arrivals are committed to the lattice and token
         table in the same interleaved order the scalar loop used.
         """
+        if lookup is None:
+            lookup = self.lookup
         am_col, lm_col, cost_col, node_col = table.columns()
         # The worklist pops seeds off the end: reverse table order.
         seed_pos = np.flatnonzero(self._epsilon_flags[am_col])[::-1]
@@ -452,7 +473,7 @@ class OnTheFlyDecoder:
         committed = None
         if num_words == num_pairs:
             # Common AM shape: every epsilon arc is a cross-word arc.
-            result = self.lookup.resolve_batch(
+            result = lookup.resolve_batch(
                 pair_lm,
                 olabels,
                 base_cost,
@@ -467,7 +488,7 @@ class OnTheFlyDecoder:
             if num_pruned:
                 committed = np.logical_not(pruned).tolist()
         elif num_words:
-            result = self.lookup.resolve_batch(
+            result = lookup.resolve_batch(
                 pair_lm[word_idx],
                 olabels[word_idx],
                 base_cost[word_idx],
@@ -519,12 +540,15 @@ class OnTheFlyDecoder:
         lattice: WordLattice,
         stats: DecoderStats,
         beam_config: BeamConfig,
+        lookup: LmLookup | None = None,
     ) -> None:
         """Propagate tokens across non-emitting arcs within the frame.
 
         Cross-word arcs trigger the on-the-fly LM transition; this is
         where the composition actually happens.
         """
+        if lookup is None:
+            lookup = self.lookup
         config = self.config
         sink = self.sink
         tracing = self._tracing
@@ -561,7 +585,7 @@ class OnTheFlyDecoder:
                         worklist.append(table.tokens[(arc.nextstate, token.lm_state)])
                     continue
                 # Cross-word transition: transition in the LM too.
-                result = self.lookup.resolve(
+                result = lookup.resolve(
                     token.lm_state,
                     arc.olabel,
                     entry_cost=base_cost,
@@ -626,8 +650,8 @@ class OnTheFlyDecoder:
             finals=finals,
         )
 
-    def _snapshot_lookup(self) -> LookupStats:
-        s = self.lookup.stats
+    def _snapshot_lookup(self, lookup: LmLookup | None = None) -> LookupStats:
+        s = (lookup or self.lookup).stats
         return LookupStats(
             lookups=s.lookups,
             arc_probes=s.arc_probes,
@@ -640,8 +664,10 @@ class OnTheFlyDecoder:
             expansion_evictions=s.expansion_evictions,
         )
 
-    def _lookup_delta(self, before: LookupStats) -> LookupStats:
-        s = self.lookup.stats
+    def _lookup_delta(
+        self, before: LookupStats, lookup: LmLookup | None = None
+    ) -> LookupStats:
+        s = (lookup or self.lookup).stats
         return LookupStats(
             lookups=s.lookups - before.lookups,
             arc_probes=s.arc_probes - before.arc_probes,

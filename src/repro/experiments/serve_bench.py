@@ -43,6 +43,8 @@ def measure(
     workers: int = 1,
     max_sessions: int | None = None,
     max_queued_batches: int = 4,
+    fuse_sessions: bool = True,
+    seed: int | None = None,
 ) -> dict:
     """Run one load-generation pass against a live server.
 
@@ -94,6 +96,8 @@ def measure(
             workers=workers,
             max_sessions=max_sessions or max(concurrency, 2),
             max_queued_batches=max_queued_batches,
+            fuse_sessions=fuse_sessions,
+            seed=seed,
         )
     )
 
@@ -110,6 +114,8 @@ def measure(
     if not drained:
         raise AssertionError("graceful stop left sessions undrained")
 
+    counters = metrics.get("counters", {})
+    batches = counters.get("batches_decoded", 0)
     report = {
         "preset": preset,
         "task": task.name,
@@ -118,12 +124,66 @@ def measure(
         "workers": workers,
         "max_sessions": max_sessions or max(concurrency, 2),
         "max_queued_batches": max_queued_batches,
+        "fuse_sessions": fuse_sessions,
         "matches_sequential": True,
         "drained": True,
+        "kernel_calls": counters.get("kernel_calls", 0),
+        "kernel_calls_per_batch": (
+            round(counters.get("kernel_calls", 0) / batches, 4)
+            if batches
+            else None
+        ),
         "metrics": metrics,
     }
     report.update(load.to_dict())
     return report
+
+
+def measure_fusion(
+    preset: str = "small",
+    concurrency: int = 8,
+    batch_frames: int = DEFAULT_BATCH_FRAMES,
+    seed: int | None = 1234,
+) -> dict:
+    """Fused vs unfused serving on one preset at equal concurrency.
+
+    Runs the same seeded load twice against the in-process engine —
+    sessions fused into lockstep kernels, then one engine dispatch per
+    session — and reports both passes plus the headline comparisons the
+    fusion gates consume (relative frames/s and kernel calls per
+    decoded batch).
+    """
+    fused = measure(
+        preset=preset,
+        concurrency=concurrency,
+        batch_frames=batch_frames,
+        fuse_sessions=True,
+        seed=seed,
+    )
+    unfused = measure(
+        preset=preset,
+        concurrency=concurrency,
+        batch_frames=batch_frames,
+        fuse_sessions=False,
+        seed=seed,
+    )
+    return {
+        "preset": preset,
+        "concurrency": concurrency,
+        "batch_frames": batch_frames,
+        "seed": seed,
+        "fused": fused,
+        "unfused": unfused,
+        "fused_frames_per_second": fused["frames_per_second"],
+        "unfused_frames_per_second": unfused["frames_per_second"],
+        "fusion_speedup": round(
+            fused["frames_per_second"]
+            / max(unfused["frames_per_second"], 1e-9),
+            3,
+        ),
+        "fused_kernel_calls_per_batch": fused["kernel_calls_per_batch"],
+        "unfused_kernel_calls_per_batch": unfused["kernel_calls_per_batch"],
+    }
 
 
 async def _drive(
@@ -135,6 +195,8 @@ async def _drive(
     workers: int,
     max_sessions: int,
     max_queued_batches: int,
+    fuse_sessions: bool = True,
+    seed: int | None = None,
 ):
     """Server up, load through, graceful drain down."""
     from repro.serve import ServeConfig, TcpClient, TranscriptionServer
@@ -145,6 +207,7 @@ async def _drive(
         max_sessions=max_sessions,
         max_queued_batches=max_queued_batches,
         workers=workers,
+        fuse_sessions=fuse_sessions,
     )
     server = TranscriptionServer(
         bundle.task.am,
@@ -165,6 +228,7 @@ async def _drive(
                 bundle.scores,
                 concurrency=concurrency,
                 batch_frames=batch_frames,
+                seed=seed,
             )
         finally:
             await client.close()
@@ -192,6 +256,10 @@ def check_serve_report(
     least one decoded frame in the server's own metrics) are always
     checked — a report that flunks those is wrong, not just slow.
     """
+    if "fused" in report and "unfused" in report:
+        raise ValueError(
+            "got a fusion-comparison report; use check_fusion_report"
+        )
     failures: list[str] = []
     notes: list[str] = []
     if not report.get("matches_sequential"):
@@ -228,6 +296,59 @@ def check_serve_report(
     return failures, notes
 
 
+def check_fusion_report(
+    comparison: dict,
+    fail_fusion_speedup_below: float | None = None,
+    fail_kernel_calls_per_batch_above: float | None = None,
+) -> tuple[list[str], list[str]]:
+    """Gates for a :func:`measure_fusion` comparison.
+
+    * ``fail_fusion_speedup_below`` — floor on fused/unfused frames
+      per second at the comparison's concurrency;
+    * ``fail_kernel_calls_per_batch_above`` — ceiling on engine
+      dispatches per decoded batch with fusion on (1.0 means no batch
+      ever fused; 1/N means every dispatch carried N sessions).
+
+    Both passes' correctness invariants are re-checked first.
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    for label in ("fused", "unfused"):
+        sub_failures, _ = check_serve_report(comparison[label])
+        failures.extend(f"{label}: {line}" for line in sub_failures)
+    if fail_fusion_speedup_below is not None:
+        speedup = comparison["fusion_speedup"]
+        if speedup < fail_fusion_speedup_below:
+            failures.append(
+                f"session fusion speedup {speedup}x "
+                f"({comparison['unfused_frames_per_second']} -> "
+                f"{comparison['fused_frames_per_second']} frames/s at "
+                f"{comparison['concurrency']} sessions) is below the "
+                f"{fail_fusion_speedup_below}x floor"
+            )
+        else:
+            notes.append(
+                f"session fusion speedup {speedup}x at "
+                f"{comparison['concurrency']} sessions"
+            )
+    if fail_kernel_calls_per_batch_above is not None:
+        ratio = comparison["fused_kernel_calls_per_batch"]
+        if ratio is None:
+            failures.append("no decoded batches to gate kernel calls on")
+        elif ratio > fail_kernel_calls_per_batch_above:
+            failures.append(
+                f"fused serving made {ratio} kernel calls per decoded "
+                f"batch, above the {fail_kernel_calls_per_batch_above} "
+                f"ceiling"
+            )
+        else:
+            notes.append(
+                f"fused kernel calls per batch {ratio} "
+                f"(unfused {comparison['unfused_kernel_calls_per_batch']})"
+            )
+    return failures, notes
+
+
 def _to_result(report: dict) -> ExperimentResult:
     latency = report["latency"]
 
@@ -257,6 +378,15 @@ def _to_result(report: dict) -> ExperimentResult:
         f"on {report['cpus']} cpu(s); transcripts match sequential "
         f"streaming, drain clean"
     )
+    fusion = report.get("fusion")
+    if fusion:
+        notes += (
+            f"; session fusion at {fusion['concurrency']} sessions: "
+            f"{fusion['unfused_frames_per_second']} -> "
+            f"{fusion['fused_frames_per_second']} frames/s "
+            f"({fusion['fusion_speedup']}x, "
+            f"{fusion['fused_kernel_calls_per_batch']} kernel calls/batch)"
+        )
     return ExperimentResult(
         experiment_id="serve-bench",
         title="streaming service throughput and latency (regression harness)",
@@ -276,14 +406,29 @@ def write_bench_report(
     batch_frames: int = DEFAULT_BATCH_FRAMES,
     transport: str = "local",
     workers: int = 1,
+    seed: int | None = 1234,
+    fusion_concurrency: int = 8,
 ) -> ExperimentResult:
-    """Measure one preset and persist ``BENCH_serve.json``."""
+    """Measure one preset and persist ``BENCH_serve.json``.
+
+    Besides the primary pass, the persisted report carries a
+    ``fusion`` section (:func:`measure_fusion` at
+    ``fusion_concurrency`` in-process sessions) so the fused-serving
+    gates have their comparison on record.
+    """
     report = measure(
         preset=preset,
         concurrency=concurrency,
         batch_frames=batch_frames,
         transport=transport,
         workers=workers,
+        seed=seed,
+    )
+    report["fusion"] = measure_fusion(
+        preset=preset,
+        concurrency=fusion_concurrency,
+        batch_frames=batch_frames,
+        seed=seed,
     )
     Path(output).write_text(json.dumps(report, indent=2) + "\n")
     return _to_result(report)

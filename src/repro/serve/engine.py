@@ -50,22 +50,41 @@ class EngineError(RuntimeError):
 
 
 class InlineEngine:
-    """All sessions on one in-process decoder (``workers == 1``)."""
+    """All sessions on one in-process decoder (``workers == 1``).
+
+    With ``fuse`` on (the default) every session gets its own forked
+    lookup (``decoder.lookup.fork()``) so the scheduler may advance up
+    to ``max_fused_sessions`` of them per dispatch through
+    :meth:`push_many` — one fused lockstep kernel per frame instead of
+    one engine round-trip per session
+    (:func:`repro.asr.streaming.push_sessions`).  Per-session results,
+    partials and stats are bit-identical to unfused serving.
+    """
 
     def __init__(
         self,
         am: AmGraph,
         lm: LmGraph,
         config: DecoderConfig | None = None,
+        fuse: bool = True,
+        max_fused_sessions: int = 8,
     ) -> None:
+        if max_fused_sessions < 1:
+            raise ValueError("max_fused_sessions must be >= 1")
         self.workers = 1
+        self.fuse = fuse
+        #: Scheduler dispatch-width hint; 1 disables fused selection.
+        self.max_fused_sessions = max_fused_sessions if fuse else 1
         self._decoder = OnTheFlyDecoder(am, lm, config)
         self._sessions: dict[str, StreamingSession] = {}
 
     def start(self, session_id: str) -> None:
         if session_id in self._sessions:
             raise EngineError(f"session {session_id!r} already started")
-        self._sessions[session_id] = StreamingSession(self._decoder)
+        lookup = self._decoder.lookup.fork() if self.fuse else None
+        self._sessions[session_id] = StreamingSession(
+            self._decoder, lookup=lookup
+        )
 
     def _session(self, session_id: str) -> StreamingSession:
         session = self._sessions.get(session_id)
@@ -75,6 +94,21 @@ class InlineEngine:
 
     def push(self, session_id: str, scores: np.ndarray) -> PartialHypothesis:
         return self._session(session_id).push(scores)
+
+    def push_many(
+        self, items: list[tuple[str, np.ndarray]]
+    ) -> list[PartialHypothesis]:
+        """Advance several sessions through one fused lockstep dispatch.
+
+        Raises before any session advances (unknown ids, bad shapes),
+        so the caller may replay items one by one to attribute a
+        failure.  Falls back to sequential pushes internally whenever
+        the sessions aren't fusable (scalar configs, ``fuse`` off).
+        """
+        from repro.asr.streaming import push_sessions
+
+        sessions = [self._session(session_id) for session_id, _ in items]
+        return push_sessions(sessions, [scores for _, scores in items])
 
     def finish(self, session_id: str) -> DecodeResult:
         session = self._session(session_id)

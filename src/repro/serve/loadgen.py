@@ -17,6 +17,7 @@ engaged (or didn't).
 from __future__ import annotations
 
 import asyncio
+import random
 from dataclasses import dataclass, field
 from time import perf_counter
 
@@ -48,6 +49,8 @@ class LoadReport:
 
     concurrency: int
     batch_frames: int
+    #: Submission-order shuffle seed; ``None`` means input order.
+    seed: int | None
     utterances: int
     frames: int
     batches: int
@@ -96,6 +99,7 @@ class LoadReport:
         return {
             "concurrency": self.concurrency,
             "batch_frames": self.batch_frames,
+            "seed": self.seed,
             "utterances": self.utterances,
             "frames": self.frames,
             "batches": self.batches,
@@ -112,6 +116,7 @@ async def run_load(
     score_matrices: list[np.ndarray],
     concurrency: int = 4,
     batch_frames: int = 32,
+    seed: int | None = None,
 ) -> LoadReport:
     """Replay every matrix once, ``concurrency`` sessions at a time.
 
@@ -119,14 +124,22 @@ async def run_load(
     session handle with ``push``/``finish`` (both provided clients
     qualify).  Results come back in ``score_matrices`` order on the
     report's ``outcomes``.
+
+    ``seed`` pins the submission order: utterances are shuffled with
+    ``random.Random(seed)`` before workers pull them, so two runs with
+    the same seed replay the same arrival pattern (CI pins one).
+    ``None`` keeps plain input order.
     """
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
     if batch_frames < 1:
         raise ValueError("batch_frames must be positive")
+    jobs = list(enumerate(score_matrices))
+    if seed is not None:
+        random.Random(seed).shuffle(jobs)
     work: asyncio.Queue = asyncio.Queue()
-    for index, matrix in enumerate(score_matrices):
-        work.put_nowait((index, matrix))
+    for job in jobs:
+        work.put_nowait(job)
     outcomes: dict[int, UtteranceOutcome] = {}
     rejections = 0
 
@@ -179,6 +192,7 @@ async def run_load(
     return LoadReport(
         concurrency=concurrency,
         batch_frames=batch_frames,
+        seed=seed,
         utterances=len(ordered),
         frames=sum(o.frames for o in ordered),
         batches=sum(len(o.push_seconds) for o in ordered),

@@ -222,9 +222,26 @@ class Scheduler:
                 self._wake.clear()
                 await self._evict_idle()
                 continue
-            await asyncio.gather(
-                *(self._serve_one(session) for session in selected)
-            )
+            self.metrics.counter("decode_cycles").inc()
+            decodable = [s for s in selected if s.queue]
+            rest = [s for s in selected if not s.queue]
+            if len(decodable) >= 2 and self._fuse_width() >= 2:
+                fused = decodable[: self._fuse_width()]
+                rest = decodable[len(fused) :] + rest
+                await asyncio.gather(
+                    self._serve_fused(fused),
+                    *(self._serve_one(session) for session in rest),
+                )
+            else:
+                await asyncio.gather(
+                    *(self._serve_one(session) for session in selected)
+                )
+
+    def _fuse_width(self) -> int:
+        """How many sessions one engine dispatch may advance together."""
+        if not hasattr(self.engine, "push_many"):
+            return 1
+        return getattr(self.engine, "max_fused_sessions", 1)
 
     def _has_turn(self, session: Session) -> bool:
         if session.closed or session.inflight:
@@ -238,19 +255,20 @@ class Scheduler:
         return False
 
     def _select(self) -> list[Session]:
-        """Up to ``engine.workers`` sessions, round-robin from the one
-        after the last session served."""
+        """Up to ``max(engine.workers, fuse width)`` sessions,
+        round-robin from the one after the session served last."""
         ring = self._order
         if not ring:
             return []
         selected: list[Session] = []
         size = len(ring)
+        limit = max(self.engine.workers, self._fuse_width())
         start = self._rr_next % size
         for step in range(size):
             session = self._sessions.get(ring[(start + step) % size])
             if session is not None and self._has_turn(session):
                 selected.append(session)
-                if len(selected) >= self.engine.workers:
+                if len(selected) >= limit:
                     self._rr_next = (start + step + 1) % size
                     break
         else:
@@ -281,6 +299,58 @@ class Scheduler:
             await self._fail(session, f"decode failed: {exc}")
             return
         elapsed = perf_counter() - started
+        self.metrics.counter("kernel_calls").inc()
+        self._record_decode(session, scores, partial, elapsed)
+
+    async def _serve_fused(self, sessions: list[Session]) -> None:
+        """One engine dispatch advancing every session a batch in
+        lockstep — the serving-side half of the fused kernel."""
+        for session in sessions:
+            session.inflight = True
+        try:
+            batches = [session.queue.popleft() for session in sessions]
+            self._update_queue_gauge()
+            items = [
+                (session.session_id, scores)
+                for session, scores in zip(sessions, batches)
+            ]
+            started = perf_counter()
+            try:
+                partials = await self._run_engine(
+                    self.engine.push_many, items
+                )
+            except Exception:
+                # push_many raises before any session advances, so the
+                # batches can be replayed one at a time — attributing
+                # the failure to the offending session and letting the
+                # others proceed.
+                for session, scores in zip(sessions, batches):
+                    session.queue.appendleft(scores)
+                self._update_queue_gauge()
+                for session in sessions:
+                    await self._decode_batch(session)
+                return
+            elapsed = perf_counter() - started
+            self.metrics.counter("kernel_calls").inc()
+            self.metrics.gauge("fused_sessions").set(len(sessions))
+            for session, scores, partial in zip(
+                sessions, batches, partials
+            ):
+                self._record_decode(session, scores, partial, elapsed)
+        finally:
+            now = perf_counter()
+            for session in sessions:
+                session.inflight = False
+                session.last_activity = now
+            self._wake.set()
+
+    def _record_decode(
+        self,
+        session: Session,
+        scores: np.ndarray,
+        partial,
+        elapsed: float,
+    ) -> None:
         frames = int(scores.shape[0])
         session.frames_decoded += frames
         self.metrics.counter("batches_decoded").inc()

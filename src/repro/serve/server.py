@@ -54,6 +54,10 @@ class ServeConfig:
     idle_timeout_seconds: float = 30.0
     #: Decode worker processes; 1 = in-process engine.
     workers: int = 1
+    #: In-process engine only: advance concurrent sessions through one
+    #: fused lockstep kernel per frame (bit-identical transcripts;
+    #: fewer engine dispatches per decode cycle).
+    fuse_sessions: bool = True
 
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(
@@ -89,7 +93,13 @@ class TranscriptionServer:
                 workers=self.config.workers,
             )
         else:
-            self.engine = InlineEngine(am, lm, decoder_config)
+            self.engine = InlineEngine(
+                am,
+                lm,
+                decoder_config,
+                fuse=self.config.fuse_sessions,
+                max_fused_sessions=self.config.max_sessions,
+            )
         self.metrics = MetricsRegistry()
         self.scheduler = Scheduler(
             self.engine,

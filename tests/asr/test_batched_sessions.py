@@ -1,0 +1,187 @@
+"""``push_sessions``: lockstep multi-session streaming, bit-exact.
+
+The serving layer fuses concurrent streaming sessions into one kernel
+call per frame via :func:`repro.asr.streaming.push_sessions`.  Its
+contract mirrors the offline batch decoder's: every session's
+partials, final result, lattice, stats and lookup counters must be
+bit-identical to pushing that session's batches alone (with its own
+forked lookup), ragged batches must retire early sessions cleanly, and
+validation must complete before any session mutates so callers can
+retry per-session after an exception.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.asr.streaming import StreamingSession, push_sessions
+from repro.core import DecoderConfig, OnTheFlyDecoder
+
+LOOKUP_COUNTERS = (
+    "lookups",
+    "arc_probes",
+    "olt_hits",
+    "olt_misses",
+    "backoff_arcs_taken",
+    "preemptive_prunes",
+    "expansion_hits",
+    "expansion_misses",
+    "expansion_evictions",
+)
+
+
+@pytest.fixture(scope="module")
+def decoder(tiny_task):
+    return OnTheFlyDecoder(
+        tiny_task.am,
+        tiny_task.lm,
+        DecoderConfig(beam=14.0, max_active=800, vectorized=True),
+    )
+
+
+def _lattice_nodes(lattice):
+    return [(n.word, n.frame, n.cost, n.backpointer) for n in lattice.nodes]
+
+
+def _solo_reference(decoder, scores, chunk):
+    """Each stream pushed alone on a fresh forked-lookup session."""
+    partials, results = [], []
+    for matrix in scores:
+        session = StreamingSession(decoder, lookup=decoder.lookup.fork())
+        parts = [
+            session.push(matrix[start : start + chunk])
+            for start in range(0, max(matrix.shape[0], 1), chunk)
+        ]
+        partials.append(parts)
+        results.append(session.finish())
+    return partials, results
+
+
+def _fused_run(decoder, scores, chunk):
+    sessions = [
+        StreamingSession(decoder, lookup=decoder.lookup.fork())
+        for _ in scores
+    ]
+    partials = [[] for _ in scores]
+    longest = max(max(s.shape[0] for s in scores), 1)
+    for start in range(0, longest, chunk):
+        batches = [s[start : start + chunk] for s in scores]
+        for i, partial in enumerate(push_sessions(sessions, batches)):
+            partials[i].append(partial)
+    return partials, [session.finish() for session in sessions]
+
+
+def _assert_parity(ref, got):
+    ref_partials, ref_results = ref
+    got_partials, got_results = got
+    for i, (rp, gp) in enumerate(zip(ref_partials, got_partials)):
+        # The fused driver keeps pushing zero-frame keep-alives to
+        # already-drained sessions; each re-reads the last hypothesis.
+        assert len(gp) >= len(rp), i
+        for j, g in enumerate(gp):
+            assert rp[min(j, len(rp) - 1)] == g, (i, j)
+    for i, (r, g) in enumerate(zip(ref_results, got_results)):
+        assert r.words == g.words, i
+        assert r.cost == g.cost, i
+        assert r.finals == g.finals, i
+        assert _lattice_nodes(r.lattice) == _lattice_nodes(g.lattice), i
+        for f in dataclasses.fields(r.stats):
+            if f.name == "lookup":
+                continue
+            assert getattr(r.stats, f.name) == getattr(g.stats, f.name), (
+                i,
+                f.name,
+            )
+        for name in LOOKUP_COUNTERS:
+            assert getattr(r.stats.lookup, name) == getattr(
+                g.stats.lookup, name
+            ), (i, f"lookup.{name}")
+
+
+class TestFusedSessionParity:
+    @pytest.mark.parametrize("chunk", [9, 16])
+    def test_lockstep_matches_solo_pushes(
+        self, decoder, tiny_scores, chunk
+    ):
+        scores = tiny_scores[:4]
+        _assert_parity(
+            _solo_reference(decoder, scores, chunk),
+            _fused_run(decoder, scores, chunk),
+        )
+
+    def test_ragged_streams_retire_early(self, decoder, tiny_scores):
+        scores = [
+            s[: max(0, s.shape[0] - 7 * i)]
+            for i, s in enumerate(tiny_scores)
+        ]
+        _assert_parity(
+            _solo_reference(decoder, scores, 16),
+            _fused_run(decoder, scores, 16),
+        )
+
+    def test_shared_lookup_falls_back_to_sequential(
+        self, decoder, tiny_scores
+    ):
+        # Two sessions on the decoder's own lookup: not fusable (one
+        # cache can't replay two interleaved solo evolutions), but the
+        # call still advances both via plain pushes.
+        sessions = [StreamingSession(decoder) for _ in range(2)]
+        partials = push_sessions(
+            sessions, [tiny_scores[0][:8], tiny_scores[1][:8]]
+        )
+        assert [p.frames_consumed for p in partials] == [8, 8]
+
+    def test_single_session_equals_push(self, decoder, tiny_scores):
+        solo = StreamingSession(decoder, lookup=decoder.lookup.fork())
+        expected = solo.push(tiny_scores[0][:12])
+        fused = StreamingSession(decoder, lookup=decoder.lookup.fork())
+        (got,) = push_sessions([fused], [tiny_scores[0][:12]])
+        assert got == expected
+
+    def test_empty_input(self):
+        assert push_sessions([], []) == []
+
+
+class TestValidation:
+    def test_length_mismatch(self, decoder, tiny_scores):
+        session = StreamingSession(decoder, lookup=decoder.lookup.fork())
+        with pytest.raises(ValueError):
+            push_sessions([session], [])
+
+    def test_raises_before_any_session_advances(
+        self, decoder, tiny_scores
+    ):
+        sessions = [
+            StreamingSession(decoder, lookup=decoder.lookup.fork())
+            for _ in range(3)
+        ]
+        bad = tiny_scores[2][:8, :2]  # too few senone columns
+        with pytest.raises(ValueError):
+            push_sessions(
+                sessions, [tiny_scores[0][:8], tiny_scores[1][:8], bad]
+            )
+        assert [s.frames_consumed for s in sessions] == [0, 0, 0]
+
+    def test_finished_session_rejected(self, decoder, tiny_scores):
+        finished = StreamingSession(decoder, lookup=decoder.lookup.fork())
+        finished.finish()
+        live = StreamingSession(decoder, lookup=decoder.lookup.fork())
+        with pytest.raises(RuntimeError):
+            push_sessions(
+                [live, finished], [tiny_scores[0][:8], tiny_scores[1][:8]]
+            )
+        assert live.frames_consumed == 0
+
+    def test_zero_frame_keepalive(self, decoder, tiny_scores):
+        sessions = [
+            StreamingSession(decoder, lookup=decoder.lookup.fork())
+            for _ in range(2)
+        ]
+        push_sessions(sessions, [tiny_scores[0][:8], tiny_scores[1][:8]])
+        empty = tiny_scores[1][:0]
+        partials = push_sessions(
+            sessions, [tiny_scores[0][8:16], empty]
+        )
+        assert partials[0].frames_consumed == 16
+        assert partials[1].frames_consumed == 8

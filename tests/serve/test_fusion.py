@@ -1,0 +1,129 @@
+"""Session fusion in the serving stack: parity, metrics, determinism.
+
+With ``fuse_sessions`` on (the default) the scheduler hands up to
+``max_fused_sessions`` queued sessions to ``InlineEngine.push_many``
+per dispatch cycle, which advances them through one lockstep kernel
+per frame.  Served transcripts must be bit-identical with fusion on or
+off; the win shows up in the metrics (fewer engine dispatches —
+``kernel_calls`` — per decoded batch) rather than in the words.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.asr.streaming import StreamingSession
+from repro.core import DecoderConfig, OnTheFlyDecoder
+from repro.serve import ServeConfig, TranscriptionServer
+from repro.serve.engine import EngineError, InlineEngine
+from repro.serve.loadgen import run_load
+
+CONFIG = DecoderConfig(beam=14.0)
+BATCH_FRAMES = 8
+
+
+class TestInlineEnginePushMany:
+    def test_matches_solo_sessions(self, tiny_task, tiny_scores):
+        engine = InlineEngine(tiny_task.am, tiny_task.lm, CONFIG, fuse=True)
+        ids = [f"s{i}" for i in range(4)]
+        for session_id in ids:
+            engine.start(session_id)
+        decoder = OnTheFlyDecoder(tiny_task.am, tiny_task.lm, CONFIG)
+        references = [
+            StreamingSession(decoder, lookup=decoder.lookup.fork())
+            for _ in ids
+        ]
+        for start in range(0, max(s.shape[0] for s in tiny_scores), 8):
+            items = [
+                (session_id, tiny_scores[i][start : start + 8])
+                for i, session_id in enumerate(ids)
+            ]
+            partials = engine.push_many(items)
+            for reference, (_, batch), partial in zip(
+                references, items, partials
+            ):
+                assert reference.push(batch) == partial
+        for i, session_id in enumerate(ids):
+            want = references[i].finish()
+            got = engine.finish(session_id)
+            assert got.words == want.words
+            assert got.cost == want.cost
+
+    def test_unknown_session_raises_before_any_advance(
+        self, tiny_task, tiny_scores
+    ):
+        engine = InlineEngine(tiny_task.am, tiny_task.lm, CONFIG, fuse=True)
+        engine.start("known")
+        with pytest.raises(EngineError):
+            engine.push_many(
+                [
+                    ("known", tiny_scores[0][:8]),
+                    ("missing", tiny_scores[1][:8]),
+                ]
+            )
+        # The known session must not have consumed the batch.
+        assert engine.push("known", tiny_scores[0][:0]).frames_consumed == 0
+
+    def test_fuse_off_serializes(self, tiny_task, tiny_scores):
+        engine = InlineEngine(tiny_task.am, tiny_task.lm, CONFIG, fuse=False)
+        assert engine.max_fused_sessions == 1
+        engine.start("a")
+        engine.start("b")
+        partials = engine.push_many(
+            [("a", tiny_scores[0][:8]), ("b", tiny_scores[1][:8])]
+        )
+        assert [p.frames_consumed for p in partials] == [8, 8]
+
+
+def _serve(tiny_task, tiny_scores, fuse, seed=7):
+    async def scenario():
+        server = TranscriptionServer(
+            tiny_task.am,
+            tiny_task.lm,
+            decoder_config=CONFIG,
+            serve_config=ServeConfig(max_sessions=8, fuse_sessions=fuse),
+        )
+        async with server:
+            report = await run_load(
+                server.connect_local(),
+                tiny_scores,
+                concurrency=len(tiny_scores),
+                batch_frames=BATCH_FRAMES,
+                seed=seed,
+            )
+            return report, server.metrics.snapshot()
+
+    return asyncio.run(scenario())
+
+
+class TestFusedServing:
+    def test_transcripts_match_unfused(self, tiny_task, tiny_scores):
+        fused, fused_snap = _serve(tiny_task, tiny_scores, fuse=True)
+        unfused, unfused_snap = _serve(tiny_task, tiny_scores, fuse=False)
+        for a, b in zip(fused.outcomes, unfused.outcomes):
+            assert a.words == b.words, a.index
+            assert a.cost == b.cost, a.index
+        # Unfused serving pays one engine dispatch per batch; fusion
+        # must beat that ratio (that is its entire point).
+        fused_ratio = (
+            fused_snap["counters"]["kernel_calls"]
+            / fused_snap["counters"]["batches_decoded"]
+        )
+        unfused_ratio = (
+            unfused_snap["counters"]["kernel_calls"]
+            / unfused_snap["counters"]["batches_decoded"]
+        )
+        assert unfused_ratio == 1.0
+        assert fused_ratio < unfused_ratio
+        assert fused_snap["gauges"]["fused_sessions"] >= 2
+
+    def test_seeded_replay_is_deterministic(self, tiny_task, tiny_scores):
+        first, _ = _serve(tiny_task, tiny_scores, fuse=True, seed=99)
+        second, _ = _serve(tiny_task, tiny_scores, fuse=True, seed=99)
+        assert first.seed == second.seed == 99
+        assert [o.words for o in first.outcomes] == [
+            o.words for o in second.outcomes
+        ]
+        assert [o.cost for o in first.outcomes] == [
+            o.cost for o in second.outcomes
+        ]

@@ -12,7 +12,7 @@ from repro.serve.loadgen import run_load
 CONFIG = DecoderConfig(beam=14.0)
 
 
-def replay(tiny_task, tiny_scores, concurrency, **server_overrides):
+def replay(tiny_task, tiny_scores, concurrency, seed=None, **server_overrides):
     async def scenario():
         serve_config = ServeConfig(**server_overrides)
         server = TranscriptionServer(
@@ -27,6 +27,7 @@ def replay(tiny_task, tiny_scores, concurrency, **server_overrides):
                 tiny_scores,
                 concurrency=concurrency,
                 batch_frames=8,
+                seed=seed,
             )
 
     return asyncio.run(scenario())
@@ -86,3 +87,23 @@ class TestRunLoad:
     def test_validation(self, tiny_task, tiny_scores):
         with pytest.raises(ValueError):
             replay(tiny_task, tiny_scores, concurrency=0)
+
+    def test_seed_recorded_and_order_reproducible(
+        self, tiny_task, tiny_scores
+    ):
+        first = replay(tiny_task, tiny_scores, concurrency=3, seed=42)
+        second = replay(tiny_task, tiny_scores, concurrency=3, seed=42)
+        assert first.seed == second.seed == 42
+        assert first.to_dict()["seed"] == 42
+        # Outcomes come back in input order regardless of the shuffled
+        # submission order, and identically across seeded replays.
+        assert [o.index for o in first.outcomes] == list(
+            range(len(tiny_scores))
+        )
+        assert [o.words for o in first.outcomes] == [
+            o.words for o in second.outcomes
+        ]
+
+    def test_unseeded_report_records_none(self, tiny_task, tiny_scores):
+        report = replay(tiny_task, tiny_scores[:2], concurrency=2)
+        assert report.seed is None

@@ -15,7 +15,8 @@ The CI regression gates, all optional and exit-1 on breach:
 phase at ``S`` seconds (per-phase gate, not just total throughput);
 ``--fail-parallel-below X`` floors the pool's parallel speedup, and is
 skipped with a warning on single-CPU machines where a process pool
-cannot win.
+cannot win; ``--fail-batch-below X`` floors the lockstep batch
+(``BatchDecoder``) speedup over the cold per-utterance pass.
 
 The serving layer has its own bench and gates::
 
@@ -29,6 +30,12 @@ server plus the load generator) and writes ``BENCH_serve.json``;
 floors served frames per second and ``--fail-serve-p95-above S`` caps
 the client-observed p95 per-push latency; transcript parity with
 sequential streaming and a clean drain are always required.
+``--serve-seed N`` pins the load generator's submission order.  The
+serve report also carries a fused-vs-unfused comparison at
+``--serve-fusion-concurrency`` sessions:
+``--fail-fusion-speedup-below X`` floors fused/unfused frames per
+second and ``--fail-kernel-calls-per-batch-above R`` caps engine
+dispatches per decoded batch with fusion on.
 """
 
 from __future__ import annotations
@@ -83,6 +90,19 @@ def main(argv: list[str] | None = None) -> int:
         "(skipped with a warning on single-CPU machines)",
     )
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="lockstep batch width for the batched-decode comparison",
+    )
+    parser.add_argument(
+        "--fail-batch-below",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 if the lockstep batch speedup is below X",
+    )
+    parser.add_argument(
         "--serve",
         action="store_true",
         help="also run the streaming-service bench (BENCH_serve.json)",
@@ -99,6 +119,33 @@ def main(argv: list[str] | None = None) -> int:
         "--serve-transport", choices=("local", "tcp"), default="local"
     )
     parser.add_argument("--serve-workers", type=int, default=1)
+    parser.add_argument(
+        "--serve-seed",
+        type=int,
+        default=1234,
+        help="load-generator submission-order seed (reproducible runs)",
+    )
+    parser.add_argument(
+        "--serve-fusion-concurrency",
+        type=int,
+        default=8,
+        help="sessions in the fused-vs-unfused serving comparison",
+    )
+    parser.add_argument(
+        "--fail-fusion-speedup-below",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 if fused serving is below X times unfused frames/s",
+    )
+    parser.add_argument(
+        "--fail-kernel-calls-per-batch-above",
+        type=float,
+        default=None,
+        metavar="R",
+        help="exit 1 if fused serving makes more than R engine "
+        "dispatches per decoded batch",
+    )
     parser.add_argument(
         "--fail-serve-fps-below",
         type=float,
@@ -132,6 +179,7 @@ def main(argv: list[str] | None = None) -> int:
             output=args.output,
             parallelism=args.parallelism,
             repeats=args.repeats,
+            batch_size=args.batch_size,
         )
         print(result.render())
         print(f"\nwrote {args.output}")
@@ -141,12 +189,14 @@ def main(argv: list[str] | None = None) -> int:
             fail_below=args.fail_below,
             fail_epsilon_above=args.fail_epsilon_above,
             fail_parallel_below=args.fail_parallel_below,
+            fail_batch_below=args.fail_batch_below,
         )
         failures.extend(decode_failures)
         notes.extend(decode_notes)
 
     if args.serve or args.serve_only:
         from repro.experiments.serve_bench import (
+            check_fusion_report,
             check_serve_report,
             write_bench_report as write_serve_report,
         )
@@ -158,6 +208,8 @@ def main(argv: list[str] | None = None) -> int:
             batch_frames=args.serve_batch_frames,
             transport=args.serve_transport,
             workers=args.serve_workers,
+            seed=args.serve_seed,
+            fusion_concurrency=args.serve_fusion_concurrency,
         )
         print(serve_result.render())
         print(f"\nwrote {args.serve_output}")
@@ -169,6 +221,15 @@ def main(argv: list[str] | None = None) -> int:
         )
         failures.extend(serve_failures)
         notes.extend(serve_notes)
+        fusion_failures, fusion_notes = check_fusion_report(
+            serve_report["fusion"],
+            fail_fusion_speedup_below=args.fail_fusion_speedup_below,
+            fail_kernel_calls_per_batch_above=(
+                args.fail_kernel_calls_per_batch_above
+            ),
+        )
+        failures.extend(fusion_failures)
+        notes.extend(fusion_notes)
 
     for note in notes:
         print(f"OK: {note}" if "skipped" not in note else f"WARN: {note}")
