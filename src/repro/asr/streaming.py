@@ -15,13 +15,14 @@ top of the one-pass decoder's internals.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core.beam import prune
+from repro.core.composition import LookupStats
 from repro.core.decoder import DecodeResult, DecoderStats, OnTheFlyDecoder
-from repro.core.lattice import WordLattice
+from repro.core.lattice import LatticeNode, WordLattice
 from repro.core.tokens import SoaTokenTable, TokenTable
 
 
@@ -33,6 +34,64 @@ class PartialHypothesis:
     cost: float
     frames_consumed: int
     active_tokens: int
+
+
+def _copy_stats(stats: DecoderStats) -> DecoderStats:
+    """An independent DecoderStats (scalars plus the mutable tails)."""
+    return replace(
+        stats,
+        active_history=list(stats.active_history),
+        frame_work=list(stats.frame_work),
+        lookup=stats.lookup.clone(),
+    )
+
+
+@dataclass
+class SessionSnapshot:
+    """A resumable checkpoint of one :class:`StreamingSession`.
+
+    UNFOLD's whole per-channel state is tiny — a token frontier, the
+    lattice so far, and cache counters — which is what makes
+    checkpointing a live session between batches cheap (the shared
+    graphs never enter the picture).  A snapshot taken between two
+    ``push`` calls and restored onto any decoder built from the same
+    graphs continues bit-identically: same partials, same final
+    result, same :class:`DecoderStats` including every lookup-cache
+    counter.  Snapshots are plain data (numpy arrays + dataclasses),
+    so they pickle across process boundaries — the serve layer ships
+    them from worker processes to the supervising parent.
+    """
+
+    frames: int
+    vectorized: bool
+    num_lm: int
+    #: Token frontier as (am, lm, cost, lattice_node) columns, in
+    #: table-iteration order (which restore must preserve: partials
+    #: and finalization break cost ties by scan order).
+    table_am: np.ndarray
+    table_lm: np.ndarray
+    table_cost: np.ndarray
+    table_node: np.ndarray
+    #: Lattice as (word, frame, cost, backpointer) rows.
+    lattice_nodes: list[tuple[int, int, float, int]]
+    stats: DecoderStats
+    lookup_start: LookupStats
+    #: Offset-table entries + expansion-cache residency + counters
+    #: (see :meth:`repro.core.composition.LmLookup.export_transient_state`).
+    lookup_state: dict
+    #: The running best hypothesis at checkpoint time (observability;
+    #: restore recomputes it from the frontier).
+    partial: PartialHypothesis
+
+    def state_bytes(self) -> int:
+        """Approximate checkpoint payload size (sans lookup caches)."""
+        return (
+            self.table_am.nbytes
+            + self.table_lm.nbytes
+            + self.table_cost.nbytes
+            + self.table_node.nbytes
+            + 32 * len(self.lattice_nodes)
+        )
 
 
 class StreamingSession:
@@ -88,6 +147,105 @@ class StreamingSession:
     @property
     def frames_consumed(self) -> int:
         return self._frames
+
+    def snapshot(self) -> SessionSnapshot:
+        """Checkpoint the session between batches.
+
+        The snapshot owns copies of everything mutable, so the live
+        session keeps decoding without aliasing it, and one snapshot
+        can seed several restores.
+        """
+        if self._finished:
+            raise RuntimeError("session already finished")
+        if isinstance(self._table, SoaTokenTable):
+            am, lm, cost, node = self._table.columns()
+            am, lm, cost, node = am.copy(), lm.copy(), cost.copy(), node.copy()
+        else:
+            tokens = list(self._table)
+            am = np.array([t.am_state for t in tokens], dtype=np.int64)
+            lm = np.array([t.lm_state for t in tokens], dtype=np.int64)
+            cost = np.array([t.cost for t in tokens], dtype=np.float64)
+            node = np.array(
+                [t.lattice_node for t in tokens], dtype=np.int64
+            )
+        return SessionSnapshot(
+            frames=self._frames,
+            vectorized=self._vectorized,
+            num_lm=self.decoder._num_lm,
+            table_am=am,
+            table_lm=lm,
+            table_cost=cost,
+            table_node=node,
+            lattice_nodes=[
+                (n.word, n.frame, n.cost, n.backpointer)
+                for n in self._lattice.nodes
+            ],
+            stats=_copy_stats(self._stats),
+            lookup_start=self._lookup_start.clone(),
+            lookup_state=self._lookup.export_transient_state(),
+            partial=self._partial(),
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        decoder: OnTheFlyDecoder,
+        snapshot: SessionSnapshot,
+        lookup=None,
+    ) -> "StreamingSession":
+        """Resume a snapshotted session on ``decoder``.
+
+        The decoder must be built from the same graphs and config as
+        the one that took the snapshot (a different expansion mode is
+        rejected; anything subtler silently changes transcripts, as it
+        would for a plain re-decode).  By default the session gets a
+        fresh ``decoder.lookup.fork()`` and the snapshot's cache state
+        is loaded into it, so the continuation's lookup counters match
+        the uninterrupted run exactly.
+        """
+        if lookup is None:
+            lookup = decoder.lookup.fork()
+        session = cls(decoder, lookup=lookup)
+        if session._vectorized != snapshot.vectorized:
+            raise ValueError(
+                "decoder expansion mode does not match the snapshot "
+                f"(vectorized={session._vectorized} vs "
+                f"snapshot {snapshot.vectorized})"
+            )
+        if snapshot.vectorized and decoder._num_lm != snapshot.num_lm:
+            raise ValueError(
+                "decoder LM state count does not match the snapshot"
+            )
+        am = snapshot.table_am.copy()
+        lm = snapshot.table_lm.copy()
+        cost = snapshot.table_cost.copy()
+        node = snapshot.table_node.copy()
+        if snapshot.vectorized:
+            table: TokenTable | SoaTokenTable = SoaTokenTable(
+                snapshot.num_lm
+            )
+            if am.shape[0]:
+                keys = am * snapshot.num_lm + lm
+                order = np.argsort(keys, kind="stable")
+                table.bulk_fill(am, lm, cost, node, keys[order], order, 0, 0)
+        else:
+            table = TokenTable()
+            for a, l, c, n in zip(
+                am.tolist(), lm.tolist(), cost.tolist(), node.tolist()
+            ):
+                table.insert(a, l, c, n)
+        session._table = table
+        lattice = WordLattice()
+        lattice.nodes = [
+            LatticeNode(word, frame, cost_, backpointer)
+            for word, frame, cost_, backpointer in snapshot.lattice_nodes
+        ]
+        session._lattice = lattice
+        session._stats = _copy_stats(snapshot.stats)
+        session._frames = snapshot.frames
+        session._lookup.load_transient_state(snapshot.lookup_state)
+        session._lookup_start = snapshot.lookup_start.clone()
+        return session
 
     def push(self, scores: np.ndarray) -> PartialHypothesis:
         """Consume one batch of frames; returns the running best guess."""

@@ -38,10 +38,21 @@ class EditCounts:
 
 
 def align_counts(reference: list[str], hypothesis: list[str]) -> EditCounts:
-    """Minimum-edit alignment between one reference and one hypothesis."""
+    """Minimum-edit alignment between one reference and one hypothesis.
+
+    Minimum edit distance is unique but its breakdown is not: a
+    substitution can trade against an insertion+deletion pair at equal
+    total cost.  The alignment reported here is the minimum-edit one
+    with the *most* substitutions (lexicographic DP), which is a
+    symmetric criterion — swapping the arguments exactly swaps
+    insertions and deletions, whereas a scan-order tie-break does not.
+    """
     rows = len(reference) + 1
     cols = len(hypothesis) + 1
-    # cost[i][j] = (edits, subs, ins, dels) for ref[:i] vs hyp[:j].
+    # cost[i][j] = (edits, -subs, ins, dels) for ref[:i] vs hyp[:j];
+    # tuple order makes min() lexicographic: fewest edits, then most
+    # substitutions.  Given (edits, subs) and the two lengths, the
+    # ins/del split is forced, so no further tie-breaking can matter.
     cost = [[(0, 0, 0, 0)] * cols for _ in range(rows)]
     for i in range(1, rows):
         cost[i][0] = (i, 0, 0, i)
@@ -49,21 +60,20 @@ def align_counts(reference: list[str], hypothesis: list[str]) -> EditCounts:
         cost[0][j] = (j, 0, j, 0)
     for i in range(1, rows):
         for j in range(1, cols):
+            diag_e, diag_s, diag_i, diag_d = cost[i - 1][j - 1]
             if reference[i - 1] == hypothesis[j - 1]:
-                cost[i][j] = cost[i - 1][j - 1]
-                continue
-            sub_e, sub_s, sub_i, sub_d = cost[i - 1][j - 1]
+                diag = (diag_e, diag_s, diag_i, diag_d)
+            else:
+                diag = (diag_e + 1, diag_s - 1, diag_i, diag_d)
             ins_e, ins_s, ins_i, ins_d = cost[i][j - 1]
             del_e, del_s, del_i, del_d = cost[i - 1][j]
-            best = min(sub_e, ins_e, del_e)
-            if best == sub_e:
-                cost[i][j] = (sub_e + 1, sub_s + 1, sub_i, sub_d)
-            elif best == ins_e:
-                cost[i][j] = (ins_e + 1, ins_s, ins_i + 1, ins_d)
-            else:
-                cost[i][j] = (del_e + 1, del_s, del_i, del_d + 1)
-    _, subs, ins, dels = cost[-1][-1]
-    return EditCounts(subs, ins, dels, len(reference))
+            cost[i][j] = min(
+                diag,
+                (ins_e + 1, ins_s, ins_i + 1, ins_d),
+                (del_e + 1, del_s, del_i, del_d + 1),
+            )
+    edits, neg_subs, ins, dels = cost[-1][-1]
+    return EditCounts(-neg_subs, ins, dels, len(reference))
 
 
 def word_error_rate(

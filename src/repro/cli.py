@@ -131,6 +131,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         idle_timeout_seconds=args.idle_timeout,
         workers=args.workers,
         fuse_sessions=not args.no_fuse,
+        request_deadline_seconds=args.request_deadline,
+        checkpoint_interval_frames=args.checkpoint_interval or None,
     )
 
     async def _serve() -> None:
@@ -172,6 +174,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         seed=args.seed,
         fusion_concurrency=args.fusion_concurrency,
+        abort_fraction=args.abort_fraction,
     )
     print(report.render())
     return 0
@@ -264,6 +267,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable lockstep session fusion on the in-process engine",
     )
+    p_serve.add_argument(
+        "--request-deadline",
+        type=float,
+        default=None,
+        help="wall-clock bound in seconds per engine call "
+        "(default: no deadline)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=16,
+        help="worker engine only: frames decoded between rolling "
+        "session checkpoints (0 disables checkpoints)",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_serve_bench = sub.add_parser(
@@ -294,6 +311,13 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=8,
         help="sessions in the fused-vs-unfused comparison",
+    )
+    p_serve_bench.add_argument(
+        "--abort-fraction",
+        type=float,
+        default=0.0,
+        help="seeded fraction of load-generator sessions that abandon "
+        "their stream mid-utterance (cancel-under-load coverage)",
     )
     p_serve_bench.set_defaults(func=cmd_serve_bench)
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 import math
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
 import numpy as np
 
@@ -69,6 +69,20 @@ class LookupStats:
     def expansion_hit_ratio(self) -> float:
         total = self.expansion_hits + self.expansion_misses
         return self.expansion_hits / total if total else 0.0
+
+    def clone(self) -> "LookupStats":
+        """An independent copy (checkpointing; delta baselines)."""
+        return replace(self)
+
+    def assign(self, other: "LookupStats") -> None:
+        """Overwrite every counter in place.
+
+        In-place because a lookup's stats object is shared with its
+        expansion cache — rebinding ``lookup.stats`` would silently
+        split the two.  Used when restoring a session checkpoint.
+        """
+        for f in fields(self):
+            setattr(self, f.name, getattr(other, f.name))
 
 
 class OffsetLookupTable:
@@ -123,6 +137,32 @@ class OffsetLookupTable:
     def invalidate(self) -> None:
         """Drop every entry in O(1): stale stamps can no longer match."""
         self._generation += 1
+
+    def export_state(self) -> dict:
+        """Copy out the live entries (session checkpointing).
+
+        Validity is exported as a plain boolean mask so the snapshot is
+        independent of this table's generation counter.
+        """
+        return {
+            "num_entries": self.num_entries,
+            "valid": self._valid == self._generation,
+            "tags": self._tags.copy(),
+            "offsets": self._offsets.copy(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Replace the table's contents with an exported snapshot."""
+        if state["num_entries"] != self.num_entries:
+            raise ValueError(
+                f"offset table geometry mismatch: snapshot has "
+                f"{state['num_entries']} entries, table has "
+                f"{self.num_entries}"
+            )
+        self._generation += 1  # drop whatever was resident
+        self._valid = np.where(state["valid"], self._generation, 0)
+        self._tags = state["tags"].copy()
+        self._offsets = state["offsets"].copy()
 
     @property
     def size_bytes(self) -> int:
@@ -280,6 +320,33 @@ class LmExpansionCache:
 
     def clear(self) -> None:
         self._rows.clear()
+
+    def resident_states(self) -> list[int]:
+        """Resident LM states, least recently used first."""
+        return list(self._rows)
+
+    def preload(self, states: list[int]) -> None:
+        """Re-admit rows without touching any activity counter.
+
+        Restores a checkpointed cache's residency and LRU order: rows
+        are pure functions of the immutable graph (taken from the
+        shared build memo or rebuilt), so the restored cache behaves —
+        hit for hit, eviction for eviction — exactly like the one that
+        was snapshotted.
+        """
+        rows = self._rows
+        for state in states:
+            row = rows.get(state)
+            if row is not None:
+                rows.move_to_end(state)
+                continue
+            row = self._row_source.get(state)
+            if row is None:
+                row = self._build_row(state)
+                self._row_source[state] = row
+            rows[state] = row
+            while len(rows) > self.capacity:
+                rows.popitem(last=False)
 
     def size_bytes(self) -> int:
         """Current storage held by resident rows."""
@@ -577,6 +644,56 @@ class LmLookup:
         if self.offset_table is not None:
             self.offset_table.invalidate()
         if self.expansion_cache is not None:
+            self.expansion_cache.clear()
+
+    def export_transient_state(self) -> dict:
+        """Checkpoint of the lookup's mutable state.
+
+        Captures everything a restored session needs to keep evolving
+        exactly as the original would have: the activity counters, the
+        Offset Lookup Table's live entries, and the expansion cache's
+        residency (in LRU order).  The graph-derived structures are
+        immutable and shared, so they stay out of the snapshot — that
+        is the paper's small-per-channel-state argument doing the work.
+        """
+        return {
+            "strategy": self.strategy.value,
+            "stats": self.stats.clone(),
+            "offset_table": (
+                self.offset_table.export_state()
+                if self.offset_table is not None
+                else None
+            ),
+            "expansion_states": (
+                self.expansion_cache.resident_states()
+                if self.expansion_cache is not None
+                else []
+            ),
+        }
+
+    def load_transient_state(self, state: dict) -> None:
+        """Restore a checkpoint taken by :meth:`export_transient_state`."""
+        if state["strategy"] != self.strategy.value:
+            raise ValueError(
+                f"lookup strategy mismatch: snapshot is "
+                f"{state['strategy']!r}, lookup is {self.strategy.value!r}"
+            )
+        self.stats.assign(state["stats"])
+        if state["offset_table"] is not None:
+            if self.offset_table is None:
+                raise ValueError(
+                    "snapshot carries an offset table but this lookup "
+                    "has none"
+                )
+            self.offset_table.load_state(state["offset_table"])
+        elif self.offset_table is not None:
+            self.offset_table.invalidate()
+        if state["expansion_states"]:
+            if self.expansion_cache is None:
+                self._ensure_batch_structures()
+            self.expansion_cache.clear()
+            self.expansion_cache.preload(state["expansion_states"])
+        elif self.expansion_cache is not None:
             self.expansion_cache.clear()
 
     def fork(self) -> "LmLookup":

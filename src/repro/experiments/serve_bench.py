@@ -15,6 +15,10 @@ point of view.
 ``write_bench_report`` persists the numbers as ``BENCH_serve.json`` so
 service regressions show up as a diff; ``tools/perf_report.py
 --serve`` is the command-line wrapper with the CI gates.
+:func:`measure_recovery` is the fault-tolerance arm of the harness: it
+kills a worker process mid-load and asserts the surviving stack still
+produces bit-identical transcripts, reporting what the recovery cost
+(``tools/perf_report.py --serve-chaos``).
 """
 
 from __future__ import annotations
@@ -45,12 +49,20 @@ def measure(
     max_queued_batches: int = 4,
     fuse_sessions: bool = True,
     seed: int | None = None,
+    abort_fraction: float = 0.0,
+    chaos=None,
+    request_timeout: float | None = None,
 ) -> dict:
     """Run one load-generation pass against a live server.
 
     Raises ``AssertionError`` when any concurrent transcript diverges
     from the sequential reference or the drain leaves sessions behind —
     a bench that measured wrong answers has nothing worth reporting.
+    ``abort_fraction`` makes a seeded slice of sessions cancel
+    mid-stream (their utterances are excluded from the parity check);
+    ``chaos`` injects a :class:`~repro.serve.chaos.WorkerChaos` fault
+    plan into the worker engine (``workers > 1`` only), and completed
+    transcripts must *still* match the reference bit-for-bit.
     """
     if preset not in PRESETS:
         raise ValueError(
@@ -98,18 +110,29 @@ def measure(
             max_queued_batches=max_queued_batches,
             fuse_sessions=fuse_sessions,
             seed=seed,
+            abort_fraction=abort_fraction,
+            chaos=chaos,
+            request_timeout=request_timeout,
         )
     )
 
+    # Aborted sessions never produce a final, so compare by utterance
+    # index; every outcome that *did* complete must match exactly.
     mismatched = [
         o.index
-        for o, ref in zip(load.outcomes, expected)
-        if o.words != ref.words or o.cost != ref.cost
+        for o in load.outcomes
+        if o.words != expected[o.index].words
+        or o.cost != expected[o.index].cost
     ]
     if mismatched:
         raise AssertionError(
             f"served transcripts diverge from sequential streaming on "
             f"utterances {mismatched}"
+        )
+    if len(load.outcomes) + load.aborted != len(scores):
+        raise AssertionError(
+            f"{len(scores)} utterances submitted but only "
+            f"{len(load.outcomes)} completed + {load.aborted} aborted"
         )
     if not drained:
         raise AssertionError("graceful stop left sessions undrained")
@@ -186,6 +209,98 @@ def measure_fusion(
     }
 
 
+def measure_recovery(
+    preset: str = "small",
+    concurrency: int = DEFAULT_CONCURRENCY,
+    batch_frames: int = DEFAULT_BATCH_FRAMES,
+    workers: int = 2,
+    seed: int | None = 1234,
+    die_at_push: int | None = None,
+    request_timeout: float = 30.0,
+) -> dict:
+    """Kill a worker mid-load and report what recovery cost.
+
+    Two seeded passes over the same utterances against the worker
+    engine: a fault-free baseline, then one where
+    :class:`~repro.serve.chaos.WorkerChaos` makes worker 0 die
+    (``os._exit``) on its ``die_at_push``-th dispatch — mid-utterance
+    for every session pinned to it.  The supervisor must respawn the
+    worker and migrate its sessions from their rolling checkpoints,
+    and every transcript must still match the sequential reference
+    bit-for-bit (:func:`measure` enforces that on both passes).
+
+    The returned comparison carries the recovery counters
+    (``worker_restarts``, ``sessions_migrated``, ``sessions_lost``,
+    ``checkpoints_taken``, scheduler ``retries``/``recoveries``/
+    ``deadline_exceeded``), the migration-latency summary, and the
+    throughput overhead of decoding through the fault
+    (``recovery_overhead`` = baseline / faulted frames per second).
+    """
+    from repro.serve.chaos import WorkerChaos
+
+    if workers < 2:
+        raise ValueError(
+            "recovery needs workers >= 2 (a surviving worker must "
+            "adopt the dead worker's sessions)"
+        )
+    if die_at_push is None:
+        # Late enough that every session pinned to the doomed worker
+        # has pushed at least once (checkpoints + replay both in play),
+        # early enough to land mid-utterance on the small presets.
+        die_at_push = 2 * concurrency
+    chaos = WorkerChaos(worker_index=0, die_at_push=die_at_push)
+    baseline = measure(
+        preset=preset,
+        concurrency=concurrency,
+        batch_frames=batch_frames,
+        workers=workers,
+        seed=seed,
+        request_timeout=request_timeout,
+    )
+    faulted = measure(
+        preset=preset,
+        concurrency=concurrency,
+        batch_frames=batch_frames,
+        workers=workers,
+        seed=seed,
+        chaos=chaos,
+        request_timeout=request_timeout,
+    )
+    counters = faulted["metrics"]["counters"]
+    migration = faulted["metrics"]["histograms"].get("migration_seconds")
+    completed = faulted["utterances"]
+    lost = counters.get("sessions_lost", 0)
+    recovery_rate = (
+        completed / (completed + lost) if completed + lost else 0.0
+    )
+    return {
+        "preset": preset,
+        "concurrency": concurrency,
+        "batch_frames": batch_frames,
+        "workers": workers,
+        "seed": seed,
+        "die_at_push": die_at_push,
+        "baseline": baseline,
+        "faulted": faulted,
+        "worker_restarts": counters.get("worker_restarts", 0),
+        "sessions_migrated": counters.get("sessions_migrated", 0),
+        "sessions_lost": lost,
+        "checkpoints_taken": counters.get("checkpoints_taken", 0),
+        "retries": counters.get("retries", 0),
+        "recoveries": counters.get("recoveries", 0),
+        "deadline_exceeded": counters.get("deadline_exceeded", 0),
+        "migration_seconds": migration,
+        "recovery_rate": round(recovery_rate, 4),
+        "baseline_frames_per_second": baseline["frames_per_second"],
+        "faulted_frames_per_second": faulted["frames_per_second"],
+        "recovery_overhead": round(
+            baseline["frames_per_second"]
+            / max(faulted["frames_per_second"], 1e-9),
+            3,
+        ),
+    }
+
+
 async def _drive(
     bundle,
     config: DecoderConfig,
@@ -197,6 +312,9 @@ async def _drive(
     max_queued_batches: int,
     fuse_sessions: bool = True,
     seed: int | None = None,
+    abort_fraction: float = 0.0,
+    chaos=None,
+    request_timeout: float | None = None,
 ):
     """Server up, load through, graceful drain down."""
     from repro.serve import ServeConfig, TcpClient, TranscriptionServer
@@ -208,6 +326,9 @@ async def _drive(
         max_queued_batches=max_queued_batches,
         workers=workers,
         fuse_sessions=fuse_sessions,
+        engine_request_timeout_seconds=(
+            request_timeout if request_timeout is not None else 30.0
+        ),
     )
     server = TranscriptionServer(
         bundle.task.am,
@@ -215,6 +336,7 @@ async def _drive(
         decoder_config=config,
         serve_config=serve_config,
         scorer=bundle.scorer,
+        chaos=chaos,
     )
     await server.start()
     try:
@@ -229,6 +351,7 @@ async def _drive(
                 concurrency=concurrency,
                 batch_frames=batch_frames,
                 seed=seed,
+                abort_fraction=abort_fraction,
             )
         finally:
             await client.close()
@@ -349,6 +472,71 @@ def check_fusion_report(
     return failures, notes
 
 
+def check_recovery_report(
+    comparison: dict,
+    fail_recovery_below: float | None = None,
+    fail_migration_p95_above: float | None = None,
+) -> tuple[list[str], list[str]]:
+    """Gates for a :func:`measure_recovery` comparison.
+
+    * ``fail_recovery_below`` — floor on the fraction of admitted
+      sessions that survived the worker kill (completed with a
+      bit-identical final rather than being lost);
+    * ``fail_migration_p95_above`` — ceiling (seconds) on the p95
+      latency of one recovery sweep (detect dead worker, respawn,
+      restore every orphaned session from checkpoint + replay).
+
+    Always checked, gate flags or not: both passes' correctness
+    invariants, that the fault actually fired (at least one worker
+    restart), and that at least one session migrated — a chaos bench
+    where nothing died proves nothing.
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    for label in ("baseline", "faulted"):
+        sub_failures, _ = check_serve_report(comparison[label])
+        failures.extend(f"{label}: {line}" for line in sub_failures)
+    if comparison["worker_restarts"] < 1:
+        failures.append(
+            "chaos pass recorded no worker restarts — the injected "
+            "fault never fired"
+        )
+    if comparison["sessions_migrated"] < 1:
+        failures.append(
+            "chaos pass migrated no sessions — the kill landed on an "
+            "idle worker, so recovery went unexercised"
+        )
+    else:
+        notes.append(
+            f"{comparison['sessions_migrated']} session(s) migrated "
+            f"across {comparison['worker_restarts']} worker restart(s), "
+            f"{comparison['checkpoints_taken']} checkpoints taken"
+        )
+    if fail_recovery_below is not None:
+        rate = comparison["recovery_rate"]
+        if rate < fail_recovery_below:
+            failures.append(
+                f"recovery rate {rate} ({comparison['sessions_lost']} "
+                f"session(s) lost) is below the "
+                f"{fail_recovery_below} floor"
+            )
+        else:
+            notes.append(f"recovery rate {rate}")
+    if fail_migration_p95_above is not None:
+        summary = comparison.get("migration_seconds") or {}
+        p95 = summary.get("p95")
+        if p95 is None:
+            failures.append("no migration-latency samples to gate on")
+        elif p95 > fail_migration_p95_above:
+            failures.append(
+                f"migration p95 {p95:.4f}s exceeds the "
+                f"{fail_migration_p95_above}s ceiling"
+            )
+        else:
+            notes.append(f"migration p95 {p95:.4f}s")
+    return failures, notes
+
+
 def _to_result(report: dict) -> ExperimentResult:
     latency = report["latency"]
 
@@ -387,6 +575,17 @@ def _to_result(report: dict) -> ExperimentResult:
             f"({fusion['fusion_speedup']}x, "
             f"{fusion['fused_kernel_calls_per_batch']} kernel calls/batch)"
         )
+    recovery = report.get("recovery")
+    if recovery:
+        migration = recovery.get("migration_seconds") or {}
+        p95 = migration.get("p95")
+        notes += (
+            f"; worker-kill recovery: {recovery['sessions_migrated']} "
+            f"session(s) migrated, recovery rate "
+            f"{recovery['recovery_rate']}, "
+            f"{recovery['recovery_overhead']}x throughput overhead"
+            + (f", migration p95 {1e3 * p95:.1f}ms" if p95 is not None else "")
+        )
     return ExperimentResult(
         experiment_id="serve-bench",
         title="streaming service throughput and latency (regression harness)",
@@ -408,13 +607,16 @@ def write_bench_report(
     workers: int = 1,
     seed: int | None = 1234,
     fusion_concurrency: int = 8,
+    abort_fraction: float = 0.0,
 ) -> ExperimentResult:
     """Measure one preset and persist ``BENCH_serve.json``.
 
     Besides the primary pass, the persisted report carries a
     ``fusion`` section (:func:`measure_fusion` at
-    ``fusion_concurrency`` in-process sessions) so the fused-serving
-    gates have their comparison on record.
+    ``fusion_concurrency`` in-process sessions) and a ``recovery``
+    section (:func:`measure_recovery` — a seeded worker kill with
+    checkpoint migration) so the fused-serving and fault-recovery
+    gates both have their comparisons on record.
     """
     report = measure(
         preset=preset,
@@ -423,10 +625,17 @@ def write_bench_report(
         transport=transport,
         workers=workers,
         seed=seed,
+        abort_fraction=abort_fraction,
     )
     report["fusion"] = measure_fusion(
         preset=preset,
         concurrency=fusion_concurrency,
+        batch_frames=batch_frames,
+        seed=seed,
+    )
+    report["recovery"] = measure_recovery(
+        preset=preset,
+        concurrency=concurrency,
         batch_frames=batch_frames,
         seed=seed,
     )

@@ -4,15 +4,32 @@ The serving layer above :mod:`repro.asr`: a long-lived
 :class:`TranscriptionServer` multiplexing concurrent streaming
 sessions over one decode engine, with admission control, fair
 round-robin micro-batching, live metrics, an NDJSON TCP protocol, and
-a load generator.  See README "Serving" for the quickstart.
+a load generator.  Fault tolerance is built in: supervised worker
+processes, rolling session checkpoints with crash migration, request
+deadlines with retry/backoff, a circuit breaker, and a deterministic
+fault-injection harness (:mod:`repro.serve.chaos`).  See README
+"Serving" and "Fault tolerance" for the quickstart.
 """
 
+from repro.serve.chaos import FlakyEngine, WorkerChaos, kill_worker
 from repro.serve.client import TcpClient, TcpSession
-from repro.serve.engine import EngineError, InlineEngine, ProcessEngine
+from repro.serve.engine import (
+    EngineError,
+    InlineEngine,
+    ProcessEngine,
+    TransientEngineError,
+    WorkerDied,
+    WorkerTimeout,
+)
 from repro.serve.loadgen import LoadReport, UtteranceOutcome, run_load
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.protocol import ProtocolError
-from repro.serve.scheduler import Busy, Scheduler, SchedulerConfig
+from repro.serve.scheduler import (
+    Busy,
+    CircuitBreaker,
+    Scheduler,
+    SchedulerConfig,
+)
 from repro.serve.server import (
     InProcessClient,
     InProcessSession,
@@ -23,10 +40,13 @@ from repro.serve.server import (
 
 __all__ = [
     "Busy",
+    "CircuitBreaker",
     "EngineError",
+    "FlakyEngine",
     "InlineEngine",
     "InProcessClient",
     "InProcessSession",
+    "kill_worker",
     "LoadReport",
     "MetricsRegistry",
     "ProcessEngine",
@@ -39,5 +59,9 @@ __all__ = [
     "TcpClient",
     "TcpSession",
     "TranscriptionServer",
+    "TransientEngineError",
     "UtteranceOutcome",
+    "WorkerChaos",
+    "WorkerDied",
+    "WorkerTimeout",
 ]

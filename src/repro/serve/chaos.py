@@ -1,0 +1,149 @@
+"""Fault injection for the serving stack.
+
+Production hardening is only as real as the faults it was tested
+against, so this module makes the interesting ones *deterministic*:
+
+* :class:`WorkerChaos` — a fault plan shipped into one
+  :class:`~repro.serve.engine.ProcessEngine` worker, counted in pipe
+  pushes: crash the process mid-utterance, hang past the request
+  deadline, decode but swallow the reply, or raise an injected decoder
+  error at push N.
+* :func:`kill_worker` — crash a live worker from the outside
+  (``SIGKILL``), the supervisor's bread-and-butter scenario.
+* :class:`FlakyEngine` — wrap any engine with seeded transient
+  failures, for exercising the scheduler's retry/backoff and circuit
+  breaker without a process in sight.
+
+Everything here is seeded or counted — a chaos test that only fails
+sometimes is worse than no test.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+from dataclasses import dataclass
+
+from repro.serve.engine import ProcessEngine, TransientEngineError
+
+
+@dataclass(frozen=True)
+class WorkerChaos:
+    """A deterministic fault plan for one worker process.
+
+    Push counts are 1-based and worker-wide (across sessions), matching
+    how a real fault strikes: whatever happens to be decoding.  Exactly
+    one fault should be armed per plan; ``worker_index`` picks which
+    initial worker carries it (respawned replacements never do).
+    """
+
+    worker_index: int = 0
+    #: ``os._exit(1)`` on receiving the Nth push — before decoding or
+    #: replying, the clean crash the replay buffer must absorb.
+    die_at_push: int | None = None
+    #: Sleep ``hang_seconds`` before replying to the Nth push — the
+    #: parent's deadline fires and the supervisor kills the worker.
+    hang_at_push: int | None = None
+    hang_seconds: float = 3600.0
+    #: Decode the Nth push but never reply — acknowledged nowhere, so
+    #: the parent must treat the worker as dead *and* the replayed
+    #: session must not contain this push twice.
+    drop_reply_at_push: int | None = None
+    #: Raise inside the worker at the Nth push (a decoder bug, not an
+    #: infrastructure fault: surfaces as a plain engine error).
+    error_at_push: int | None = None
+    error_message: str = "injected decoder fault"
+
+
+def alive_workers(engine: ProcessEngine) -> list[int]:
+    """Indices of workers whose processes are currently alive."""
+    return [
+        worker.index
+        for worker in engine._workers
+        if not worker.dead and worker.process.is_alive()
+    ]
+
+
+def kill_worker(engine: ProcessEngine, index: int = 0) -> int:
+    """SIGKILL one live worker; returns the killed pid.
+
+    The engine is *not* told: detection is the supervisor's job, which
+    is the point of the exercise.
+    """
+    worker = engine._workers[index]
+    pid = worker.process.pid
+    if pid is None:  # pragma: no cover - never started
+        raise RuntimeError(f"worker {index} has no process")
+    os.kill(pid, signal.SIGKILL)
+    return pid
+
+
+class FlakyEngine:
+    """An engine wrapper that injects seeded transient failures.
+
+    ``failure_plan`` maps an operation name (``"start"``, ``"push"``,
+    ``"push_many"``, ``"finish"``) to how many of its first calls fail
+    with :class:`~repro.serve.engine.TransientEngineError` *before*
+    reaching the inner engine (so no session state advances — safe to
+    retry).  ``failure_rate`` adds seeded random failures on top for
+    soak-style tests.
+    """
+
+    def __init__(
+        self,
+        inner,
+        failure_plan: dict[str, int] | None = None,
+        failure_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.inner = inner
+        self._remaining = dict(failure_plan or {})
+        self._rate = failure_rate
+        self._rng = random.Random(seed)
+        self.injected_failures = 0
+
+    @property
+    def workers(self) -> int:
+        return self.inner.workers
+
+    @property
+    def max_fused_sessions(self) -> int:
+        return getattr(self.inner, "max_fused_sessions", 1)
+
+    def _maybe_fail(self, op: str) -> None:
+        remaining = self._remaining.get(op, 0)
+        if remaining > 0:
+            self._remaining[op] = remaining - 1
+            self.injected_failures += 1
+            raise TransientEngineError(f"injected transient {op} failure")
+        if self._rate > 0.0 and self._rng.random() < self._rate:
+            self.injected_failures += 1
+            raise TransientEngineError(f"injected transient {op} failure")
+
+    def start(self, session_id: str) -> None:
+        self._maybe_fail("start")
+        self.inner.start(session_id)
+
+    def push(self, session_id: str, scores):
+        self._maybe_fail("push")
+        return self.inner.push(session_id, scores)
+
+    def push_many(self, items):
+        if not hasattr(self.inner, "push_many"):
+            raise AttributeError("inner engine has no push_many")
+        self._maybe_fail("push_many")
+        return self.inner.push_many(items)
+
+    def finish(self, session_id: str):
+        self._maybe_fail("finish")
+        return self.inner.finish(session_id)
+
+    def cancel(self, session_id: str) -> None:
+        self.inner.cancel(session_id)
+
+    def active_sessions(self) -> int:
+        return self.inner.active_sessions()
+
+    def close(self) -> None:
+        self.inner.close()

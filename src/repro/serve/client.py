@@ -131,12 +131,18 @@ class TcpSession:
         self._events = events
         #: Partial-hypothesis messages observed so far, in order.
         self.partials: list[dict] = []
+        #: ``retrying``/``recovered`` notices observed so far, in order.
+        self.notices: list[dict] = []
 
     async def _next_event(self) -> dict:
-        event = await self._events.get()
-        if event["type"] == protocol.PARTIAL:
-            self.partials.append(event)
-        return event
+        while True:
+            event = await self._events.get()
+            if event["type"] in protocol.NOTICE_TYPES:
+                self.notices.append(event)
+                continue
+            if event["type"] == protocol.PARTIAL:
+                self.partials.append(event)
+            return event
 
     async def push(self, scores: np.ndarray) -> dict:
         """Send one batch and wait for its partial hypothesis."""
@@ -153,6 +159,22 @@ class TcpSession:
         if event["type"] == protocol.BUSY:
             raise Busy(event.get("reason", "busy"))
         raise ServeError(event.get("error", "session ended unexpectedly"))
+
+    async def abort(self) -> None:
+        """Abandon the stream mid-utterance (no final result).
+
+        Sends ``cancel`` and drains this session's events until the
+        server's terminal ``cancelled`` acknowledgement (late partials
+        in flight are drained into :attr:`partials` on the way).
+        """
+        await self._client._send(
+            {"type": protocol.CANCEL, "session": self.session_id}
+        )
+        while True:
+            event = await self._next_event()
+            if event["type"] in (protocol.CANCELLED, protocol.ERROR):
+                self._client._sessions.pop(self.session_id, None)
+                return
 
     async def finish(self) -> dict:
         """End the utterance and wait for the final result."""

@@ -25,6 +25,26 @@ Engines are synchronous; the scheduler calls them from executor
 threads sized to ``engine.workers``.  Every method is safe to call
 concurrently for *different* sessions; per-worker locks serialize the
 underlying pipes.
+
+Fault tolerance (:class:`ProcessEngine` only — a crashed in-process
+engine is a crashed server):
+
+* every pipe request carries a deadline; a worker that hangs past it
+  or whose pipe breaks surfaces as a typed
+  :class:`WorkerTimeout`/:class:`WorkerDied` instead of a blocked
+  dispatch thread;
+* a supervisor thread (plus every failed request) detects dead
+  workers, respawns them through the same fork-COW/bundle machinery as
+  the initial spawn, and migrates the dead worker's sessions onto live
+  ones by restoring each from its rolling
+  :class:`~repro.asr.streaming.SessionSnapshot` checkpoint and
+  replaying the acknowledged pushes since — continuations are
+  bit-identical to an uninterrupted decode (the streaming layer's
+  snapshot contract);
+* exactly-once framing: a push enters a session's replay buffer only
+  after the worker acknowledged it, so a push that died in flight is
+  absent from the replayed prefix and simply retried on the new
+  worker.
 """
 
 from __future__ import annotations
@@ -34,6 +54,8 @@ import multiprocessing
 import os
 import tempfile
 import threading
+import time
+from time import perf_counter
 
 import numpy as np
 
@@ -43,10 +65,28 @@ from repro.asr.persist import load_recognizer, save_recognizer
 from repro.asr.streaming import PartialHypothesis, StreamingSession
 from repro.core.decoder import DecodeResult, DecoderConfig, OnTheFlyDecoder
 from repro.lm.graph import LmGraph
+from repro.serve.metrics import MetricsRegistry
 
 
 class EngineError(RuntimeError):
     """A session operation the engine could not perform."""
+
+
+class TransientEngineError(EngineError):
+    """An engine failure worth retrying (infrastructure, not input)."""
+
+
+class WorkerDied(TransientEngineError):
+    """A worker process exited or its pipe broke mid-request."""
+
+
+class WorkerTimeout(TransientEngineError):
+    """A worker failed to reply within the request deadline.
+
+    The pipe is desynchronized after a timeout (a late reply would be
+    mistaken for the next request's), so the worker is marked dead and
+    the supervisor replaces it.
+    """
 
 
 class InlineEngine:
@@ -135,14 +175,24 @@ _FORK_DECODERS: dict[int, OnTheFlyDecoder] = {}
 _FORK_KEYS = itertools.count()
 
 
-def _worker_main(conn, config: DecoderConfig, bundle_dir: str | None, fork_key):
-    """Worker loop: own one decoder and the sessions pinned here."""
+def _worker_main(
+    conn, config: DecoderConfig, bundle_dir: str | None, fork_key, chaos=None
+):
+    """Worker loop: own one decoder and the sessions pinned here.
+
+    ``chaos`` is an optional :class:`repro.serve.chaos.WorkerChaos`
+    fault plan: counted in pipe pushes, it can crash the process,
+    hang, swallow a reply, or raise an injected decoder error — the
+    deterministic stand-ins for the infrastructure faults the
+    supervisor exists to absorb.
+    """
     if fork_key is not None:
         decoder = _FORK_DECODERS[fork_key]
     else:
         bundle = load_recognizer(bundle_dir)
         decoder = OnTheFlyDecoder(bundle.am, bundle.lm, config)
     sessions: dict[str, StreamingSession] = {}
+    pushes = 0
     while True:
         try:
             command, session_id, payload = conn.recv()
@@ -157,10 +207,44 @@ def _worker_main(conn, config: DecoderConfig, bundle_dir: str | None, fork_key):
                     raise EngineError(
                         f"session {session_id!r} already started"
                     )
-                sessions[session_id] = StreamingSession(decoder)
+                # Each session forks the worker decoder's lookup so its
+                # cache evolution (and therefore its snapshot) is
+                # solo-identical, independent of neighbours.
+                sessions[session_id] = StreamingSession(
+                    decoder, lookup=decoder.lookup.fork()
+                )
                 conn.send(("ok", None))
             elif command == "push":
-                conn.send(("ok", sessions[session_id].push(payload)))
+                pushes += 1
+                if chaos is not None:
+                    if chaos.error_at_push == pushes:
+                        raise RuntimeError(chaos.error_message)
+                    if chaos.die_at_push == pushes:
+                        os._exit(1)
+                    if chaos.hang_at_push == pushes:
+                        time.sleep(chaos.hang_seconds)
+                partial = sessions[session_id].push(payload)
+                if chaos is not None and chaos.drop_reply_at_push == pushes:
+                    continue  # decoded, but the parent never hears
+                conn.send(("ok", partial))
+            elif command == "snapshot":
+                conn.send(("ok", sessions[session_id].snapshot()))
+            elif command == "restore":
+                if session_id in sessions:
+                    raise EngineError(
+                        f"session {session_id!r} already started"
+                    )
+                snapshot, replay = payload
+                if snapshot is None:
+                    session = StreamingSession(
+                        decoder, lookup=decoder.lookup.fork()
+                    )
+                else:
+                    session = StreamingSession.restore(decoder, snapshot)
+                for batch in replay:
+                    session.push(batch)
+                sessions[session_id] = session
+                conn.send(("ok", None))
             elif command == "finish":
                 result = sessions.pop(session_id).finish()
                 conn.send(("ok", result))
@@ -179,35 +263,126 @@ def _worker_main(conn, config: DecoderConfig, bundle_dir: str | None, fork_key):
 class _Worker:
     """Parent-side handle: pipe + lock + pinned-session count."""
 
-    def __init__(self, ctx, config, bundle_dir, fork_key) -> None:
+    def __init__(
+        self, ctx, config, bundle_dir, fork_key, index: int, chaos=None
+    ) -> None:
         parent_conn, child_conn = ctx.Pipe()
         self.conn = parent_conn
         self.lock = threading.Lock()
         self.sessions = 0
+        self.index = index
+        #: Set the moment a request fails structurally (EOF, broken
+        #: pipe, deadline): the pipe can no longer be trusted, so every
+        #: later request short-circuits until the supervisor replaces
+        #: this worker.
+        self.dead = False
         self.process = ctx.Process(
             target=_worker_main,
-            args=(child_conn, config, bundle_dir, fork_key),
+            args=(child_conn, config, bundle_dir, fork_key, chaos),
             daemon=True,
         )
         self.process.start()
         child_conn.close()
 
-    def request(self, command: str, session_id: str | None, payload=None):
+    def request(
+        self,
+        command: str,
+        session_id: str | None,
+        payload=None,
+        timeout: float | None = None,
+    ):
         with self.lock:
-            self.conn.send((command, session_id, payload))
-            status, value = self.conn.recv()
+            if self.dead:
+                raise WorkerDied(f"worker {self.index} is dead")
+            try:
+                self.conn.send((command, session_id, payload))
+                if timeout is not None and not self.conn.poll(timeout):
+                    self.dead = True
+                    raise WorkerTimeout(
+                        f"worker {self.index} gave no reply to "
+                        f"{command!r} within {timeout:g}s"
+                    )
+                status, value = self.conn.recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError) as exc:
+                self.dead = True
+                raise WorkerDied(
+                    f"worker {self.index} died during {command!r}: "
+                    f"{type(exc).__name__}"
+                ) from exc
+            except OSError as exc:
+                self.dead = True
+                raise WorkerDied(
+                    f"worker {self.index} pipe failed during "
+                    f"{command!r}: {exc}"
+                ) from exc
         if status != "ok":
             raise EngineError(value)
         return value
 
+    def shutdown(self, join_timeout: float = 5.0) -> None:
+        """Kill the process, then close the pipe.
+
+        Kill-first matters: a dispatch thread blocked in ``recv`` holds
+        the worker lock, and only the process dying (EOF) releases it —
+        closing the pipe first would have to wait on that same lock.
+        """
+        self.dead = True
+        try:
+            self.process.kill()
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+        self.process.join(timeout=join_timeout)
+        with self.lock:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
+class _SessionRecord:
+    """Parent-side recovery state for one pinned session.
+
+    ``lock`` serializes this session's engine operations against the
+    supervisor: a push's acknowledgement and its entry into ``replay``
+    are atomic under it, so a migration never observes a push the
+    client saw acknowledged but the replay buffer missed.
+    """
+
+    __slots__ = (
+        "worker",
+        "lock",
+        "started",
+        "checkpoint",
+        "replay",
+        "frames_since_checkpoint",
+    )
+
+    def __init__(self, worker: _Worker) -> None:
+        self.worker = worker
+        self.lock = threading.Lock()
+        self.started = False
+        self.checkpoint = None
+        self.replay: list[np.ndarray] = []
+        self.frames_since_checkpoint = 0
+
 
 class ProcessEngine:
-    """Sessions pinned across dedicated worker processes.
+    """Sessions pinned across dedicated, supervised worker processes.
 
     Requires a ``scorer`` so the recognizer ships to workers as the
     persisted bundle (exactly :class:`~repro.asr.parallel.DecodePool`'s
     contract): every worker decodes the bundle-quantized graphs, so a
-    session's transcript is independent of which worker it landed on.
+    session's transcript is independent of which worker it landed on —
+    the same property that makes crash migration invisible: a session
+    restored from its checkpoint on another worker continues
+    bit-identically.
+
+    ``request_timeout`` bounds every pipe request (no dispatch thread
+    blocks longer); ``checkpoint_interval`` is the rolling-checkpoint
+    cadence in decoded frames (pushes since the last checkpoint are
+    buffered for replay, so smaller intervals trade snapshot traffic
+    for shorter replays on migration).  ``chaos`` arms one worker with
+    a :class:`repro.serve.chaos.WorkerChaos` fault plan (tests only).
     """
 
     def __init__(
@@ -217,18 +392,40 @@ class ProcessEngine:
         scorer: AcousticScorer,
         config: DecoderConfig | None = None,
         workers: int = 2,
+        request_timeout: float | None = 30.0,
+        checkpoint_interval: int | None = 16,
+        metrics: MetricsRegistry | None = None,
+        chaos=None,
+        supervisor_poll_seconds: float = 0.2,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
         self.workers = workers
         self.config = config or DecoderConfig()
+        self.request_timeout = request_timeout
+        self.checkpoint_interval = checkpoint_interval
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Pre-register the recovery counters: ``status`` shows them at
+        # 0 on a healthy engine rather than omitting the names.
+        for name in (
+            "worker_restarts",
+            "sessions_migrated",
+            "sessions_lost",
+            "checkpoints_taken",
+        ):
+            self.metrics.counter(name)
+        self._chaos = chaos
         self._fork_key: int | None = None
         self._tempdir: tempfile.TemporaryDirectory | None = None
         self._tempdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
         bundle_dir = os.path.join(self._tempdir.name, "recognizer")
         save_recognizer(bundle_dir, am, lm, scorer)
         if "fork" in multiprocessing.get_all_start_methods():
-            ctx = multiprocessing.get_context("fork")
+            self._ctx = multiprocessing.get_context("fork")
             bundle = load_recognizer(bundle_dir)
             self._fork_key = next(_FORK_KEYS)
             _FORK_DECODERS[self._fork_key] = OnTheFlyDecoder(
@@ -236,79 +433,276 @@ class ProcessEngine:
             )
             self._tempdir.cleanup()
             self._tempdir = None
-            self._workers = [
-                _Worker(ctx, self.config, None, self._fork_key)
-                for _ in range(workers)
-            ]
+            self._bundle_dir: str | None = None
         else:  # pragma: no cover - spawn-only platforms
-            ctx = multiprocessing.get_context()
-            self._workers = [
-                _Worker(ctx, self.config, bundle_dir, None)
-                for _ in range(workers)
-            ]
-        self._placement: dict[str, _Worker] = {}
+            self._ctx = multiprocessing.get_context()
+            self._bundle_dir = bundle_dir
+        self._workers = [self._spawn_worker(i) for i in range(workers)]
+        self._sessions: dict[str, _SessionRecord] = {}
         self._placement_lock = threading.Lock()
+        self._recovery_lock = threading.Lock()
+        self._closing = threading.Event()
+        self._supervisor: threading.Thread | None = threading.Thread(
+            target=self._supervise,
+            args=(supervisor_poll_seconds,),
+            name="serve-engine-supervisor",
+            daemon=True,
+        )
+        self._supervisor.start()
+
+    def _spawn_worker(self, index: int, respawn: bool = False) -> _Worker:
+        chaos = self._chaos
+        if (
+            respawn
+            or chaos is None
+            or getattr(chaos, "worker_index", 0) != index
+        ):
+            # Fault plans arm the *original* occupant of a slot only;
+            # its replacement comes up clean, or chaos tests would kill
+            # every respawn forever.
+            chaos = None
+        return _Worker(
+            self._ctx,
+            self.config,
+            self._bundle_dir,
+            self._fork_key,
+            index,
+            chaos,
+        )
+
+    # -- supervision --------------------------------------------------------
+
+    def _supervise(self, poll_seconds: float) -> None:
+        """Detect dead workers even when no request is in flight."""
+        while not self._closing.wait(poll_seconds):
+            for worker in list(self._workers):
+                if worker.dead or not worker.process.is_alive():
+                    try:
+                        self._recover_worker(worker)
+                    except Exception:  # pragma: no cover - keep supervising
+                        pass
+
+    def _recover_worker(self, dead: _Worker) -> None:
+        """Replace a dead worker and migrate its sessions.
+
+        Idempotent and thread-safe: every dispatch thread that trips
+        over the same dead worker funnels here, the first one does the
+        work, the rest see the worker already replaced and return.
+        """
+        with self._recovery_lock:
+            if dead not in self._workers:
+                return  # already recovered by another thread
+            started = perf_counter()
+            dead.shutdown()
+            replacement = self._spawn_worker(dead.index, respawn=True)
+            self._workers[self._workers.index(dead)] = replacement
+            self.metrics.counter("worker_restarts").inc()
+            with self._placement_lock:
+                victims = [
+                    (sid, record)
+                    for sid, record in self._sessions.items()
+                    if record.worker is dead
+                ]
+            for session_id, record in victims:
+                with record.lock:
+                    if record.worker is not dead:
+                        continue  # pragma: no cover - raced a migration
+                    with self._placement_lock:
+                        target = min(
+                            self._workers, key=lambda w: w.sessions
+                        )
+                    try:
+                        if record.started:
+                            target.request(
+                                "restore",
+                                session_id,
+                                (record.checkpoint, list(record.replay)),
+                                timeout=self.request_timeout,
+                            )
+                    except Exception:
+                        # The session cannot be rebuilt (restore failed
+                        # or the target died too): drop it — its next
+                        # operation surfaces a session-lost error.
+                        with self._placement_lock:
+                            self._sessions.pop(session_id, None)
+                        self.metrics.counter("sessions_lost").inc()
+                        continue
+                    with self._placement_lock:
+                        target.sessions += 1
+                        record.worker = target
+                    if record.started:
+                        self.metrics.counter("sessions_migrated").inc()
+            self.metrics.histogram("migration_seconds").observe(
+                perf_counter() - started
+            )
+
+    # -- request plumbing ---------------------------------------------------
+
+    def _record(self, session_id: str) -> _SessionRecord:
+        with self._placement_lock:
+            record = self._sessions.get(session_id)
+        if record is None:
+            raise EngineError(f"unknown session {session_id!r}")
+        return record
+
+    def _call(
+        self, record: _SessionRecord, session_id: str, command: str, payload
+    ):
+        """One session operation, retried across worker recoveries.
+
+        Success-side bookkeeping (replay buffer, started flag) happens
+        under the record lock, atomically with the acknowledgement.
+        """
+        last_error: TransientEngineError | None = None
+        for _ in range(self.workers + 1):
+            with record.lock:
+                worker = record.worker
+                try:
+                    value = worker.request(
+                        command,
+                        session_id,
+                        payload,
+                        timeout=self.request_timeout,
+                    )
+                except TransientEngineError as exc:
+                    last_error = exc
+                else:
+                    if command == "start":
+                        record.started = True
+                    elif command == "push":
+                        record.replay.append(payload)
+                        record.frames_since_checkpoint += int(
+                            payload.shape[0]
+                        )
+                    return value
+            self._recover_worker(worker)
+            with self._placement_lock:
+                if session_id not in self._sessions:
+                    raise EngineError(
+                        f"session {session_id!r} was lost when its "
+                        f"worker died"
+                    )
+        assert last_error is not None
+        raise last_error
+
+    def _maybe_checkpoint(
+        self, record: _SessionRecord, session_id: str
+    ) -> None:
+        interval = self.checkpoint_interval
+        if interval is None:
+            return
+        failed_worker: _Worker | None = None
+        with record.lock:
+            if not record.started or record.frames_since_checkpoint < interval:
+                return
+            worker = record.worker
+            try:
+                snapshot = worker.request(
+                    "snapshot", session_id, timeout=self.request_timeout
+                )
+            except TransientEngineError:
+                failed_worker = worker  # recover below, retry next push
+            except EngineError:
+                return  # session vanished worker-side; nothing to save
+            else:
+                record.checkpoint = snapshot
+                record.replay = []
+                record.frames_since_checkpoint = 0
+                self.metrics.counter("checkpoints_taken").inc()
+                return
+        try:
+            self._recover_worker(failed_worker)
+        except Exception:  # pragma: no cover - supervisor retries
+            pass
+
+    # -- engine interface ---------------------------------------------------
 
     def start(self, session_id: str) -> None:
         with self._placement_lock:
-            if session_id in self._placement:
+            if session_id in self._sessions:
                 raise EngineError(f"session {session_id!r} already started")
             # Least-loaded placement; ties resolve to the first worker,
             # so a quiet engine degenerates to round-robin as sessions
             # arrive and retire.
             worker = min(self._workers, key=lambda w: w.sessions)
             worker.sessions += 1
-            self._placement[session_id] = worker
+            record = _SessionRecord(worker)
+            self._sessions[session_id] = record
         try:
-            worker.request("start", session_id)
-        except EngineError:
+            self._call(record, session_id, "start", None)
+        except Exception:
+            # Any failure — typed engine errors *and* raw pipe OSErrors
+            # — must unwind the placement, or the slot leaks forever.
             self._forget(session_id)
             raise
 
-    def _pinned(self, session_id: str) -> _Worker:
-        with self._placement_lock:
-            worker = self._placement.get(session_id)
-        if worker is None:
-            raise EngineError(f"unknown session {session_id!r}")
-        return worker
-
     def _forget(self, session_id: str) -> None:
         with self._placement_lock:
-            worker = self._placement.pop(session_id, None)
-            if worker is not None:
-                worker.sessions -= 1
+            record = self._sessions.pop(session_id, None)
+            if record is not None:
+                record.worker.sessions -= 1
 
     def push(self, session_id: str, scores: np.ndarray) -> PartialHypothesis:
-        return self._pinned(session_id).request("push", session_id, scores)
+        record = self._record(session_id)
+        partial = self._call(record, session_id, "push", scores)
+        self._maybe_checkpoint(record, session_id)
+        return partial
 
     def finish(self, session_id: str) -> DecodeResult:
-        worker = self._pinned(session_id)
+        record = self._record(session_id)
         try:
-            return worker.request("finish", session_id)
+            return self._call(record, session_id, "finish", None)
         finally:
             self._forget(session_id)
 
     def cancel(self, session_id: str) -> None:
-        try:
-            worker = self._pinned(session_id)
-        except EngineError:
+        with self._placement_lock:
+            record = self._sessions.get(session_id)
+        if record is None:
             return
         try:
-            worker.request("cancel", session_id)
-        finally:
+            with record.lock:
+                record.worker.request(
+                    "cancel", session_id, timeout=self.request_timeout
+                )
+        except TransientEngineError:
+            # The worker is gone and the session with it; kick recovery
+            # for its neighbours, but never surface pipe errors from a
+            # cancel — the caller is abandoning the session either way.
+            worker = record.worker
             self._forget(session_id)
+            try:
+                self._recover_worker(worker)
+            except Exception:  # pragma: no cover - supervisor retries
+                pass
+            return
+        except EngineError:
+            pass
+        self._forget(session_id)
 
     def active_sessions(self) -> int:
         with self._placement_lock:
-            return len(self._placement)
+            return len(self._sessions)
 
     def close(self) -> None:
+        self._closing.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5)
+            self._supervisor = None
         for worker in self._workers:
+            if worker.dead or not worker.process.is_alive():
+                worker.shutdown()
+                continue
             try:
-                worker.request("stop", None)
-            except (EngineError, EOFError, OSError, BrokenPipeError):
+                worker.request(
+                    "stop", None, timeout=self.request_timeout
+                )
+            except EngineError:  # covers WorkerDied/WorkerTimeout too
                 pass
-            worker.conn.close()
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
             worker.process.join(timeout=5)
             if worker.process.is_alive():  # pragma: no cover - stuck worker
                 worker.process.terminate()

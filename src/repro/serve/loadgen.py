@@ -56,6 +56,9 @@ class LoadReport:
     batches: int
     wall_seconds: float
     busy_rejections: int
+    #: Sessions deliberately abandoned mid-stream (``abort_fraction``).
+    aborted: int = 0
+    abort_fraction: float = 0.0
     outcomes: list[UtteranceOutcome] = field(default_factory=list)
 
     @property
@@ -107,6 +110,8 @@ class LoadReport:
             "utterances_per_second": round(self.utterances_per_second, 2),
             "frames_per_second": round(self.frames_per_second, 1),
             "busy_rejections": self.busy_rejections,
+            "aborted": self.aborted,
+            "abort_fraction": self.abort_fraction,
             "latency": self.latency_summary(),
         }
 
@@ -117,6 +122,7 @@ async def run_load(
     concurrency: int = 4,
     batch_frames: int = 32,
     seed: int | None = None,
+    abort_fraction: float = 0.0,
 ) -> LoadReport:
     """Replay every matrix once, ``concurrency`` sessions at a time.
 
@@ -129,22 +135,42 @@ async def run_load(
     ``random.Random(seed)`` before workers pull them, so two runs with
     the same seed replay the same arrival pattern (CI pins one).
     ``None`` keeps plain input order.
+
+    ``abort_fraction`` makes a seeded fraction of sessions behave like
+    clients that vanish mid-stream: each aborter pushes a seeded prefix
+    of its batches and then cancels instead of finishing — cancel and
+    eviction under real concurrent load.  Aborted utterances are
+    counted on the report, not in ``outcomes``.  With the same ``seed``
+    the same utterances abort at the same points.
     """
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
     if batch_frames < 1:
         raise ValueError("batch_frames must be positive")
+    if not 0.0 <= abort_fraction <= 1.0:
+        raise ValueError("abort_fraction must be within [0, 1]")
     jobs = list(enumerate(score_matrices))
     if seed is not None:
         random.Random(seed).shuffle(jobs)
+    # Abort plans draw from their own stream (offset seed) so turning
+    # the knob on does not perturb the submission-order shuffle above.
+    abort_rng = random.Random(None if seed is None else seed + 1)
+    abort_after: dict[int, int] = {}
+    if abort_fraction > 0.0:
+        for index, matrix in enumerate(score_matrices):
+            if abort_rng.random() >= abort_fraction:
+                continue
+            batches = max(1, -(-matrix.shape[0] // batch_frames))
+            abort_after[index] = abort_rng.randint(1, batches)
     work: asyncio.Queue = asyncio.Queue()
     for job in jobs:
         work.put_nowait(job)
     outcomes: dict[int, UtteranceOutcome] = {}
     rejections = 0
+    aborted = 0
 
     async def worker() -> None:
-        nonlocal rejections
+        nonlocal rejections, aborted
         while True:
             try:
                 index, matrix = work.get_nowait()
@@ -160,7 +186,11 @@ async def run_load(
             opened = perf_counter()
             push_seconds: list[float] = []
             first_partial = 0.0
-            for start in range(0, matrix.shape[0], batch_frames):
+            abort_point = abort_after.get(index)
+            abort_now = False
+            for pushes, start in enumerate(
+                range(0, matrix.shape[0], batch_frames), start=1
+            ):
                 batch = matrix[start : start + batch_frames]
                 push_started = perf_counter()
                 while True:
@@ -174,6 +204,13 @@ async def run_load(
                 push_seconds.append(now - push_started)
                 if not first_partial:
                     first_partial = now - opened
+                if abort_point is not None and pushes >= abort_point:
+                    abort_now = True
+                    break
+            if abort_now:
+                await session.abort()
+                aborted += 1
+                continue
             final = await session.finish()
             outcomes[index] = UtteranceOutcome(
                 index=index,
@@ -198,5 +235,7 @@ async def run_load(
         batches=sum(len(o.push_seconds) for o in ordered),
         wall_seconds=wall,
         busy_rejections=rejections,
+        aborted=aborted,
+        abort_fraction=abort_fraction,
         outcomes=ordered,
     )

@@ -10,6 +10,7 @@ Client -> server::
     {"type": "start"}                              open a session
     {"type": "frames", "session": s, "scores": [[...], ...]}
     {"type": "finish", "session": s}               end-of-utterance
+    {"type": "cancel", "session": s}               abandon, no final
     {"type": "status"}                             health + metrics
 
 Server -> client::
@@ -22,7 +23,17 @@ Server -> client::
      "frames": n, "success": b}
     {"type": "status", "ok": b, "draining": b, "active_sessions": n,
      "metrics": {...}}
+    {"type": "retrying", "session": s, "attempt": n, "max_attempts": m,
+     "delay_seconds": d, "error": e}             transient fault, retrying
+    {"type": "recovered", "session": s, "attempts": n}
+    {"type": "cancelled", "session": s}            cancel acknowledged
     {"type": "error", "error": e [, "session": s]}
+
+``retrying``/``recovered`` are informational: a client that ignores
+them sees exactly the old protocol (its partial or final simply
+arrives late), but one that listens can show degradation instead of a
+silent stall — the scheduler emits them around transient engine
+faults (dead workers mid-recovery, injected chaos).
 
 Score batches cross the wire as nested lists of floats — verbose but
 dependency-free and exact (JSON doubles are the decoder's float64).
@@ -39,13 +50,21 @@ START = "start"
 STARTED = "started"
 FRAMES = "frames"
 FINISH = "finish"
+CANCEL = "cancel"
+CANCELLED = "cancelled"
 STATUS = "status"
 PARTIAL = "partial"
 FINAL = "final"
 BUSY = "busy"
 ERROR = "error"
+RETRYING = "retrying"
+RECOVERED = "recovered"
 
-CLIENT_TYPES = frozenset({START, FRAMES, FINISH, STATUS})
+#: Server->client messages that carry no result: safe to ignore, never
+#: terminal for a session.
+NOTICE_TYPES = frozenset({RETRYING, RECOVERED})
+
+CLIENT_TYPES = frozenset({START, FRAMES, FINISH, CANCEL, STATUS})
 
 
 class ProtocolError(ValueError):
@@ -131,6 +150,34 @@ def busy_message(reason: str, session_id: str | None = None) -> dict:
     if session_id is not None:
         message["session"] = session_id
     return message
+
+
+def retrying_message(
+    session_id: str,
+    attempt: int,
+    max_attempts: int,
+    delay_seconds: float,
+    error: str,
+) -> dict:
+    """Transient engine fault: the server is retrying this session."""
+    return {
+        "type": RETRYING,
+        "session": session_id,
+        "attempt": attempt,
+        "max_attempts": max_attempts,
+        "delay_seconds": delay_seconds,
+        "error": error,
+    }
+
+
+def recovered_message(session_id: str, attempts: int) -> dict:
+    """A retried operation landed; normal service resumed."""
+    return {"type": RECOVERED, "session": session_id, "attempts": attempts}
+
+
+def cancelled_message(session_id: str) -> dict:
+    """Terminal acknowledgement of a client's ``cancel``."""
+    return {"type": CANCELLED, "session": session_id}
 
 
 def error_message(error: str, session_id: str | None = None) -> dict:

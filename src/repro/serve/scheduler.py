@@ -33,6 +33,7 @@ from time import perf_counter
 import numpy as np
 
 from repro.serve import protocol
+from repro.serve.engine import TransientEngineError, WorkerTimeout
 from repro.serve.metrics import MetricsRegistry
 
 #: How often the loop re-checks timers when no work is queued.
@@ -47,13 +48,41 @@ class Busy(Exception):
         self.reason = reason
 
 
+class DeadlineExceeded(Exception):
+    """An engine call outlived the scheduler's request deadline.
+
+    Not retried: the executor thread may still be running, so a retry
+    could advance the session twice.  The session is failed instead.
+    """
+
+
 @dataclass(frozen=True)
 class SchedulerConfig:
-    """Admission-control and pacing knobs."""
+    """Admission-control, pacing and fault-tolerance knobs."""
 
     max_sessions: int = 8
     max_queued_batches: int = 4
     idle_timeout_seconds: float = 30.0
+    #: Hard wall-clock bound on one engine call as observed from the
+    #: event loop (``None`` = unbounded).  The process engine has its
+    #: own per-pipe-request timeout underneath; this one also covers
+    #: in-process engines.
+    request_deadline_seconds: float | None = None
+    #: Retries (beyond the first attempt) for *transient* engine
+    #: errors — dead/hung workers mid-recovery, injected chaos.
+    max_retries: int = 2
+    #: First retry delay; doubles per attempt (exponential backoff).
+    retry_backoff_seconds: float = 0.05
+    #: Circuit-breaker shape: failure rate over the last
+    #: ``breaker_window`` engine calls (once ``breaker_min_samples``
+    #: have been seen) trips DEGRADED at ``breaker_degrade_threshold``
+    #: (fused dispatch off) and OPEN at ``breaker_open_threshold``
+    #: (admission refused) for ``breaker_reset_seconds``.
+    breaker_window: int = 16
+    breaker_min_samples: int = 4
+    breaker_degrade_threshold: float = 0.5
+    breaker_open_threshold: float = 0.8
+    breaker_reset_seconds: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
@@ -62,6 +91,89 @@ class SchedulerConfig:
             raise ValueError("max_queued_batches must be >= 1")
         if self.idle_timeout_seconds <= 0:
             raise ValueError("idle_timeout_seconds must be positive")
+        if (
+            self.request_deadline_seconds is not None
+            and self.request_deadline_seconds <= 0
+        ):
+            raise ValueError("request_deadline_seconds must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_seconds <= 0:
+            raise ValueError("retry_backoff_seconds must be positive")
+        if self.breaker_window < 1 or self.breaker_min_samples < 1:
+            raise ValueError("breaker window/min_samples must be >= 1")
+        if not (
+            0.0
+            < self.breaker_degrade_threshold
+            <= self.breaker_open_threshold
+            <= 1.0
+        ):
+            raise ValueError(
+                "need 0 < degrade_threshold <= open_threshold <= 1"
+            )
+        if self.breaker_reset_seconds <= 0:
+            raise ValueError("breaker_reset_seconds must be positive")
+
+
+#: Circuit-breaker states, in degradation order.
+BREAKER_CLOSED = "closed"
+BREAKER_DEGRADED = "degraded"
+BREAKER_OPEN = "open"
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker with three states.
+
+    CLOSED is normal service.  DEGRADED keeps serving but disables
+    fused dispatch — one session per engine call localizes failures
+    and halts the blast radius of a sick engine.  OPEN refuses new
+    admissions (``BUSY``) for a cooldown, after which the window is
+    forgiven (half-open: service resumes and re-trips on fresh
+    evidence).  Existing sessions are always served; the breaker only
+    sheds *new* load.
+
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self, config: SchedulerConfig, clock=perf_counter
+    ) -> None:
+        self._config = config
+        self._clock = clock
+        self._outcomes: deque[int] = deque(maxlen=config.breaker_window)
+        self._open_until: float | None = None
+
+    def record_success(self) -> None:
+        self._outcomes.append(0)
+
+    def record_failure(self) -> None:
+        self._outcomes.append(1)
+        config = self._config
+        if (
+            len(self._outcomes) >= config.breaker_min_samples
+            and self._failure_rate() >= config.breaker_open_threshold
+        ):
+            self._open_until = self._clock() + config.breaker_reset_seconds
+
+    def _failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(self._outcomes) / len(self._outcomes)
+
+    @property
+    def state(self) -> str:
+        if self._open_until is not None:
+            if self._clock() < self._open_until:
+                return BREAKER_OPEN
+            # Cooldown over: forgive the window so one old burst of
+            # failures cannot re-open the breaker without new evidence.
+            self._open_until = None
+            self._outcomes.clear()
+        if len(self._outcomes) < self._config.breaker_min_samples:
+            return BREAKER_CLOSED
+        if self._failure_rate() >= self._config.breaker_degrade_threshold:
+            return BREAKER_DEGRADED
+        return BREAKER_CLOSED
 
 
 @dataclass
@@ -92,6 +204,7 @@ class Scheduler:
         self.engine = engine
         self.config = config or SchedulerConfig()
         self.metrics = metrics or MetricsRegistry()
+        self.breaker = CircuitBreaker(self.config)
         self._sessions: dict[str, Session] = {}
         self._order: list[str] = []  # round-robin ring
         self._rr_next = 0
@@ -104,6 +217,12 @@ class Scheduler:
             max_workers=engine.workers,
             thread_name_prefix="serve-engine",
         )
+        # Pre-register the resilience counters so a healthy server's
+        # ``status`` shows them at 0 instead of omitting them —
+        # dashboards should not have to wait for the first fault to
+        # learn the metric names.
+        for name in ("retries", "recoveries", "deadline_exceeded"):
+            self.metrics.counter(name)
 
     # -- client-facing operations (called from the event loop) --------------
 
@@ -120,13 +239,25 @@ class Scheduler:
         if self._stopping:
             self.metrics.counter("sessions_rejected").inc()
             raise Busy("server is shutting down")
+        if self.breaker.state == BREAKER_OPEN:
+            self.metrics.counter("sessions_rejected").inc()
+            raise Busy("circuit open: engine is unhealthy, retry shortly")
         if len(self._sessions) >= self.config.max_sessions:
             self.metrics.counter("sessions_rejected").inc()
             raise Busy(
                 f"session table full ({self.config.max_sessions} active)"
             )
         session_id = f"s{next(self._ids)}"
-        await self._run_engine(self.engine.start, session_id)
+        try:
+            await self._run_engine(self.engine.start, session_id)
+        except TransientEngineError as exc:
+            # The engine is sick, not the request: shed it as BUSY so
+            # the client retries, and feed the breaker.
+            self.breaker.record_failure()
+            self.metrics.counter("sessions_rejected").inc()
+            raise Busy(f"engine unavailable: {exc}") from exc
+        else:
+            self.breaker.record_success()
         now = perf_counter()
         session = Session(
             session_id=session_id, admitted_at=now, last_activity=now
@@ -174,6 +305,9 @@ class Scheduler:
             await self._run_engine(self.engine.cancel, session.session_id)
         except Exception:
             pass
+        self._emit(
+            session, protocol.cancelled_message(session.session_id)
+        )
         self._retire(session, "sessions_cancelled")
 
     # -- lifecycle ----------------------------------------------------------
@@ -241,6 +375,11 @@ class Scheduler:
         """How many sessions one engine dispatch may advance together."""
         if not hasattr(self.engine, "push_many"):
             return 1
+        if self.breaker.state != BREAKER_CLOSED:
+            # Degraded service: one session per engine call, so a sick
+            # engine fails sessions one at a time instead of in fused
+            # groups.
+            return 1
         return getattr(self.engine, "max_fused_sessions", 1)
 
     def _has_turn(self, session: Session) -> bool:
@@ -287,13 +426,77 @@ class Scheduler:
             session.last_activity = perf_counter()
             self._wake.set()
 
+    async def _call_engine(self, sessions: list[Session], fn, *args):
+        """One engine call under the deadline/retry/backoff policy.
+
+        Transient engine errors are retried ``max_retries`` times with
+        exponential backoff, narrating each attempt to the affected
+        sessions as a ``retrying`` event (and a ``recovered`` event
+        when a retry lands).  A scheduler-deadline overrun raises
+        :class:`DeadlineExceeded` and is never retried.  Every outcome
+        feeds the circuit breaker.
+        """
+        config = self.config
+        attempts = config.max_retries + 1
+        for attempt in range(1, attempts + 1):
+            coro = self._run_engine(fn, *args)
+            try:
+                if config.request_deadline_seconds is not None:
+                    value = await asyncio.wait_for(
+                        coro, timeout=config.request_deadline_seconds
+                    )
+                else:
+                    value = await coro
+            except (asyncio.TimeoutError, TimeoutError) as exc:
+                self.metrics.counter("deadline_exceeded").inc()
+                self.breaker.record_failure()
+                raise DeadlineExceeded(
+                    f"engine call exceeded the "
+                    f"{config.request_deadline_seconds:g}s deadline"
+                ) from exc
+            except TransientEngineError as exc:
+                self.breaker.record_failure()
+                if isinstance(exc, WorkerTimeout):
+                    self.metrics.counter("deadline_exceeded").inc()
+                if attempt >= attempts:
+                    raise
+                delay = config.retry_backoff_seconds * (
+                    2 ** (attempt - 1)
+                )
+                self.metrics.counter("retries").inc()
+                for session in sessions:
+                    self._emit(
+                        session,
+                        protocol.retrying_message(
+                            session.session_id,
+                            attempt=attempt,
+                            max_attempts=attempts,
+                            delay_seconds=delay,
+                            error=str(exc),
+                        ),
+                    )
+                await asyncio.sleep(delay)
+            else:
+                self.breaker.record_success()
+                if attempt > 1:
+                    self.metrics.counter("recoveries").inc()
+                    for session in sessions:
+                        self._emit(
+                            session,
+                            protocol.recovered_message(
+                                session.session_id, attempts=attempt
+                            ),
+                        )
+                return value
+        raise AssertionError("unreachable")  # pragma: no cover
+
     async def _decode_batch(self, session: Session) -> None:
         scores = session.queue.popleft()
         self._update_queue_gauge()
         started = perf_counter()
         try:
-            partial = await self._run_engine(
-                self.engine.push, session.session_id, scores
+            partial = await self._call_engine(
+                [session], self.engine.push, session.session_id, scores
             )
         except Exception as exc:
             await self._fail(session, f"decode failed: {exc}")
@@ -316,9 +519,17 @@ class Scheduler:
             ]
             started = perf_counter()
             try:
-                partials = await self._run_engine(
-                    self.engine.push_many, items
+                partials = await self._call_engine(
+                    sessions, self.engine.push_many, items
                 )
+            except DeadlineExceeded as exc:
+                # The fused call may still be running in its executor
+                # thread, so the raise-before-advance contract gives no
+                # cover here: replaying could decode a batch twice.
+                # Fail the whole fused group instead.
+                for session in sessions:
+                    await self._fail(session, f"decode failed: {exc}")
+                return
             except Exception:
                 # push_many raises before any session advances, so the
                 # batches can be replayed one at a time — attributing
@@ -367,8 +578,8 @@ class Scheduler:
 
     async def _finish(self, session: Session) -> None:
         try:
-            result = await self._run_engine(
-                self.engine.finish, session.session_id
+            result = await self._call_engine(
+                [session], self.engine.finish, session.session_id
             )
         except Exception as exc:
             await self._fail(session, f"finish failed: {exc}", cancel=False)

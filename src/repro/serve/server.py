@@ -58,12 +58,28 @@ class ServeConfig:
     #: fused lockstep kernel per frame (bit-identical transcripts;
     #: fewer engine dispatches per decode cycle).
     fuse_sessions: bool = True
+    #: Scheduler-side wall-clock bound per engine call (None = off).
+    request_deadline_seconds: float | None = None
+    #: Retries + backoff for transient engine faults (see
+    #: :class:`~repro.serve.scheduler.SchedulerConfig`).
+    max_retries: int = 2
+    retry_backoff_seconds: float = 0.05
+    #: Process engine only: per-pipe-request deadline — the bound on
+    #: how long any dispatch thread can block on one worker.
+    engine_request_timeout_seconds: float = 30.0
+    #: Process engine only: rolling session-checkpoint cadence in
+    #: decoded frames (None disables checkpoints; migration then
+    #: replays a session's whole history).
+    checkpoint_interval_frames: int | None = 16
 
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(
             max_sessions=self.max_sessions,
             max_queued_batches=self.max_queued_batches,
             idle_timeout_seconds=self.idle_timeout_seconds,
+            request_deadline_seconds=self.request_deadline_seconds,
+            max_retries=self.max_retries,
+            retry_backoff_seconds=self.retry_backoff_seconds,
         )
 
 
@@ -77,8 +93,10 @@ class TranscriptionServer:
         decoder_config: DecoderConfig | None = None,
         serve_config: ServeConfig | None = None,
         scorer: AcousticScorer | None = None,
+        chaos=None,
     ) -> None:
         self.config = serve_config or ServeConfig()
+        self.metrics = MetricsRegistry()
         if self.config.workers > 1:
             if scorer is None:
                 raise ValueError(
@@ -91,8 +109,17 @@ class TranscriptionServer:
                 scorer=scorer,
                 config=decoder_config,
                 workers=self.config.workers,
+                request_timeout=self.config.engine_request_timeout_seconds,
+                checkpoint_interval=self.config.checkpoint_interval_frames,
+                metrics=self.metrics,
+                chaos=chaos,
             )
         else:
+            if chaos is not None:
+                raise ValueError(
+                    "worker fault injection needs workers > 1 "
+                    "(the in-process engine has no processes to kill)"
+                )
             self.engine = InlineEngine(
                 am,
                 lm,
@@ -100,7 +127,6 @@ class TranscriptionServer:
                 fuse=self.config.fuse_sessions,
                 max_fused_sessions=self.config.max_sessions,
             )
-        self.metrics = MetricsRegistry()
         self.scheduler = Scheduler(
             self.engine,
             config=self.config.scheduler_config(),
@@ -156,6 +182,7 @@ class TranscriptionServer:
             "ok": not self._stopped,
             "draining": self.scheduler.draining,
             "active_sessions": self.scheduler.active_sessions,
+            "breaker": self.scheduler.breaker.state,
             "metrics": self.metrics.snapshot(),
         }
 
@@ -235,7 +262,7 @@ class TranscriptionServer:
             )
         elif kind == protocol.STATUS:
             await send(self.status_message())
-        elif kind in (protocol.FRAMES, protocol.FINISH):
+        elif kind in (protocol.FRAMES, protocol.FINISH, protocol.CANCEL):
             session = owned.get(message.get("session"))
             if session is None:
                 await send(
@@ -251,8 +278,10 @@ class TranscriptionServer:
                         message.get("scores")
                     )
                     self.scheduler.push(session, scores)
-                else:
+                elif kind == protocol.FINISH:
                     self.scheduler.request_finish(session)
+                else:
+                    await self.scheduler.cancel(session)
             except Busy as exc:
                 await send(
                     protocol.busy_message(exc.reason, session.session_id)
@@ -267,7 +296,11 @@ class TranscriptionServer:
                 await send(event)
             except (ConnectionResetError, OSError):
                 return
-            if event["type"] in (protocol.FINAL, protocol.ERROR):
+            if event["type"] in (
+                protocol.FINAL,
+                protocol.ERROR,
+                protocol.CANCELLED,
+            ):
                 return
 
 
@@ -300,16 +333,23 @@ class InProcessSession:
         self._session = session
         #: Partial-hypothesis messages observed so far, in order.
         self.partials: list[dict] = []
+        #: ``retrying``/``recovered`` notices observed so far, in order
+        #: — degradation the server narrated instead of stalling.
+        self.notices: list[dict] = []
 
     @property
     def session_id(self) -> str:
         return self._session.session_id
 
     async def _next_event(self) -> dict:
-        event = await self._session.events.get()
-        if event["type"] == protocol.PARTIAL:
-            self.partials.append(event)
-        return event
+        while True:
+            event = await self._session.events.get()
+            if event["type"] in protocol.NOTICE_TYPES:
+                self.notices.append(event)
+                continue
+            if event["type"] == protocol.PARTIAL:
+                self.partials.append(event)
+            return event
 
     async def push(self, scores: np.ndarray) -> dict:
         """Queue one batch and wait for its partial hypothesis.
@@ -324,6 +364,14 @@ class InProcessSession:
         if event["type"] == protocol.PARTIAL:
             return event
         raise ServeError(event.get("error", "session ended unexpectedly"))
+
+    async def abort(self) -> None:
+        """Abandon the stream mid-utterance (no final result).
+
+        The in-process analogue of a client dropping its socket: the
+        session is cancelled and its engine state discarded.
+        """
+        await self._server.scheduler.cancel(self._session)
 
     def push_nowait(self, scores: np.ndarray) -> None:
         """Queue one batch without waiting (pipelined pushes); partials

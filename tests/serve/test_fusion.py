@@ -53,16 +53,36 @@ class TestInlineEnginePushMany:
         self, tiny_task, tiny_scores
     ):
         engine = InlineEngine(tiny_task.am, tiny_task.lm, CONFIG, fuse=True)
-        engine.start("known")
+        engine.start("a")
+        engine.start("b")
         with pytest.raises(EngineError):
             engine.push_many(
                 [
-                    ("known", tiny_scores[0][:8]),
+                    ("a", tiny_scores[0][:8]),
                     ("missing", tiny_scores[1][:8]),
+                    ("b", tiny_scores[2][:8]),
                 ]
             )
-        # The known session must not have consumed the batch.
-        assert engine.push("known", tiny_scores[0][:0]).frames_consumed == 0
+        # Every known session's frame counter is untouched — including
+        # the one listed *before* the unknown id in the batch.
+        assert engine._sessions["a"].frames_consumed == 0
+        assert engine._sessions["b"].frames_consumed == 0
+        # And the sessions are still usable: decoding from here matches
+        # a fresh solo reference bit-for-bit, proving no hidden state
+        # advanced either.
+        decoder = OnTheFlyDecoder(tiny_task.am, tiny_task.lm, CONFIG)
+        for session_id, scores in (("a", tiny_scores[0]),
+                                   ("b", tiny_scores[2])):
+            reference = StreamingSession(
+                decoder, lookup=decoder.lookup.fork()
+            )
+            assert engine.push(session_id, scores[:8]) == reference.push(
+                scores[:8]
+            )
+            want = reference.finish()
+            got = engine.finish(session_id)
+            assert got.words == want.words
+            assert got.cost == want.cost
 
     def test_fuse_off_serializes(self, tiny_task, tiny_scores):
         engine = InlineEngine(tiny_task.am, tiny_task.lm, CONFIG, fuse=False)

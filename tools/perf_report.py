@@ -36,6 +36,24 @@ serve report also carries a fused-vs-unfused comparison at
 ``--fail-fusion-speedup-below X`` floors fused/unfused frames per
 second and ``--fail-kernel-calls-per-batch-above R`` caps engine
 dispatches per decoded batch with fusion on.
+
+Fault tolerance has its own arm — the chaos smoke::
+
+    PYTHONPATH=src python tools/perf_report.py --preset small --serve-chaos \
+        --serve-seed 1234 --fail-recovery-below 1.0 \
+        --fail-migration-p95-above 5.0
+
+``--serve-chaos`` runs :func:`repro.experiments.serve_bench.measure_recovery`
+alone (no decode bench): a seeded load against the worker engine with a
+mid-utterance worker kill injected, asserting the supervisor migrated
+the orphaned sessions from their checkpoints and every transcript still
+matched the sequential reference bit-for-bit.
+``--fail-recovery-below F`` floors the fraction of sessions that
+survived the kill and ``--fail-migration-p95-above S`` caps the p95
+recovery-sweep latency; both gates also apply to the ``recovery``
+section ``--serve``/``--serve-only`` put in ``BENCH_serve.json``.
+``--serve-abort-fraction F`` makes a seeded fraction of load-generator
+sessions abandon their stream mid-utterance.
 """
 
 from __future__ import annotations
@@ -161,6 +179,36 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 if the client-observed p95 per-push latency "
         "exceeds S seconds",
     )
+    parser.add_argument(
+        "--serve-chaos",
+        action="store_true",
+        help="run the fault-recovery smoke alone: seeded load with a "
+        "mid-utterance worker kill, transcripts must stay bit-exact",
+    )
+    parser.add_argument(
+        "--serve-abort-fraction",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="seeded fraction of load-generator sessions that abandon "
+        "their stream mid-utterance",
+    )
+    parser.add_argument(
+        "--fail-recovery-below",
+        type=float,
+        default=None,
+        metavar="F",
+        help="exit 1 if fewer than fraction F of sessions survive the "
+        "injected worker kill with bit-identical finals",
+    )
+    parser.add_argument(
+        "--fail-migration-p95-above",
+        type=float,
+        default=None,
+        metavar="S",
+        help="exit 1 if the p95 recovery-sweep latency (respawn + "
+        "restore from checkpoint) exceeds S seconds",
+    )
     args = parser.parse_args(argv)
 
     import json
@@ -168,7 +216,7 @@ def main(argv: list[str] | None = None) -> int:
     failures: list[str] = []
     notes: list[str] = []
 
-    if not args.serve_only:
+    if not (args.serve_only or args.serve_chaos):
         from repro.experiments.perf_decode import (
             check_report,
             write_bench_report,
@@ -197,6 +245,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.serve or args.serve_only:
         from repro.experiments.serve_bench import (
             check_fusion_report,
+            check_recovery_report,
             check_serve_report,
             write_bench_report as write_serve_report,
         )
@@ -210,6 +259,7 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.serve_workers,
             seed=args.serve_seed,
             fusion_concurrency=args.serve_fusion_concurrency,
+            abort_fraction=args.serve_abort_fraction,
         )
         print(serve_result.render())
         print(f"\nwrote {args.serve_output}")
@@ -230,6 +280,40 @@ def main(argv: list[str] | None = None) -> int:
         )
         failures.extend(fusion_failures)
         notes.extend(fusion_notes)
+        recovery_failures, recovery_notes = check_recovery_report(
+            serve_report["recovery"],
+            fail_recovery_below=args.fail_recovery_below,
+            fail_migration_p95_above=args.fail_migration_p95_above,
+        )
+        failures.extend(recovery_failures)
+        notes.extend(recovery_notes)
+    elif args.serve_chaos:
+        from repro.experiments.serve_bench import (
+            check_recovery_report,
+            measure_recovery,
+        )
+
+        comparison = measure_recovery(
+            preset=args.preset,
+            concurrency=args.serve_concurrency,
+            batch_frames=args.serve_batch_frames,
+            seed=args.serve_seed,
+        )
+        print(
+            f"serve-chaos: killed worker 0 at dispatch "
+            f"{comparison['die_at_push']}; "
+            f"{comparison['sessions_migrated']} session(s) migrated "
+            f"across {comparison['worker_restarts']} restart(s), "
+            f"recovery rate {comparison['recovery_rate']}, "
+            f"throughput overhead {comparison['recovery_overhead']}x"
+        )
+        recovery_failures, recovery_notes = check_recovery_report(
+            comparison,
+            fail_recovery_below=args.fail_recovery_below,
+            fail_migration_p95_above=args.fail_migration_p95_above,
+        )
+        failures.extend(recovery_failures)
+        notes.extend(recovery_notes)
 
     for note in notes:
         print(f"OK: {note}" if "skipped" not in note else f"WARN: {note}")
