@@ -4,13 +4,14 @@ Viterbi beam search over one utterance is inherently sequential
 (frame ``t + 1`` needs frame ``t``'s frontier), but utterances are
 independent — the natural unit of parallelism for a software decoder
 serving a batch.  :class:`DecodePool` fans a batch of utterances out
-over worker processes.  Where the ``fork`` start method exists the
-recognizer is built *once in the parent* — from the round-tripped
-:mod:`repro.asr.persist` bundle — and workers inherit the finished
-decoder through copy-on-write memory, so spinning up a worker costs a
-``fork`` and nothing else.  Elsewhere (``spawn``) each worker loads the
-bundle once in its initializer (the same "task ships as data" path the
-deployment model uses) rather than pickling live graphs per job.
+over worker processes.  The recognizer is packed *once in the parent*
+into a named shared-memory segment (:func:`repro.shm.pack_recognizer`,
+bundle-quantized); each worker's initializer attaches the segment and
+decodes from zero-copy read-only views.  Every worker therefore maps
+the same physical pages — unlike fork copy-on-write inheritance, where
+refcount churn progressively privatizes the "shared" recognizer, and
+unlike pickling, which copies it per worker up front.  This holds
+under both ``fork`` and ``spawn`` start methods.
 
 The pool is persistent: keep one around and feed it batch after batch —
 ``AsrSystem.transcribe`` does exactly that.  Jobs are submitted with a
@@ -43,19 +44,17 @@ produced it in ``DecodeResult.strategy``.
 
 from __future__ import annotations
 
-import itertools
 import multiprocessing
 import os
-import tempfile
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
 from repro.am.graph import AmGraph
 from repro.am.scorer import AcousticScorer
-from repro.asr.persist import load_recognizer, save_recognizer
 from repro.core.decoder import DecodeResult, DecoderConfig, OnTheFlyDecoder
 from repro.lm.graph import LmGraph
+from repro.shm import attach_recognizer, bundle_quantize, pack_recognizer
 
 def visible_cpus() -> int:
     """CPUs this process may actually run on (affinity-aware)."""
@@ -65,29 +64,25 @@ def visible_cpus() -> int:
         return os.cpu_count() or 1
 
 
-# Per-worker-process state, installed by the pool initializer.
+# Per-worker-process state, installed by the pool initializer.  The
+# attached handle is kept alive for the worker's lifetime — its views
+# into the shared segment back the decoder's tables.
 _WORKER_DECODER: OnTheFlyDecoder | None = None
 _WORKER_SCORER: AcousticScorer | None = None
-
-# Parent-side state inherited by forked workers, keyed per pool.  An
-# entry lives until the owning pool closes: ProcessPoolExecutor forks
-# workers lazily, so the state must survive past construction.
-_FORK_STATE: dict[int, tuple[OnTheFlyDecoder, AcousticScorer]] = {}
-_FORK_KEYS = itertools.count()
+_WORKER_ATTACHED = None
 
 
-def _worker_init(bundle_dir: str, config: DecoderConfig) -> None:
-    """Spawn-path initializer: one bundle load per worker lifetime."""
-    global _WORKER_DECODER, _WORKER_SCORER
-    bundle = load_recognizer(bundle_dir)
-    _WORKER_DECODER = OnTheFlyDecoder(bundle.am, bundle.lm, config)
-    _WORKER_SCORER = bundle.scorer
-
-
-def _fork_worker_init(key: int) -> None:
-    """Fork-path initializer: adopt the parent's pre-built recognizer."""
-    global _WORKER_DECODER, _WORKER_SCORER
-    _WORKER_DECODER, _WORKER_SCORER = _FORK_STATE[key]
+def _shm_worker_init(segment: str, config: DecoderConfig) -> None:
+    """Attach the parent's shared segment; one attach per worker life."""
+    global _WORKER_DECODER, _WORKER_SCORER, _WORKER_ATTACHED
+    _WORKER_ATTACHED = attach_recognizer(segment)
+    _WORKER_DECODER = OnTheFlyDecoder(
+        _WORKER_ATTACHED.am,
+        _WORKER_ATTACHED.lm,
+        config,
+        tables=_WORKER_ATTACHED.tables,
+    )
+    _WORKER_SCORER = _WORKER_ATTACHED.scorer
 
 
 def _cold_decode(decoder: OnTheFlyDecoder, scores: np.ndarray) -> DecodeResult:
@@ -172,47 +167,32 @@ class DecodePool:
         self.batch_size = batch_size
         self._scorer = scorer
         self._executor: ProcessPoolExecutor | None = None
-        self._tempdir: tempfile.TemporaryDirectory | None = None
         self._decoder: OnTheFlyDecoder | None = None
-        self._fork_key: int | None = None
+        self._shm = None
         if scorer is not None:
-            # Decode the deployable artifact: round-tripping through the
-            # bundle quantizes weights to the persisted 32-bit format,
-            # identically for the serial path and every worker.
-            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-pool-")
-            bundle_dir = os.path.join(self._tempdir.name, "recognizer")
-            save_recognizer(bundle_dir, am, lm, scorer)
             if parallelism == 1:
-                bundle = load_recognizer(bundle_dir)
-                self._decoder = OnTheFlyDecoder(
-                    bundle.am, bundle.lm, self.config
-                )
-                self._scorer = bundle.scorer
-                self._tempdir.cleanup()
-                self._tempdir = None
-            elif "fork" in multiprocessing.get_all_start_methods():
-                # Build the recognizer once, in the parent; each worker
-                # is then a bare fork — no bundle load, no graph or CSR
-                # construction, warm before its first job.
-                bundle = load_recognizer(bundle_dir)
-                self._tempdir.cleanup()
-                self._tempdir = None
-                self._fork_key = next(_FORK_KEYS)
-                _FORK_STATE[self._fork_key] = (
-                    OnTheFlyDecoder(bundle.am, bundle.lm, self.config),
-                    bundle.scorer,
-                )
-                self._executor = ProcessPoolExecutor(
-                    max_workers=parallelism,
-                    mp_context=multiprocessing.get_context("fork"),
-                    initializer=_fork_worker_init,
-                    initargs=(self._fork_key,),
-                )
+                # Decode the deployable artifact: the in-memory codec
+                # round-trip quantizes weights to the persisted 32-bit
+                # format, identically to what the workers read from a
+                # shared segment.
+                qam, qlm = bundle_quantize(am, lm)
+                self._decoder = OnTheFlyDecoder(qam, qlm, self.config)
             else:
+                # Pack the recognizer once; every worker's initializer
+                # attaches the segment (no bundle load, no graph or
+                # CSR construction, no COW privatization).
+                self._shm = pack_recognizer(am, lm, scorer, quantize=True)
+                if "fork" in multiprocessing.get_all_start_methods():
+                    # Fork is still the cheaper launch; the recognizer
+                    # arrives via the segment either way.
+                    mp_context = multiprocessing.get_context("fork")
+                else:  # pragma: no cover - spawn-only platforms
+                    mp_context = multiprocessing.get_context("spawn")
                 self._executor = ProcessPoolExecutor(
                     max_workers=parallelism,
-                    initializer=_worker_init,
-                    initargs=(bundle_dir, self.config),
+                    mp_context=mp_context,
+                    initializer=_shm_worker_init,
+                    initargs=(self._shm.segment_name, self.config),
                 )
         else:
             self._decoder = OnTheFlyDecoder(am, lm, self.config)
@@ -311,12 +291,9 @@ class DecodePool:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
-        if self._fork_key is not None:
-            _FORK_STATE.pop(self._fork_key, None)
-            self._fork_key = None
-        if self._tempdir is not None:
-            self._tempdir.cleanup()
-            self._tempdir = None
+        if self._shm is not None:
+            self._shm.unlink()
+            self._shm = None
 
     def __enter__(self) -> "DecodePool":
         return self

@@ -119,9 +119,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeConfig, TranscriptionServer
 
     task = build_task(_task_config(args.task))
-    # Worker processes decode the persisted bundle, so they need the
-    # scorer; the in-process engine decodes the graphs directly.
-    scorer = build_scorer(task) if args.workers > 1 else None
+    # Worker and shard processes decode the shared-memory recognizer,
+    # so they need the scorer; the in-process engine decodes the
+    # graphs directly.
+    scorer = (
+        build_scorer(task) if args.workers > 1 or args.shards > 1 else None
+    )
     config = DecoderConfig(beam=args.beam, vectorized=True)
     serve_config = ServeConfig(
         host=args.host,
@@ -136,6 +139,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def _serve() -> None:
+        if args.shards > 1:
+            from repro.serve import ShardedServer
+
+            sharded = ShardedServer(
+                task.am,
+                task.lm,
+                scorer=scorer,
+                decoder_config=config,
+                serve_config=serve_config,
+                shards=args.shards,
+            )
+            await sharded.start()
+            endpoints = " ".join(
+                f"{host}:{port}" for host, port in sharded.endpoints
+            )
+            print(
+                f"serving {task.name} on {args.shards} shards "
+                f"({endpoints}) over shared segment "
+                f"{sharded.segment_name} "
+                f"({sharded.shared_nbytes} bytes; Ctrl-C stops)",
+                flush=True,
+            )
+            try:
+                await asyncio.Event().wait()
+            finally:
+                await sharded.stop()
+            return
         server = TranscriptionServer(
             task.am,
             task.lm,
@@ -175,6 +205,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         fusion_concurrency=args.fusion_concurrency,
         abort_fraction=args.abort_fraction,
+        shards=args.shards,
     )
     print(report.render())
     return 0
@@ -263,6 +294,13 @@ def main(argv: list[str] | None = None) -> int:
         help="decode worker processes (1 = in-process engine)",
     )
     p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard processes sharing one in-memory recognizer segment "
+        "(>1 starts a ShardedServer; clients route by session key)",
+    )
+    p_serve.add_argument(
         "--no-fuse",
         action="store_true",
         help="disable lockstep session fusion on the in-process engine",
@@ -318,6 +356,13 @@ def main(argv: list[str] | None = None) -> int:
         default=0.0,
         help="seeded fraction of load-generator sessions that abandon "
         "their stream mid-utterance (cancel-under-load coverage)",
+    )
+    p_serve_bench.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shard count for the 1-vs-N sharded-serving comparison "
+        "(0 skips the sharding section)",
     )
     p_serve_bench.set_defaults(func=cmd_serve_bench)
 

@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.wfst.fst import EPSILON
+from repro.wfst.fst import EPSILON, Arc
 
 
 def _csr_gather(
@@ -123,6 +123,31 @@ class EmittingArcs:
     def num_arcs(self) -> int:
         return int(self.ilabel.shape[0])
 
+    def to_arc_lists(self) -> list[list[tuple[int, "Arc"]]]:
+        """Per-state ``(ordinal, Arc)`` lists, as the scalar loop walks them.
+
+        The inverse of :meth:`from_fst` for everything the scalar
+        emitting expansion reads (ilabel / weight / nextstate / ordinal);
+        output labels are not stored in the CSR columns, so the rebuilt
+        arcs carry epsilon outputs — exact under ``pure_emitting``, and
+        immaterial otherwise because the expansion never reads them.
+        Lets a decoder built from prebuilt tables (a shared-memory
+        attach) serve the scalar reference path without the graph.
+        """
+        num_states = self.offsets.shape[0] - 1
+        offsets = self.offsets.tolist()
+        ilabels = self.ilabel.tolist()
+        weights = self.weight.tolist()
+        nextstates = self.nextstate.tolist()
+        ordinals = self.ordinal.tolist()
+        return [
+            [
+                (ordinals[i], Arc(ilabels[i], EPSILON, weights[i], nextstates[i]))
+                for i in range(offsets[s], offsets[s + 1])
+            ]
+            for s in range(num_states)
+        ]
+
     def counts(self, states: np.ndarray) -> np.ndarray:
         """Emitting out-degree of each state in ``states``."""
         return self.offsets[states + 1] - self.offsets[states]
@@ -199,6 +224,27 @@ class EpsilonArcs:
     @property
     def num_arcs(self) -> int:
         return int(self.olabel.shape[0])
+
+    def to_arc_lists(self) -> list[list[tuple[int, "Arc"]]]:
+        """Per-state ``(ordinal, Arc)`` lists for the scalar epsilon phase.
+
+        Epsilon arcs have epsilon inputs by definition, and the columns
+        keep every field the phase reads (olabel / weight / nextstate /
+        ordinal), so the reconstruction is exact.
+        """
+        num_states = self.offsets.shape[0] - 1
+        offsets = self.offsets.tolist()
+        olabels = self.olabel.tolist()
+        weights = self.weight.tolist()
+        nextstates = self.nextstate.tolist()
+        ordinals = self.ordinal.tolist()
+        return [
+            [
+                (ordinals[i], Arc(EPSILON, olabels[i], weights[i], nextstates[i]))
+                for i in range(offsets[s], offsets[s + 1])
+            ]
+            for s in range(num_states)
+        ]
 
     def gather(self, states: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Expand source states into their epsilon-arc slices (CSR order)."""
@@ -317,6 +363,42 @@ class LmWordArcs:
     def arc_count(self, state: int) -> int:
         """Word arcs (back-off excluded) out of ``state``."""
         return int(self.offsets[state + 1] - self.offsets[state])
+
+    def to_arc_lists(
+        self,
+    ) -> tuple[list[list["Arc"]], list["Arc | None"]]:
+        """Rebuild the scalar per-state views ``LmLookup`` walks.
+
+        Returns ``(word_arcs, backoff)`` exactly as the lookup's eager
+        constructor builds them from the graph: word arcs are acceptor
+        arcs (``repro.lm.graph`` emits ``ilabel == olabel``) and the
+        back-off arc carries the back-off label on input, epsilon on
+        output.  The reconstruction is field-for-field identical, which
+        is what lets a lookup over prebuilt (shared-memory) columns
+        serve the scalar resolve path without ever touching a graph.
+        """
+        num_states = self.offsets.shape[0] - 1
+        backoff_label = self.label_space - 1
+        offsets = self.offsets.tolist()
+        ilabels = self.ilabel.tolist()
+        weights = self.weight.tolist()
+        nextstates = self.nextstate.tolist()
+        backoff_next = self.backoff_next.tolist()
+        backoff_weight = self.backoff_weight.tolist()
+        word_arcs = [
+            [
+                Arc(ilabels[i], ilabels[i], weights[i], nextstates[i])
+                for i in range(offsets[s], offsets[s + 1])
+            ]
+            for s in range(num_states)
+        ]
+        backoff: list[Arc | None] = [
+            Arc(backoff_label, EPSILON, backoff_weight[s], backoff_next[s])
+            if backoff_next[s] >= 0
+            else None
+            for s in range(num_states)
+        ]
+        return word_arcs, backoff
 
 
 def _all_resolves_nonneg(

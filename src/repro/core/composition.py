@@ -448,6 +448,7 @@ class LmLookup:
         offset_table_entries: int = 32 * 1024,
         sink: TraceSink | None = None,
         expansion_cache_states: int = 1024,
+        word_arcs: LmWordArcs | None = None,
     ) -> None:
         self.graph = graph
         self.strategy = strategy
@@ -459,20 +460,34 @@ class LmLookup:
         self.offset_table: OffsetLookupTable | None = None
         if strategy is LookupStrategy.OFFSET_TABLE:
             self.offset_table = OffsetLookupTable(offset_table_entries)
-        # Per-state word-arc views (back-off arc excluded; it is last).
-        self._word_arcs: list[list[Arc]] = []
-        self._backoff: list[Arc | None] = []
-        for state in graph.fst.states():
-            arcs = graph.fst.out_arcs(state)
-            backoff = graph.backoff_arc(state)
-            self._backoff.append(backoff)
-            self._word_arcs.append(arcs[:-1] if backoff is not None else list(arcs))
-        # Batched-resolve structures, built lazily on first use: the CSR
-        # word-arc columns with flattened back-off chains, and the LM
-        # expansion cache over them.
+        # Per-state scalar views (word arcs with the back-off arc split
+        # off).  The cell is shared with forks, so whichever lookup
+        # builds the views first shares them with every sibling.  With
+        # prebuilt ``word_arcs`` (a shared-memory attach, where walking
+        # ``graph.fst`` is impossible) the views reconstruct lazily from
+        # the CSR columns; otherwise they are built from the graph here,
+        # as always.
+        self._scalar_cell: list[tuple[list[list[Arc]], list[Arc | None]] | None]
         self._expansion_cache_states = expansion_cache_states
-        self._soa: LmWordArcs | None = None
         self.expansion_cache: LmExpansionCache | None = None
+        if word_arcs is not None:
+            self._scalar_cell = [None]
+            self._soa: LmWordArcs | None = word_arcs
+        else:
+            arc_views: list[list[Arc]] = []
+            backoffs: list[Arc | None] = []
+            for state in graph.fst.states():
+                arcs = graph.fst.out_arcs(state)
+                backoff = graph.backoff_arc(state)
+                backoffs.append(backoff)
+                arc_views.append(
+                    arcs[:-1] if backoff is not None else list(arcs)
+                )
+            self._scalar_cell = [(arc_views, backoffs)]
+            # Batched-resolve structures, built lazily on first use: the
+            # CSR word-arc columns with flattened back-off chains, and
+            # the LM expansion cache over them.
+            self._soa = None
         # Shared expansion-row build memo (see LmExpansionCache); forks
         # reference the same dict so B lockstep channels build each hot
         # row once between them instead of once per channel.
@@ -482,6 +497,22 @@ class LmLookup:
         # the per-item work until batches get fairly large.  Same
         # results and counters either way; tests pin it to force a path.
         self.batch_sequential_cutoff = 128
+
+    def _scalar_views(self) -> tuple[list[list[Arc]], list[Arc | None]]:
+        views = self._scalar_cell[0]
+        if views is None:
+            views = self._ensure_batch_structures().to_arc_lists()
+            self._scalar_cell[0] = views
+        return views
+
+    @property
+    def _word_arcs(self) -> list[list[Arc]]:
+        """Per-state word-arc views (back-off arc excluded; it is last)."""
+        return self._scalar_views()[0]
+
+    @property
+    def _backoff(self) -> list[Arc | None]:
+        return self._scalar_views()[1]
 
     # -- single-state search ----------------------------------------------
 
@@ -615,6 +646,7 @@ class LmLookup:
     def _ensure_batch_structures(self) -> LmWordArcs:
         if self._soa is None:
             self._soa = LmWordArcs.from_graph(self.graph)
+        if self.expansion_cache is None:
             self.expansion_cache = LmExpansionCache(
                 self._soa,
                 self.strategy,
@@ -725,8 +757,7 @@ class LmLookup:
                 else 32 * 1024
             )
             clone.offset_table = OffsetLookupTable(entries)
-        clone._word_arcs = self._word_arcs
-        clone._backoff = self._backoff
+        clone._scalar_cell = self._scalar_cell
         clone._expansion_cache_states = self._expansion_cache_states
         clone._soa = self._ensure_batch_structures()
         clone._row_memo = self._row_memo

@@ -20,6 +20,7 @@ from repro.am.graph import AmGraph
 from repro.core.arcs import (
     EmittingArcs,
     EpsilonArcs,
+    LmWordArcs,
     plan_recombination,
     stable_cost_order,
 )
@@ -136,6 +137,37 @@ class DecodeResult:
         return out
 
 
+@dataclass(frozen=True)
+class DecoderTables:
+    """Every graph-derived array a decoder needs, prebuilt.
+
+    The numeric heart of a recognizer: the AM's emitting and epsilon
+    CSR columns, the LM's word-arc columns with flattened back-off
+    chains, and the per-LM-state final weights.  A decoder constructed
+    with ``tables=`` never walks the graphs — which is what lets
+    :mod:`repro.shm` hand N worker processes zero-copy read-only views
+    of one shared segment instead of N private copies.
+    """
+
+    emitting: EmittingArcs
+    epsilon: EpsilonArcs
+    lm_word_arcs: LmWordArcs
+    #: float64 per LM state, ``inf`` when non-final.
+    lm_final_weights: np.ndarray
+
+    @classmethod
+    def from_graphs(cls, am: AmGraph, lm: LmGraph) -> "DecoderTables":
+        return cls(
+            emitting=EmittingArcs.from_fst(am.fst),
+            epsilon=EpsilonArcs.from_fst(am.fst),
+            lm_word_arcs=LmWordArcs.from_graph(lm),
+            lm_final_weights=np.array(
+                [lm.fst.final_weight(s) for s in lm.fst.states()],
+                dtype=np.float64,
+            ),
+        )
+
+
 class OnTheFlyDecoder:
     """UNFOLD's decoding algorithm, functionally modelled.
 
@@ -150,6 +182,7 @@ class OnTheFlyDecoder:
         lm: LmGraph,
         config: DecoderConfig | None = None,
         sink: TraceSink | None = None,
+        tables: DecoderTables | None = None,
     ) -> None:
         self.am = am
         self.lm = lm
@@ -157,42 +190,75 @@ class OnTheFlyDecoder:
         self.sink = sink or NullSink()
         # Purely functional runs skip per-event sink calls in the hot loop.
         self._tracing = not isinstance(self.sink, NullSink)
+        self.tables = tables
         self.lookup = LmLookup(
             lm,
             strategy=self.config.lookup_strategy,
             offset_table_entries=self.config.offset_table_entries,
             sink=self.sink,
             expansion_cache_states=self.config.expansion_cache_states,
+            word_arcs=tables.lm_word_arcs if tables is not None else None,
         )
-        # Dense per-state arc views for the hot loop.
-        fst = am.fst
-        self._emitting = [
-            [(i, a) for i, a in enumerate(fst.out_arcs(s)) if a.ilabel != EPSILON]
-            for s in fst.states()
-        ]
-        self._epsilon = [
-            [(i, a) for i, a in enumerate(fst.out_arcs(s)) if a.ilabel == EPSILON]
-            for s in fst.states()
-        ]
-        # CSR columns for the vectorized emitting expansion and the
-        # batched epsilon phase.
-        self._arcs = EmittingArcs.from_fst(fst)
-        self._eps_arcs = EpsilonArcs.from_fst(fst)
+        if tables is None:
+            # Dense per-state arc views for the scalar hot loop, plus
+            # CSR columns for the vectorized emitting expansion and the
+            # batched epsilon phase.
+            fst = am.fst
+            self._scalar_emitting = [
+                [
+                    (i, a)
+                    for i, a in enumerate(fst.out_arcs(s))
+                    if a.ilabel != EPSILON
+                ]
+                for s in fst.states()
+            ]
+            self._scalar_epsilon = [
+                [
+                    (i, a)
+                    for i, a in enumerate(fst.out_arcs(s))
+                    if a.ilabel == EPSILON
+                ]
+                for s in fst.states()
+            ]
+            self._arcs = EmittingArcs.from_fst(fst)
+            self._eps_arcs = EpsilonArcs.from_fst(fst)
+            self._lm_final_w = np.array(
+                [lm.fst.final_weight(s) for s in lm.fst.states()],
+                dtype=np.float64,
+            )
+        else:
+            # Prebuilt (typically shared-memory) columns: the scalar
+            # per-state views rebuild lazily from them — only the
+            # scalar/traced paths want them, and the vectorized serving
+            # stack never does, keeping per-process private state small.
+            self._scalar_emitting = None
+            self._scalar_epsilon = None
+            self._arcs = tables.emitting
+            self._eps_arcs = tables.epsilon
+            self._lm_final_w = tables.lm_final_weights
         self._batched_epsilon_ok: bool | None = None  # resolved lazily
         self._num_lm = lm.fst.num_states
-        self._epsilon_flags = np.array(
-            [bool(arcs) for arcs in self._epsilon], dtype=bool
-        )
-        # Per-LM-state final weights (inf when non-final), for the
-        # vectorized finalize.
-        self._lm_final_w = np.array(
-            [lm.fst.final_weight(s) for s in lm.fst.states()],
-            dtype=np.float64,
-        )
+        self._epsilon_flags = self._eps_arcs.has_arcs
         #: Wall-clock phase breakdown of the last decode (when
         #: ``config.profile``): expand (prune + emitting), epsilon,
         #: other (bookkeeping + finalize), total — in seconds.
         self.last_phase_seconds: dict[str, float] | None = None
+
+    @property
+    def _emitting(self) -> list:
+        lists = self._scalar_emitting
+        if lists is None:
+            lists = self._arcs.to_arc_lists()
+            self._scalar_emitting = lists
+        return lists
+
+    @property
+    def _epsilon(self) -> list:
+        lists = self._scalar_epsilon
+        if lists is None:
+            lists = self._eps_arcs.to_arc_lists()
+            self._scalar_epsilon = lists
+        return lists
 
     def decode(self, scores: np.ndarray) -> DecodeResult:
         """Decode one utterance from its acoustic score matrix."""

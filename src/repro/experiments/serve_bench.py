@@ -98,7 +98,7 @@ def measure(
         ) as ref_pool:
             expected = ref_pool.decode_streams(scores, batch_frames)
 
-    load, metrics, drained = asyncio.run(
+    load, metrics, drained, memory = asyncio.run(
         _drive(
             bundle,
             config,
@@ -156,6 +156,10 @@ def measure(
             if batches
             else None
         ),
+        #: Worker engine only: shared-segment size vs each worker's
+        #: RSS/USS + the segment mapping's private pages (None for the
+        #: in-process engine, which has no worker processes to weigh).
+        "memory": memory,
         "metrics": metrics,
     }
     report.update(load.to_dict())
@@ -301,6 +305,164 @@ def measure_recovery(
     }
 
 
+def measure_shards(
+    preset: str = "small",
+    shards: int = 2,
+    concurrency: int | None = None,
+    batch_frames: int = DEFAULT_BATCH_FRAMES,
+    seed: int | None = 1234,
+) -> dict:
+    """One vs ``shards`` shard processes over one shared segment.
+
+    Runs the same seeded load twice through the sharded stack
+    (:class:`~repro.serve.shard.ShardedServer` + consistent-hash
+    routed :class:`~repro.serve.client.ShardedClient`): once with a
+    single shard, once with ``shards``.  Both passes must reproduce
+    the sequential reference transcripts bit-for-bit (the shards
+    decode the shared quantized recognizer, so the reference is the
+    serial :class:`~repro.asr.parallel.DecodePool`).  Reports the
+    frames/s scaling ratio and each shard's memory: RSS, USS, and how
+    many of the shared segment's pages it privatized — the paper's
+    shared-dataset argument says that last number stays ~0 while the
+    recognizer is mapped, not copied.
+    """
+    if preset not in PRESETS:
+        raise ValueError(
+            f"unknown preset {preset!r}; choose from {sorted(PRESETS)}"
+        )
+    if shards < 2:
+        raise ValueError("the comparison needs shards >= 2")
+    if concurrency is None:
+        # Enough concurrent sessions that every shard in the wide pass
+        # has work; identical offered load on both passes.
+        concurrency = 4 * shards
+    bundle = get_bundle(PRESETS[preset])
+    scores = bundle.scores
+    config = DecoderConfig(beam=BEAM, max_active=MAX_ACTIVE, vectorized=True)
+
+    from repro.asr.parallel import DecodePool
+
+    with DecodePool(
+        bundle.task.am,
+        bundle.task.lm,
+        scorer=bundle.scorer,
+        config=config,
+        parallelism=1,
+    ) as ref_pool:
+        expected = ref_pool.decode_streams(scores, batch_frames)
+
+    passes = {}
+    for label, count in (("single", 1), ("sharded", shards)):
+        load, status, memory = asyncio.run(
+            _drive_shards(
+                bundle,
+                config,
+                shards=count,
+                concurrency=concurrency,
+                batch_frames=batch_frames,
+                seed=seed,
+            )
+        )
+        mismatched = [
+            o.index
+            for o in load.outcomes
+            if o.words != expected[o.index].words
+            or o.cost != expected[o.index].cost
+        ]
+        if mismatched:
+            raise AssertionError(
+                f"{label} pass transcripts diverge from the sequential "
+                f"reference on utterances {mismatched}"
+            )
+        if len(load.outcomes) != len(scores):
+            raise AssertionError(
+                f"{label} pass completed {len(load.outcomes)} of "
+                f"{len(scores)} utterances"
+            )
+        report = {
+            "shards": count,
+            "matches_sequential": True,
+            "drained": status["active_sessions"] == 0,
+            "status": status,
+            "memory": memory,
+        }
+        report.update(load.to_dict())
+        passes[label] = report
+
+    shared_nbytes = passes["sharded"]["memory"]["shared_nbytes"]
+    fractions = []
+    for info in passes["sharded"]["memory"]["shards"]:
+        mapping = info.get("segment") or {}
+        private = mapping.get("private_bytes")
+        if private is not None and shared_nbytes:
+            fractions.append(private / shared_nbytes)
+    per_shard_sessions = [
+        s.get("metrics", {}).get("counters", {}).get("sessions_admitted", 0)
+        for s in passes["sharded"]["status"]["shards"]
+    ]
+    return {
+        "preset": preset,
+        "task": bundle.task.name,
+        "cpus": _visible_cpus(),
+        "shards": shards,
+        "concurrency": concurrency,
+        "batch_frames": batch_frames,
+        "seed": seed,
+        "single": passes["single"],
+        "sharded": passes["sharded"],
+        "single_frames_per_second": passes["single"]["frames_per_second"],
+        "sharded_frames_per_second": passes["sharded"]["frames_per_second"],
+        "shard_scaling": round(
+            passes["sharded"]["frames_per_second"]
+            / max(passes["single"]["frames_per_second"], 1e-9),
+            3,
+        ),
+        "shared_nbytes": shared_nbytes,
+        "sessions_per_shard": per_shard_sessions,
+        "max_segment_private_fraction": (
+            round(max(fractions), 6) if fractions else None
+        ),
+    }
+
+
+async def _drive_shards(
+    bundle,
+    config: DecoderConfig,
+    shards: int,
+    concurrency: int,
+    batch_frames: int,
+    seed: int | None,
+):
+    """Sharded server up, routed load through, status + memory out."""
+    from repro.serve import ServeConfig, ShardedServer
+    from repro.serve.client import ShardedClient
+    from repro.serve.loadgen import run_load
+
+    server = ShardedServer(
+        bundle.task.am,
+        bundle.task.lm,
+        scorer=bundle.scorer,
+        decoder_config=config,
+        serve_config=ServeConfig(max_sessions=max(concurrency, 2)),
+        shards=shards,
+    )
+    async with server:
+        client = ShardedClient(server.endpoints)
+        try:
+            load = await run_load(
+                client,
+                bundle.scores,
+                concurrency=concurrency,
+                batch_frames=batch_frames,
+                seed=seed,
+            )
+        finally:
+            await client.close()
+        status = await server.status()
+        memory = await server.memory_report()
+    return load, status, memory
+
+
 async def _drive(
     bundle,
     config: DecoderConfig,
@@ -355,10 +517,18 @@ async def _drive(
             )
         finally:
             await client.close()
+        # Weigh the workers after the load, while their channel state
+        # has peaked (the point of the measurement: that state, not the
+        # recognizer, is all a worker privately holds).
+        memory = (
+            server.engine.memory_report()
+            if hasattr(server.engine, "memory_report")
+            else None
+        )
     finally:
         await server.stop(drain=True)
     drained = server.scheduler.active_sessions == 0
-    return load, server.metrics.snapshot(), drained
+    return load, server.metrics.snapshot(), drained, memory
 
 
 def check_serve_report(
@@ -537,6 +707,86 @@ def check_recovery_report(
     return failures, notes
 
 
+def check_shard_report(
+    comparison: dict,
+    fail_shard_scaling_below: float | None = None,
+    fail_segment_private_fraction_above: float | None = None,
+) -> tuple[list[str], list[str]]:
+    """Gates for a :func:`measure_shards` comparison.
+
+    * ``fail_shard_scaling_below`` — floor on frames/s going from one
+      shard to ``shards`` at equal offered load, skipped (with a
+      note) when the harness saw a single CPU, where shard processes
+      cannot overlap;
+    * ``fail_segment_private_fraction_above`` — ceiling on the fraction
+      of the shared segment any shard privatized (its "incremental
+      RSS" for the recognizer, as a fraction of the bundle's size).
+
+    Always checked: both passes' transcript parity and drain, and that
+    the sharded pass actually spread sessions over more than one shard
+    (a routing bug that pins everything to shard 0 would otherwise
+    gate as a mere slowdown).
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    for label in ("single", "sharded"):
+        sub = comparison[label]
+        if not sub.get("matches_sequential"):
+            failures.append(
+                f"{label}: transcripts diverged from the sequential "
+                f"reference"
+            )
+        if not sub.get("drained"):
+            failures.append(f"{label}: sessions left active after the load")
+    spread = comparison.get("sessions_per_shard") or []
+    busy_shards = sum(1 for count in spread if count > 0)
+    if busy_shards < 2:
+        failures.append(
+            f"sharded pass routed every session to {busy_shards} "
+            f"shard(s) ({spread}); the ring spread nothing"
+        )
+    else:
+        notes.append(f"sessions per shard: {spread}")
+    if fail_shard_scaling_below is not None:
+        scaling = comparison["shard_scaling"]
+        if comparison["cpus"] < 2:
+            notes.append(
+                f"shard scaling gate skipped: {comparison['cpus']} "
+                f"visible cpu(s); measured {scaling}x for the record"
+            )
+        elif scaling < fail_shard_scaling_below:
+            failures.append(
+                f"shard scaling {scaling}x "
+                f"({comparison['single_frames_per_second']} -> "
+                f"{comparison['sharded_frames_per_second']} frames/s at "
+                f"{comparison['shards']} shards) is below the "
+                f"{fail_shard_scaling_below}x floor"
+            )
+        else:
+            notes.append(
+                f"shard scaling {scaling}x at {comparison['shards']} shards"
+            )
+    if fail_segment_private_fraction_above is not None:
+        fraction = comparison["max_segment_private_fraction"]
+        if fraction is None:
+            failures.append(
+                "no segment-mapping samples to gate per-shard "
+                "incremental memory on"
+            )
+        elif fraction > fail_segment_private_fraction_above:
+            failures.append(
+                f"a shard privatized {fraction:.2%} of the shared "
+                f"{comparison['shared_nbytes']}-byte segment, above the "
+                f"{fail_segment_private_fraction_above:.0%} ceiling"
+            )
+        else:
+            notes.append(
+                f"max segment pages privatized per shard {fraction:.2%} "
+                f"of {comparison['shared_nbytes']} bytes"
+            )
+    return failures, notes
+
+
 def _to_result(report: dict) -> ExperimentResult:
     latency = report["latency"]
 
@@ -586,6 +836,21 @@ def _to_result(report: dict) -> ExperimentResult:
             f"{recovery['recovery_overhead']}x throughput overhead"
             + (f", migration p95 {1e3 * p95:.1f}ms" if p95 is not None else "")
         )
+    sharding = report.get("sharding")
+    if sharding:
+        fraction = sharding.get("max_segment_private_fraction")
+        notes += (
+            f"; {sharding['shards']}-shard scaling "
+            f"{sharding['shard_scaling']}x "
+            f"({sharding['single_frames_per_second']} -> "
+            f"{sharding['sharded_frames_per_second']} frames/s) over one "
+            f"{sharding['shared_nbytes']}-byte shared segment"
+            + (
+                f", max {fraction:.2%} of it privatized per shard"
+                if fraction is not None
+                else ""
+            )
+        )
     return ExperimentResult(
         experiment_id="serve-bench",
         title="streaming service throughput and latency (regression harness)",
@@ -608,15 +873,18 @@ def write_bench_report(
     seed: int | None = 1234,
     fusion_concurrency: int = 8,
     abort_fraction: float = 0.0,
+    shards: int = 2,
 ) -> ExperimentResult:
     """Measure one preset and persist ``BENCH_serve.json``.
 
     Besides the primary pass, the persisted report carries a
     ``fusion`` section (:func:`measure_fusion` at
-    ``fusion_concurrency`` in-process sessions) and a ``recovery``
+    ``fusion_concurrency`` in-process sessions), a ``recovery``
     section (:func:`measure_recovery` — a seeded worker kill with
-    checkpoint migration) so the fused-serving and fault-recovery
-    gates both have their comparisons on record.
+    checkpoint migration), and a ``sharding`` section
+    (:func:`measure_shards` — one vs ``shards`` shard processes over
+    one shared segment, with per-shard memory) so every serving gate
+    has its comparison on record.  ``shards=0`` skips that section.
     """
     report = measure(
         preset=preset,
@@ -639,5 +907,12 @@ def write_bench_report(
         batch_frames=batch_frames,
         seed=seed,
     )
+    if shards >= 2:
+        report["sharding"] = measure_shards(
+            preset=preset,
+            shards=shards,
+            batch_frames=batch_frames,
+            seed=seed,
+        )
     Path(output).write_text(json.dumps(report, indent=2) + "\n")
     return _to_result(report)

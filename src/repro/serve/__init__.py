@@ -7,12 +7,15 @@ round-robin micro-batching, live metrics, an NDJSON TCP protocol, and
 a load generator.  Fault tolerance is built in: supervised worker
 processes, rolling session checkpoints with crash migration, request
 deadlines with retry/backoff, a circuit breaker, and a deterministic
-fault-injection harness (:mod:`repro.serve.chaos`).  See README
-"Serving" and "Fault tolerance" for the quickstart.
+fault-injection harness (:mod:`repro.serve.chaos`).  Sharded serving
+(:mod:`repro.serve.shard`) scales the whole stack across processes
+over one shared-memory recognizer segment, with consistent-hash
+routing and work-stealing session migration.  See README "Serving",
+"Fault tolerance" and "Sharded serving" for the quickstart.
 """
 
 from repro.serve.chaos import FlakyEngine, WorkerChaos, kill_worker
-from repro.serve.client import TcpClient, TcpSession
+from repro.serve.client import ShardedClient, TcpClient, TcpSession
 from repro.serve.engine import (
     EngineError,
     InlineEngine,
@@ -37,6 +40,7 @@ from repro.serve.server import (
     ServeError,
     TranscriptionServer,
 )
+from repro.serve.shard import ShardedServer, ShardRouter
 
 __all__ = [
     "Busy",
@@ -56,6 +60,9 @@ __all__ = [
     "SchedulerConfig",
     "ServeConfig",
     "ServeError",
+    "ShardedClient",
+    "ShardedServer",
+    "ShardRouter",
     "TcpClient",
     "TcpSession",
     "TranscriptionServer",

@@ -11,6 +11,25 @@ with a session id go to that session's queue, untagged replies
 the oldest pending control request.  Control requests (``open`` and
 ``status``) are serialized per connection; per-session streaming is
 fully concurrent.
+
+Sharded deployments add two layers, both route-aware:
+
+* a :class:`TcpSession` that receives ``moved`` transparently follows
+  the redirect — it connects to the named shard (connections are
+  cached per endpoint in a peer map shared across the redirect chain),
+  sends ``resume``, and replays the rejected request iff the redirect
+  said ``resend`` — so callers never see the migration;
+* :class:`ShardedClient` fronts a whole :class:`~repro.serve.shard.
+  ShardedServer`: ``open(key=...)`` routes the session to its home
+  shard through the same consistent-hash ring the server publishes.
+
+One caveat is inherent to the redirect design: after a session moves,
+its old connection keeps routing late replies to the session's queue.
+If that old connection *drops* while the session lives elsewhere, its
+end-of-stream error poisons the queue.  Keep the originating client
+open until its sessions finish (both the load generator and the bench
+do), or front everything with :class:`ShardedClient`, which owns every
+connection for exactly that lifetime.
 """
 
 from __future__ import annotations
@@ -26,15 +45,33 @@ from repro.serve.server import ServeError
 #: Reply types carrying no session id, routed to the control queue.
 _CONTROL_TYPES = (protocol.STARTED, protocol.STATUS)
 
+#: How long a redirected session keeps retrying ``resume`` before
+#: giving up (covers the export-completes-before-adopt-lands race).
+RELOCATE_TIMEOUT_SECONDS = 5.0
+
 
 class TcpClient:
     """One NDJSON connection multiplexing many sessions."""
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        host: str | None = None,
+        port: int | None = None,
+        peers: dict | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self.host = host
+        self.port = port
+        #: Endpoint -> client cache, shared across every client in one
+        #: redirect chain so a moved session reuses connections.
+        self._peers: dict[tuple[str, int], "TcpClient"] = (
+            peers if peers is not None else {}
+        )
+        if host is not None and port is not None:
+            self._peers.setdefault((host, port), self)
         self._sessions: dict[str, asyncio.Queue] = {}
         self._control: asyncio.Queue = asyncio.Queue()
         self._control_lock = asyncio.Lock()
@@ -45,9 +82,21 @@ class TcpClient:
         )
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "TcpClient":
+    async def connect(
+        cls, host: str, port: int, peers: dict | None = None
+    ) -> "TcpClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, host=host, port=port, peers=peers)
+
+    async def peer(self, host: str, port: int) -> "TcpClient":
+        """The client for ``host:port``, connecting and caching it on
+        first use.  Returns ``self`` for this client's own endpoint."""
+        key = (host, port)
+        client = self._peers.get(key)
+        if client is None or client._closed:
+            client = await TcpClient.connect(host, port, peers=self._peers)
+            self._peers[key] = client
+        return client
 
     async def _read_loop(self) -> None:
         try:
@@ -88,8 +137,14 @@ class TcpClient:
             await self._send(message)
             return await self._control.get()
 
-    async def open(self) -> "TcpSession":
-        """Open a session; raises :class:`Busy` on admission reject."""
+    async def open(self, key: str | None = None) -> "TcpSession":
+        """Open a session; raises :class:`Busy` on admission reject.
+
+        ``key`` is accepted for interface parity with
+        :class:`ShardedClient` (which routes on it); a single-endpoint
+        client has nowhere else to send the session.
+        """
+        del key
         reply = await self._control_request({"type": protocol.START})
         if reply["type"] == protocol.BUSY:
             raise Busy(reply.get("reason", "busy"))
@@ -107,6 +162,17 @@ class TcpClient:
         return reply
 
     async def close(self) -> None:
+        # Close every connection in the shared peer map (redirects may
+        # have grown it past the one the caller dialed).
+        clients = {id(self): self}
+        for client in self._peers.values():
+            clients.setdefault(id(client), client)
+        for client in clients.values():
+            await client._close_one()
+
+    async def _close_one(self) -> None:
+        if self._closed and self._reader_task.done():
+            return
         self._closed = True
         self._reader_task.cancel()
         try:
@@ -121,7 +187,14 @@ class TcpClient:
 
 
 class TcpSession:
-    """One streaming session over a :class:`TcpClient` connection."""
+    """One streaming session over a :class:`TcpClient` connection.
+
+    The session follows ``moved`` redirects by itself: it re-homes its
+    event queue onto the target shard's connection, performs the
+    ``resume`` handshake, and — when the redirect flagged ``resend`` —
+    replays the one request the old shard rejected.  Callers just see
+    their partial or final arrive.
+    """
 
     def __init__(
         self, client: TcpClient, session_id: str, events: asyncio.Queue
@@ -133,6 +206,8 @@ class TcpSession:
         self.partials: list[dict] = []
         #: ``retrying``/``recovered`` notices observed so far, in order.
         self.notices: list[dict] = []
+        #: ``moved`` redirects this session followed, in order.
+        self.moves: list[dict] = []
 
     async def _next_event(self) -> dict:
         while True:
@@ -140,25 +215,100 @@ class TcpSession:
             if event["type"] in protocol.NOTICE_TYPES:
                 self.notices.append(event)
                 continue
+            if event["type"] == protocol.STARTED:
+                # A stale resume acknowledgement (the redirect that
+                # triggered it was already handled) — not an event.
+                continue
             if event["type"] == protocol.PARTIAL:
                 self.partials.append(event)
             return event
 
+    async def _relocate(self, event: dict) -> bool:
+        """Follow one ``moved`` redirect; returns True iff a request
+        must be re-sent on the new shard.
+
+        Handshake: connect (or reuse) the target endpoint, route this
+        session's queue there, send ``resume``, and wait for
+        ``started``.  A further ``moved`` during the handshake
+        re-targets (its ``resend`` accumulates); an ``error`` retries
+        briefly — the destination may not have adopted the session
+        yet when the redirect reaches us.  The old connection keeps
+        routing to the same queue, so a late redirect reply to the
+        request that triggered the move still lands here.
+        """
+        self.moves.append(event)
+        resend = bool(event.get("resend"))
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + RELOCATE_TIMEOUT_SECONDS
+        while True:
+            target = await self._client.peer(event["host"], event["port"])
+            target._sessions[self.session_id] = self._events
+            self._client = target
+            await target._send(
+                {"type": protocol.RESUME, "session": self.session_id}
+            )
+            retry = False
+            while not retry:
+                reply = await self._events.get()
+                kind = reply["type"]
+                if kind == protocol.STARTED:
+                    return resend
+                if kind == protocol.MOVED:
+                    # Moved again mid-handshake.  Usually this is the
+                    # old shard's late reply to the request that
+                    # triggered the move (same destination — the
+                    # resume already in flight covers it); a different
+                    # destination means a rebalance raced us, so
+                    # re-target.
+                    self.moves.append(reply)
+                    resend = resend or bool(reply.get("resend"))
+                    if (reply["host"], reply["port"]) != (
+                        event["host"],
+                        event["port"],
+                    ):
+                        event = reply
+                        break
+                    continue
+                if kind in protocol.NOTICE_TYPES:
+                    self.notices.append(reply)
+                elif kind == protocol.PARTIAL:
+                    self.partials.append(reply)
+                elif kind == protocol.ERROR:
+                    if loop.time() >= deadline:
+                        raise ServeError(
+                            "session "
+                            f"{self.session_id!r} failed to resume on "
+                            f"{event['host']}:{event['port']}: "
+                            f"{reply.get('error', 'unknown error')}"
+                        )
+                    await asyncio.sleep(0.02)
+                    retry = True
+                else:
+                    raise ServeError(
+                        f"unexpected reply during resume: {reply}"
+                    )
+
     async def push(self, scores: np.ndarray) -> dict:
         """Send one batch and wait for its partial hypothesis."""
-        await self._client._send(
-            {
-                "type": protocol.FRAMES,
-                "session": self.session_id,
-                "scores": protocol.scores_to_payload(np.asarray(scores)),
-            }
-        )
-        event = await self._next_event()
-        if event["type"] == protocol.PARTIAL:
-            return event
-        if event["type"] == protocol.BUSY:
-            raise Busy(event.get("reason", "busy"))
-        raise ServeError(event.get("error", "session ended unexpectedly"))
+        message = {
+            "type": protocol.FRAMES,
+            "session": self.session_id,
+            "scores": protocol.scores_to_payload(np.asarray(scores)),
+        }
+        await self._client._send(message)
+        while True:
+            event = await self._next_event()
+            if event["type"] == protocol.PARTIAL:
+                return event
+            if event["type"] == protocol.BUSY:
+                raise Busy(event.get("reason", "busy"))
+            if event["type"] == protocol.MOVED:
+                if await self._relocate(event):
+                    await self._client._send(message)
+                continue
+            raise ServeError(
+                event.get("error", "session ended unexpectedly")
+            )
 
     async def abort(self) -> None:
         """Abandon the stream mid-utterance (no final result).
@@ -167,25 +317,116 @@ class TcpSession:
         server's terminal ``cancelled`` acknowledgement (late partials
         in flight are drained into :attr:`partials` on the way).
         """
-        await self._client._send(
-            {"type": protocol.CANCEL, "session": self.session_id}
-        )
+        message = {"type": protocol.CANCEL, "session": self.session_id}
+        await self._client._send(message)
         while True:
             event = await self._next_event()
+            if event["type"] == protocol.MOVED:
+                if await self._relocate(event):
+                    await self._client._send(message)
+                continue
             if event["type"] in (protocol.CANCELLED, protocol.ERROR):
                 self._client._sessions.pop(self.session_id, None)
                 return
 
     async def finish(self) -> dict:
         """End the utterance and wait for the final result."""
-        await self._client._send(
-            {"type": protocol.FINISH, "session": self.session_id}
-        )
+        message = {"type": protocol.FINISH, "session": self.session_id}
+        await self._client._send(message)
         while True:
             event = await self._next_event()
             if event["type"] == protocol.FINAL:
                 self._client._sessions.pop(self.session_id, None)
                 return event
+            if event["type"] == protocol.MOVED:
+                if await self._relocate(event):
+                    await self._client._send(message)
+                continue
             if event["type"] == protocol.ERROR:
                 self._client._sessions.pop(self.session_id, None)
                 raise ServeError(event["error"])
+
+
+class ShardedClient:
+    """Route sessions across a sharded deployment's endpoints.
+
+    The client builds the same consistent-hash ring the server uses
+    (:class:`~repro.serve.shard.ShardRouter` over the endpoint count),
+    so ``open(key=...)`` lands each session on its home shard without
+    asking anyone.  Connections are dialed lazily per shard and all
+    share one peer map — a session that migrates mid-stream re-homes
+    onto the existing connection for its new shard.
+    """
+
+    def __init__(
+        self, endpoints: list[tuple[str, int]], virtual_nodes: int | None = None
+    ) -> None:
+        from repro.serve.shard import DEFAULT_VIRTUAL_NODES, ShardRouter
+
+        if not endpoints:
+            raise ValueError("need at least one endpoint")
+        self.endpoints = list(endpoints)
+        self.router = ShardRouter(
+            len(endpoints),
+            virtual_nodes=(
+                virtual_nodes
+                if virtual_nodes is not None
+                else DEFAULT_VIRTUAL_NODES
+            ),
+        )
+        self._peers: dict[tuple[str, int], TcpClient] = {}
+        self._round_robin = 0
+
+    async def _client_for(self, endpoint: tuple[str, int]) -> TcpClient:
+        client = self._peers.get(endpoint)
+        if client is None or client._closed:
+            client = await TcpClient.connect(*endpoint, peers=self._peers)
+        return client
+
+    async def open(self, key: str | None = None) -> TcpSession:
+        """Open a session on ``key``'s home shard.
+
+        Without a key, shards are used round-robin — callers that
+        don't care about placement still spread load.
+        """
+        if key is not None:
+            shard = self.router.shard_for(key)
+        else:
+            shard = self._round_robin % len(self.endpoints)
+            self._round_robin += 1
+        client = await self._client_for(self.endpoints[shard])
+        return await client.open()
+
+    async def status(self) -> dict:
+        """Cluster status: per-shard views + summed counters/gauges."""
+        statuses = []
+        for endpoint in self.endpoints:
+            client = await self._client_for(endpoint)
+            statuses.append(await client.status())
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        for status in statuses:
+            metrics = status.get("metrics", {})
+            for name, value in metrics.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+            for name, value in metrics.get("gauges", {}).items():
+                gauges[name] = gauges.get(name, 0) + value
+        return {
+            "type": protocol.STATUS,
+            "ok": all(s.get("ok") for s in statuses),
+            "shards": statuses,
+            "num_shards": len(statuses),
+            "active_sessions": sum(
+                s.get("active_sessions", 0) for s in statuses
+            ),
+            "metrics": {
+                "counters": dict(sorted(counters.items())),
+                "gauges": dict(sorted(gauges.items())),
+            },
+        }
+
+    async def close(self) -> None:
+        clients = {id(c): c for c in self._peers.values()}
+        for client in clients.values():
+            await client._close_one()
+        self._peers.clear()

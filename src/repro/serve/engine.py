@@ -16,10 +16,13 @@ their frame batches.  Two implementations:
   was decoded), which is why this is not
   :class:`~repro.asr.parallel.DecodePool`: the pool's map-style
   executor hands jobs to whichever worker is free, the engine pins
-  each session to one worker for its lifetime.  The bundle machinery
-  is shared with the pool, though — workers adopt a parent-built
-  recognizer through fork copy-on-write where possible, and load the
-  persisted bundle themselves under ``spawn``.
+  each session to one worker for its lifetime.  The recognizer ships
+  to workers as a named shared-memory segment
+  (:func:`repro.shm.pack_recognizer`): every worker *attaches* the
+  parent-packed segment and decodes from zero-copy read-only views,
+  so N workers pay for the graphs/LM/scorer once — unlike fork
+  copy-on-write inheritance, whose refcount churn quietly privatizes
+  the inherited pages.
 
 Engines are synchronous; the scheduler calls them from executor
 threads sized to ``engine.workers``.  Every method is safe to call
@@ -34,8 +37,10 @@ engine is a crashed server):
   :class:`WorkerTimeout`/:class:`WorkerDied` instead of a blocked
   dispatch thread;
 * a supervisor thread (plus every failed request) detects dead
-  workers, respawns them through the same fork-COW/bundle machinery as
-  the initial spawn, and migrates the dead worker's sessions onto live
+  workers, respawns them against the same shared segment as the
+  initial spawn — a respawn re-attaches the existing segment, so its
+  cost is O(per-session state), not O(recognizer) — and migrates the
+  dead worker's sessions onto live
   ones by restoring each from its rolling
   :class:`~repro.asr.streaming.SessionSnapshot` checkpoint and
   replaying the acknowledged pushes since — continuations are
@@ -49,10 +54,8 @@ engine is a crashed server):
 
 from __future__ import annotations
 
-import itertools
 import multiprocessing
 import os
-import tempfile
 import threading
 import time
 from time import perf_counter
@@ -61,11 +64,15 @@ import numpy as np
 
 from repro.am.graph import AmGraph
 from repro.am.scorer import AcousticScorer
-from repro.asr.persist import load_recognizer, save_recognizer
-from repro.asr.streaming import PartialHypothesis, StreamingSession
+from repro.asr.streaming import (
+    PartialHypothesis,
+    SessionSnapshot,
+    StreamingSession,
+)
 from repro.core.decoder import DecodeResult, DecoderConfig, OnTheFlyDecoder
 from repro.lm.graph import LmGraph
 from repro.serve.metrics import MetricsRegistry
+from repro.shm import attach_recognizer, pack_recognizer, process_memory
 
 
 class EngineError(RuntimeError):
@@ -103,19 +110,27 @@ class InlineEngine:
 
     def __init__(
         self,
-        am: AmGraph,
-        lm: LmGraph,
+        am: AmGraph | None = None,
+        lm: LmGraph | None = None,
         config: DecoderConfig | None = None,
         fuse: bool = True,
         max_fused_sessions: int = 8,
+        decoder: OnTheFlyDecoder | None = None,
     ) -> None:
         if max_fused_sessions < 1:
             raise ValueError("max_fused_sessions must be >= 1")
+        if decoder is None:
+            if am is None or lm is None:
+                raise ValueError("need either a decoder or am+lm graphs")
+            # A prebuilt decoder is how shard processes serve from an
+            # attached shared-memory recognizer (tables-backed); the
+            # am/lm path builds a private one.
+            decoder = OnTheFlyDecoder(am, lm, config)
         self.workers = 1
         self.fuse = fuse
         #: Scheduler dispatch-width hint; 1 disables fused selection.
         self.max_fused_sessions = max_fused_sessions if fuse else 1
-        self._decoder = OnTheFlyDecoder(am, lm, config)
+        self._decoder = decoder
         self._sessions: dict[str, StreamingSession] = {}
 
     def start(self, session_id: str) -> None:
@@ -160,6 +175,24 @@ class InlineEngine:
     def cancel(self, session_id: str) -> None:
         self._sessions.pop(session_id, None)
 
+    def export_session(self, session_id: str) -> SessionSnapshot:
+        """Snapshot a session and release it (shard handoff, move-out)."""
+        session = self._session(session_id)
+        snapshot = session.snapshot()
+        del self._sessions[session_id]
+        return snapshot
+
+    def adopt_session(
+        self, session_id: str, snapshot: SessionSnapshot
+    ) -> None:
+        """Rebuild a migrated session from its snapshot (move-in)."""
+        if session_id in self._sessions:
+            raise EngineError(f"session {session_id!r} already started")
+        lookup = self._decoder.lookup if not self.fuse else None
+        self._sessions[session_id] = StreamingSession.restore(
+            self._decoder, snapshot, lookup=lookup
+        )
+
     def active_sessions(self) -> int:
         return len(self._sessions)
 
@@ -169,16 +202,16 @@ class InlineEngine:
 
 # -- process engine ---------------------------------------------------------
 
-# Parent-built recognizers inherited by forked workers (same idiom as
-# repro.asr.parallel._FORK_STATE; keyed so engines don't collide).
-_FORK_DECODERS: dict[int, OnTheFlyDecoder] = {}
-_FORK_KEYS = itertools.count()
-
 
 def _worker_main(
-    conn, config: DecoderConfig, bundle_dir: str | None, fork_key, chaos=None
+    conn, config: DecoderConfig, segment: str, chaos=None
 ):
     """Worker loop: own one decoder and the sessions pinned here.
+
+    The recognizer arrives as the *name* of a shared-memory segment the
+    parent packed: the worker attaches it and decodes from zero-copy
+    read-only views, so respawning a worker never re-ships or rebuilds
+    the recognizer — only per-session state is rebuilt (by restore).
 
     ``chaos`` is an optional :class:`repro.serve.chaos.WorkerChaos`
     fault plan: counted in pipe pushes, it can crash the process,
@@ -186,11 +219,10 @@ def _worker_main(
     deterministic stand-ins for the infrastructure faults the
     supervisor exists to absorb.
     """
-    if fork_key is not None:
-        decoder = _FORK_DECODERS[fork_key]
-    else:
-        bundle = load_recognizer(bundle_dir)
-        decoder = OnTheFlyDecoder(bundle.am, bundle.lm, config)
+    attached = attach_recognizer(segment)
+    decoder = OnTheFlyDecoder(
+        attached.am, attached.lm, config, tables=attached.tables
+    )
     sessions: dict[str, StreamingSession] = {}
     pushes = 0
     while True:
@@ -251,6 +283,10 @@ def _worker_main(
             elif command == "cancel":
                 sessions.pop(session_id, None)
                 conn.send(("ok", None))
+            elif command == "meminfo":
+                info = process_memory(segment=segment)
+                info["sessions"] = len(sessions)
+                conn.send(("ok", info))
             else:
                 raise EngineError(f"unknown command {command!r}")
         except KeyError:
@@ -258,13 +294,14 @@ def _worker_main(
         except Exception as exc:  # surfaced to the caller, loop survives
             conn.send(("err", f"{type(exc).__name__}: {exc}"))
     conn.close()
+    attached.close()
 
 
 class _Worker:
     """Parent-side handle: pipe + lock + pinned-session count."""
 
     def __init__(
-        self, ctx, config, bundle_dir, fork_key, index: int, chaos=None
+        self, ctx, config, segment: str, index: int, chaos=None
     ) -> None:
         parent_conn, child_conn = ctx.Pipe()
         self.conn = parent_conn
@@ -278,7 +315,7 @@ class _Worker:
         self.dead = False
         self.process = ctx.Process(
             target=_worker_main,
-            args=(child_conn, config, bundle_dir, fork_key, chaos),
+            args=(child_conn, config, segment, chaos),
             daemon=True,
         )
         self.process.start()
@@ -369,13 +406,14 @@ class _SessionRecord:
 class ProcessEngine:
     """Sessions pinned across dedicated, supervised worker processes.
 
-    Requires a ``scorer`` so the recognizer ships to workers as the
-    persisted bundle (exactly :class:`~repro.asr.parallel.DecodePool`'s
-    contract): every worker decodes the bundle-quantized graphs, so a
-    session's transcript is independent of which worker it landed on —
-    the same property that makes crash migration invisible: a session
-    restored from its checkpoint on another worker continues
-    bit-identically.
+    The recognizer ships to workers as one named shared-memory segment
+    (:func:`repro.shm.pack_recognizer`, bundle-quantized): every worker
+    attaches the segment and decodes the same float32-narrowed graphs
+    from zero-copy views, so a session's transcript is independent of
+    which worker it landed on — the same property that makes crash
+    migration invisible: a session restored from its checkpoint on
+    another worker continues bit-identically.  ``scorer`` is required
+    because workers score frames locally from the shared parameters.
 
     ``request_timeout`` bounds every pipe request (no dispatch thread
     blocks longer); ``checkpoint_interval`` is the rolling-checkpoint
@@ -419,24 +457,19 @@ class ProcessEngine:
         ):
             self.metrics.counter(name)
         self._chaos = chaos
-        self._fork_key: int | None = None
-        self._tempdir: tempfile.TemporaryDirectory | None = None
-        self._tempdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
-        bundle_dir = os.path.join(self._tempdir.name, "recognizer")
-        save_recognizer(bundle_dir, am, lm, scorer)
+        # Pack once, attach everywhere: every worker (initial spawn
+        # and every respawn) maps this segment and decodes zero-copy
+        # views of it — the recognizer is never pickled to, rebuilt
+        # in, or COW-inherited by a worker.
+        self._shm = pack_recognizer(am, lm, scorer, quantize=True)
         if "fork" in multiprocessing.get_all_start_methods():
+            # Fork stays the *launch* vehicle where available (no
+            # fresh-interpreter import tax on respawn); the recognizer
+            # still arrives via the segment, and pages a child never
+            # writes stay physically shared.
             self._ctx = multiprocessing.get_context("fork")
-            bundle = load_recognizer(bundle_dir)
-            self._fork_key = next(_FORK_KEYS)
-            _FORK_DECODERS[self._fork_key] = OnTheFlyDecoder(
-                bundle.am, bundle.lm, self.config
-            )
-            self._tempdir.cleanup()
-            self._tempdir = None
-            self._bundle_dir: str | None = None
         else:  # pragma: no cover - spawn-only platforms
-            self._ctx = multiprocessing.get_context()
-            self._bundle_dir = bundle_dir
+            self._ctx = multiprocessing.get_context("spawn")
         self._workers = [self._spawn_worker(i) for i in range(workers)]
         self._sessions: dict[str, _SessionRecord] = {}
         self._placement_lock = threading.Lock()
@@ -464,8 +497,7 @@ class ProcessEngine:
         return _Worker(
             self._ctx,
             self.config,
-            self._bundle_dir,
-            self._fork_key,
+            self._shm.segment_name,
             index,
             chaos,
         )
@@ -684,6 +716,73 @@ class ProcessEngine:
         with self._placement_lock:
             return len(self._sessions)
 
+    def export_session(self, session_id: str) -> SessionSnapshot:
+        """Snapshot a session's exact current state and release it.
+
+        Unlike the rolling checkpoint, this is taken *now* (no replay
+        suffix), so the receiving engine restores it as-is — the shard
+        handoff path.
+        """
+        record = self._record(session_id)
+        with record.lock:
+            snapshot = record.worker.request(
+                "snapshot", session_id, timeout=self.request_timeout
+            )
+            record.worker.request(
+                "cancel", session_id, timeout=self.request_timeout
+            )
+        self._forget(session_id)
+        return snapshot
+
+    def adopt_session(
+        self, session_id: str, snapshot: SessionSnapshot
+    ) -> None:
+        """Rebuild a migrated session on the least-loaded worker."""
+        with self._placement_lock:
+            if session_id in self._sessions:
+                raise EngineError(f"session {session_id!r} already started")
+            worker = min(self._workers, key=lambda w: w.sessions)
+            worker.sessions += 1
+            record = _SessionRecord(worker)
+            self._sessions[session_id] = record
+        try:
+            with record.lock:
+                worker.request(
+                    "restore",
+                    session_id,
+                    (snapshot, []),
+                    timeout=self.request_timeout,
+                )
+                record.started = True
+                record.checkpoint = snapshot
+        except Exception:
+            self._forget(session_id)
+            raise
+
+    def memory_report(self) -> dict:
+        """Shared-segment size plus each live worker's RSS/USS.
+
+        The interesting comparison: ``shared_nbytes`` is paid once for
+        the whole engine; each worker's ``uss_bytes`` (private pages)
+        should stay a small fraction of it — the segment's pages are
+        mapped, not copied, into every worker.
+        """
+        report = {
+            "segment": self._shm.segment_name,
+            "shared_nbytes": self._shm.nbytes,
+            "workers": [],
+        }
+        for worker in list(self._workers):
+            try:
+                info = worker.request(
+                    "meminfo", None, timeout=self.request_timeout
+                )
+            except EngineError:  # dead/timed-out worker: skip it
+                continue
+            info["index"] = worker.index
+            report["workers"].append(info)
+        return report
+
     def close(self) -> None:
         self._closing.set()
         if self._supervisor is not None:
@@ -706,9 +805,6 @@ class ProcessEngine:
             worker.process.join(timeout=5)
             if worker.process.is_alive():  # pragma: no cover - stuck worker
                 worker.process.terminate()
-        if self._fork_key is not None:
-            _FORK_DECODERS.pop(self._fork_key, None)
-            self._fork_key = None
-        if self._tempdir is not None:
-            self._tempdir.cleanup()
-            self._tempdir = None
+        # Workers are gone (or at least told to stop); destroy the
+        # segment.  unlink is idempotent, so repeated close() is safe.
+        self._shm.unlink()

@@ -126,10 +126,12 @@ async def run_load(
 ) -> LoadReport:
     """Replay every matrix once, ``concurrency`` sessions at a time.
 
-    ``client`` is anything with an async ``open()`` returning a
-    session handle with ``push``/``finish`` (both provided clients
-    qualify).  Results come back in ``score_matrices`` order on the
-    report's ``outcomes``.
+    ``client`` is anything with an async ``open(key=...)`` returning a
+    session handle with ``push``/``finish`` (all provided clients
+    qualify).  Each utterance opens with ``key=f"u{index}"`` so a
+    sharded client routes it deterministically to its home shard.
+    Results come back in ``score_matrices`` order on the report's
+    ``outcomes``.
 
     ``seed`` pins the submission order: utterances are shuffled with
     ``random.Random(seed)`` before workers pull them, so two runs with
@@ -178,7 +180,11 @@ async def run_load(
                 return
             while True:
                 try:
-                    session = await client.open()
+                    # The key is the utterance's identity: a sharded
+                    # client routes it to its home shard, the plain
+                    # clients ignore it — either way the mapping is a
+                    # pure function of the input, seed-stable.
+                    session = await client.open(key=f"u{index}")
                     break
                 except Busy:
                     rejections += 1

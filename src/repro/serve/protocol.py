@@ -12,6 +12,8 @@ Client -> server::
     {"type": "finish", "session": s}               end-of-utterance
     {"type": "cancel", "session": s}               abandon, no final
     {"type": "status"}                             health + metrics
+    {"type": "resume", "session": s}               re-attach a migrated
+                                                   session on its new shard
 
 Server -> client::
 
@@ -27,6 +29,8 @@ Server -> client::
      "delay_seconds": d, "error": e}             transient fault, retrying
     {"type": "recovered", "session": s, "attempts": n}
     {"type": "cancelled", "session": s}            cancel acknowledged
+    {"type": "moved", "session": s, "host": h, "port": p, "shard": i
+     [, "resend": b]}                              session now lives there
     {"type": "error", "error": e [, "session": s]}
 
 ``retrying``/``recovered`` are informational: a client that ignores
@@ -34,6 +38,15 @@ them sees exactly the old protocol (its partial or final simply
 arrives late), but one that listens can show degradation instead of a
 silent stall — the scheduler emits them around transient engine
 faults (dead workers mid-recovery, injected chaos).
+
+``moved`` is the sharded deployment's redirect: the session (with its
+engine state and any queued batches) was handed to the shard at
+``host:port``, so the client reconnects there and sends ``resume``
+with the same session id.  ``resend: true`` marks a redirect that
+*rejected* the triggering request (it was not applied here and must be
+re-sent on the new shard); the export-time notification carries no
+``resend`` — batches accepted before the move travel with the session
+and produce their partials on the new shard.
 
 Score batches cross the wire as nested lists of floats — verbose but
 dependency-free and exact (JSON doubles are the decoder's float64).
@@ -59,12 +72,14 @@ BUSY = "busy"
 ERROR = "error"
 RETRYING = "retrying"
 RECOVERED = "recovered"
+MOVED = "moved"
+RESUME = "resume"
 
 #: Server->client messages that carry no result: safe to ignore, never
 #: terminal for a session.
 NOTICE_TYPES = frozenset({RETRYING, RECOVERED})
 
-CLIENT_TYPES = frozenset({START, FRAMES, FINISH, CANCEL, STATUS})
+CLIENT_TYPES = frozenset({START, FRAMES, FINISH, CANCEL, STATUS, RESUME})
 
 
 class ProtocolError(ValueError):
@@ -173,6 +188,30 @@ def retrying_message(
 def recovered_message(session_id: str, attempts: int) -> dict:
     """A retried operation landed; normal service resumed."""
     return {"type": RECOVERED, "session": session_id, "attempts": attempts}
+
+
+def moved_message(
+    session_id: str,
+    host: str,
+    port: int,
+    shard: int,
+    resend: bool = False,
+) -> dict:
+    """The session now lives on the shard at ``host:port``.
+
+    ``resend=True`` additionally means the request this replies to was
+    rejected here and must be re-sent after resuming over there.
+    """
+    message = {
+        "type": MOVED,
+        "session": session_id,
+        "host": host,
+        "port": port,
+        "shard": shard,
+    }
+    if resend:
+        message["resend"] = True
+    return message
 
 
 def cancelled_message(session_id: str) -> dict:

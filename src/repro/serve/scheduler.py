@@ -200,6 +200,7 @@ class Scheduler:
         engine,
         config: SchedulerConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        session_id_prefix: str = "s",
     ) -> None:
         self.engine = engine
         self.config = config or SchedulerConfig()
@@ -212,6 +213,9 @@ class Scheduler:
         self._stopping = False
         self._draining = False
         self._task: asyncio.Task | None = None
+        #: Id prefix, distinct per shard in a sharded deployment so a
+        #: migrated session's id stays unique cluster-wide.
+        self._id_prefix = session_id_prefix
         self._ids = iter(range(1, 1 << 62))
         self._executor = ThreadPoolExecutor(
             max_workers=engine.workers,
@@ -247,7 +251,7 @@ class Scheduler:
             raise Busy(
                 f"session table full ({self.config.max_sessions} active)"
             )
-        session_id = f"s{next(self._ids)}"
+        session_id = f"{self._id_prefix}{next(self._ids)}"
         try:
             await self._run_engine(self.engine.start, session_id)
         except TransientEngineError as exc:
@@ -309,6 +313,91 @@ class Scheduler:
             session, protocol.cancelled_message(session.session_id)
         )
         self._retire(session, "sessions_cancelled")
+
+    # -- migration (shard handoff) ------------------------------------------
+
+    def exportable_sessions(self) -> list[str]:
+        """Sessions safe to hand off right now, hottest-ring order.
+
+        Excludes in-flight sessions (their engine state is mid-update)
+        and finishing ones (about to retire anyway).  Sorted for
+        deterministic victim selection.
+        """
+        return sorted(
+            session_id
+            for session_id, session in self._sessions.items()
+            if not (
+                session.closed
+                or session.inflight
+                or session.finish_requested
+            )
+        )
+
+    async def export_session(
+        self, session_id: str, notice: dict | None = None
+    ) -> dict:
+        """Snapshot a session (engine state + queued batches) and
+        retire it locally.
+
+        ``notice`` (a ``moved`` protocol message) is emitted on the
+        session's event queue before retirement so a connected client
+        learns the forwarding address.  Returns the handle
+        :meth:`adopt_session` consumes on the receiving scheduler.
+        """
+        session = self._sessions.get(session_id)
+        if session is None or session.closed:
+            raise Busy(f"unknown session {session_id!r}")
+        if session.inflight:
+            raise Busy(f"session {session_id!r} is mid-decode")
+        queued = [np.asarray(batch) for batch in session.queue]
+        session.queue.clear()
+        snapshot = await self._run_engine(
+            self.engine.export_session, session_id
+        )
+        if notice is not None:
+            self._emit(session, notice)
+        self._retire(session, "sessions_moved")
+        return {
+            "session_id": session_id,
+            "snapshot": snapshot,
+            "queued": queued,
+            "frames_decoded": session.frames_decoded,
+            "finish_requested": session.finish_requested,
+            "saw_first_partial": session.saw_first_partial,
+        }
+
+    async def adopt_session(self, handle: dict) -> Session:
+        """Rebuild an exported session here, queued batches included."""
+        if self._stopping:
+            raise Busy("server is shutting down")
+        session_id = handle["session_id"]
+        if session_id in self._sessions:
+            raise Busy(f"session {session_id!r} already lives here")
+        if len(self._sessions) >= self.config.max_sessions:
+            raise Busy(
+                f"session table full ({self.config.max_sessions} active)"
+            )
+        await self._run_engine(
+            self.engine.adopt_session, session_id, handle["snapshot"]
+        )
+        now = perf_counter()
+        session = Session(
+            session_id=session_id, admitted_at=now, last_activity=now
+        )
+        session.frames_decoded = handle.get("frames_decoded", 0)
+        # Keep time-to-first-partial honest: an adopted session's
+        # first partial was measured on its original shard.
+        session.saw_first_partial = handle.get("saw_first_partial", True)
+        session.finish_requested = handle.get("finish_requested", False)
+        for batch in handle.get("queued", ()):
+            session.queue.append(batch)
+        self._sessions[session_id] = session
+        self._order.append(session_id)
+        self.metrics.counter("sessions_adopted").inc()
+        self.metrics.gauge("active_sessions").set(len(self._sessions))
+        self._update_queue_gauge()
+        self._wake.set()
+        return session
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -71,6 +71,9 @@ class ServeConfig:
     #: decoded frames (None disables checkpoints; migration then
     #: replays a session's whole history).
     checkpoint_interval_frames: int | None = 16
+    #: Session-id prefix; a sharded deployment gives each shard its
+    #: own so migrated session ids stay unique cluster-wide.
+    session_id_prefix: str = "s"
 
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(
@@ -88,16 +91,33 @@ class TranscriptionServer:
 
     def __init__(
         self,
-        am: AmGraph,
-        lm: LmGraph,
+        am: AmGraph | None = None,
+        lm: LmGraph | None = None,
         decoder_config: DecoderConfig | None = None,
         serve_config: ServeConfig | None = None,
         scorer: AcousticScorer | None = None,
         chaos=None,
+        engine=None,
     ) -> None:
         self.config = serve_config or ServeConfig()
         self.metrics = MetricsRegistry()
-        if self.config.workers > 1:
+        if engine is not None:
+            # Prebuilt engine (shard processes hand in an InlineEngine
+            # over a decoder attached to shared memory).
+            if am is not None or lm is not None or scorer is not None:
+                raise ValueError(
+                    "pass either a prebuilt engine or am/lm graphs, "
+                    "not both"
+                )
+            if chaos is not None:
+                raise ValueError(
+                    "chaos injection requires the server to build its "
+                    "own process engine"
+                )
+            self.engine = engine
+        elif am is None or lm is None:
+            raise ValueError("need either a prebuilt engine or am+lm graphs")
+        elif self.config.workers > 1:
             if scorer is None:
                 raise ValueError(
                     "a scorer is required to ship the recognizer bundle "
@@ -131,12 +151,17 @@ class TranscriptionServer:
             self.engine,
             config=self.config.scheduler_config(),
             metrics=self.metrics,
+            session_id_prefix=self.config.session_id_prefix,
         )
         self.port: int | None = None
         self._tcp_server: asyncio.base_events.Server | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._started = False
         self._stopped = False
+        #: Forwarding addresses for sessions exported to other shards:
+        #: session id -> (host, port, shard index).  A request naming a
+        #: moved session gets a ``moved`` redirect instead of an error.
+        self._moved_sessions: dict[str, tuple[str, int, int]] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -189,6 +214,37 @@ class TranscriptionServer:
     def connect_local(self) -> "InProcessClient":
         """A client that speaks the protocol without a socket."""
         return InProcessClient(self)
+
+    # -- shard migration ----------------------------------------------------
+
+    def exportable_sessions(self) -> list[str]:
+        """Sessions safe to hand to another shard right now."""
+        return self.scheduler.exportable_sessions()
+
+    async def export_session(
+        self, session_id: str, host: str, port: int, shard: int
+    ) -> dict:
+        """Hand a session off toward the shard at ``host:port``.
+
+        The session's engine state is snapshotted, its queued batches
+        captured, and a ``moved`` redirect is delivered to any client
+        still attached here; a tombstone answers later requests naming
+        the id.  Returns the pickled handle the target's
+        :meth:`adopt_session` consumes.
+        """
+        notice = protocol.moved_message(session_id, host, port, shard)
+        handle = await self.scheduler.export_session(
+            session_id, notice=notice
+        )
+        self._moved_sessions[session_id] = (host, port, shard)
+        return handle
+
+    async def adopt_session(self, handle: dict) -> None:
+        """Accept a session another shard exported (move-in)."""
+        await self.scheduler.adopt_session(handle)
+        # The session lives here now; drop any stale forward so a
+        # boomerang move (A -> B -> A) resolves locally again.
+        self._moved_sessions.pop(handle["session_id"], None)
 
     # -- TCP transport ------------------------------------------------------
 
@@ -262,13 +318,58 @@ class TranscriptionServer:
             )
         elif kind == protocol.STATUS:
             await send(self.status_message())
+        elif kind == protocol.RESUME:
+            session_id = message.get("session")
+            session = (
+                self.scheduler.get(session_id)
+                if isinstance(session_id, str)
+                else None
+            )
+            if session is not None and not session.closed:
+                # The session id is the bearer token: whoever resumes
+                # it owns its event stream from here on.  A repeated
+                # resume from the same connection is acknowledged
+                # without stacking a second pump on the event queue.
+                if owned.get(session_id) is not session:
+                    owned[session_id] = session
+                    pumps.append(asyncio.get_running_loop().create_task(
+                        self._pump(session, send)
+                    ))
+                await send(
+                    {"type": protocol.STARTED, "session": session_id}
+                )
+            elif session_id in self._moved_sessions:
+                await send(
+                    protocol.moved_message(
+                        session_id, *self._moved_sessions[session_id]
+                    )
+                )
+            else:
+                await send(
+                    protocol.error_message(
+                        f"unknown session {session_id!r}", session_id
+                    )
+                )
         elif kind in (protocol.FRAMES, protocol.FINISH, protocol.CANCEL):
-            session = owned.get(message.get("session"))
+            session_id = message.get("session")
+            session = owned.get(session_id)
+            if session is None or session.closed:
+                if session_id in self._moved_sessions:
+                    # The request was NOT applied here: redirect with
+                    # resend so the client replays it after resuming.
+                    await send(
+                        protocol.moved_message(
+                            session_id,
+                            *self._moved_sessions[session_id],
+                            resend=True,
+                        )
+                    )
+                    return
             if session is None:
                 await send(
                     protocol.error_message(
-                        f"unknown session {message.get('session')!r}",
-                        message.get("session"),
+                        f"unknown session {session_id!r}",
+                        session_id,
                     )
                 )
                 return
@@ -300,6 +401,7 @@ class TranscriptionServer:
                 protocol.FINAL,
                 protocol.ERROR,
                 protocol.CANCELLED,
+                protocol.MOVED,
             ):
                 return
 
@@ -310,9 +412,11 @@ class InProcessClient:
     def __init__(self, server: TranscriptionServer) -> None:
         self._server = server
 
-    async def open(self) -> "InProcessSession":
+    async def open(self, key: str | None = None) -> "InProcessSession":
         """Open one streaming session; raises :class:`Busy` when the
-        admission controller rejects it."""
+        admission controller rejects it.  ``key`` is accepted for
+        interface parity with the sharded client and ignored."""
+        del key
         session = await self._server.scheduler.admit()
         return InProcessSession(self._server, session)
 

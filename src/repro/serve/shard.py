@@ -1,0 +1,436 @@
+"""Sharded serving: N shard processes over one shared recognizer.
+
+:class:`ShardedServer` scales the streaming service across processes
+without multiplying its memory: the parent packs the recognizer into
+one shared-memory segment (:func:`repro.shm.pack_recognizer`) and
+spawns ``shards`` worker processes, each of which *attaches* the
+segment and runs a full :class:`~repro.serve.server.TranscriptionServer`
+(in-process fused engine, own TCP port) against zero-copy views of it.
+That is the paper's shared-dataset / small-channel-state split at
+process scale: the big tables exist once, each shard holds only its
+sessions' channel state.
+
+Clients route sessions with :class:`ShardRouter` — a consistent-hash
+ring (md5, virtual nodes) over the shard indices, so the mapping is
+stable, uniform, and identical in every process that builds the same
+router.  A hot shard can hand sessions to a cold one through the
+snapshot/restore migration machinery (:meth:`ShardedServer.rebalance`):
+the source shard exports the session (engine snapshot + queued
+batches), the target adopts it, and the client follows the ``moved``
+redirect with ``resume`` — transcripts stay bit-identical because the
+snapshot contract already guarantees continuation-equality.
+
+The parent talks to shard processes over control pipes (status,
+export/adopt, meminfo, stop); the data plane is ordinary TCP straight
+to each shard — the parent is not a proxy, so adding shards adds
+serving capacity without a single-process bottleneck in front.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import multiprocessing
+import threading
+from dataclasses import replace
+
+from repro.am.graph import AmGraph
+from repro.am.scorer import AcousticScorer
+from repro.core.decoder import DecoderConfig, OnTheFlyDecoder
+from repro.lm.graph import LmGraph
+from repro.serve.engine import InlineEngine
+from repro.serve.server import ServeConfig, ServeError, TranscriptionServer
+from repro.shm import attach_recognizer, pack_recognizer, process_memory
+
+#: Virtual nodes per shard on the hash ring; enough that keys spread
+#: within a few percent of uniform at small shard counts.
+DEFAULT_VIRTUAL_NODES = 64
+
+#: Parent-side deadline for one control-pipe request.
+CONTROL_TIMEOUT_SECONDS = 60.0
+
+
+def _hash64(data: str) -> int:
+    """Stable 64-bit hash (md5 prefix) — never Python's salted hash()."""
+    return int.from_bytes(
+        hashlib.md5(data.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ShardRouter:
+    """Consistent-hash ring mapping session keys to shard indices.
+
+    Every process that builds ``ShardRouter(n)`` gets the identical
+    mapping (the ring hashes fixed strings), so clients and servers
+    agree on placement without coordination.  Consistent hashing keeps
+    the mapping stable under resharding: growing from N to N+1 shards
+    remaps only ~1/(N+1) of the keyspace instead of nearly all of it.
+    """
+
+    def __init__(
+        self, shards: int, virtual_nodes: int = DEFAULT_VIRTUAL_NODES
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.shards = shards
+        points: list[tuple[int, int]] = []
+        for shard in range(shards):
+            for node in range(virtual_nodes):
+                points.append((_hash64(f"shard-{shard}-vn-{node}"), shard))
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard index owning ``key`` (first point clockwise)."""
+        index = bisect.bisect_right(self._hashes, _hash64(key))
+        return self._points[index % len(self._points)][1]
+
+    def spread(self, keys) -> list[int]:
+        """Key count per shard — uniformity check for tests/benches."""
+        counts = [0] * self.shards
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts
+
+
+# -- shard worker process ---------------------------------------------------
+
+
+def _shard_main(conn, segment, decoder_config, serve_config, index):
+    """One shard process: attach the segment, serve TCP, obey the pipe."""
+    attached = attach_recognizer(segment)
+    try:
+        decoder = OnTheFlyDecoder(
+            attached.am, attached.lm, decoder_config, tables=attached.tables
+        )
+        asyncio.run(
+            _shard_serve(conn, decoder, serve_config, index, segment)
+        )
+    finally:
+        attached.close()
+        conn.close()
+
+
+async def _shard_serve(conn, decoder, serve_config, index, segment):
+    engine = InlineEngine(
+        decoder=decoder,
+        fuse=serve_config.fuse_sessions,
+        max_fused_sessions=serve_config.max_sessions,
+    )
+    config = replace(
+        serve_config,
+        port=0,
+        workers=1,
+        session_id_prefix=f"sh{index}-",
+    )
+    server = TranscriptionServer(serve_config=config, engine=engine)
+    await server.start()
+    conn.send(("ready", server.port))
+    try:
+        await _control_loop(server, conn, index, segment)
+    finally:
+        await server.stop(drain=True)
+
+
+async def _control_loop(server, conn, index, segment):
+    """Serve parent control requests on the shard's own event loop.
+
+    The blocking pipe read runs in a worker thread; the handlers run on
+    the loop so they can await the server (export/adopt are real
+    scheduler operations, not just introspection).
+    """
+    loop = asyncio.get_running_loop()
+    while True:
+        try:
+            command, payload = await loop.run_in_executor(None, conn.recv)
+        except (EOFError, OSError):
+            return
+        try:
+            if command == "stop":
+                conn.send(("ok", None))
+                return
+            if command == "status":
+                status = server.status_message()
+                status["shard"] = index
+                conn.send(("ok", status))
+            elif command == "exportable":
+                conn.send(("ok", server.exportable_sessions()))
+            elif command == "export":
+                session_id, host, port, shard = payload
+                handle = await server.export_session(
+                    session_id, host, port, shard
+                )
+                conn.send(("ok", handle))
+            elif command == "adopt":
+                await server.adopt_session(payload)
+                conn.send(("ok", None))
+            elif command == "meminfo":
+                info = process_memory(segment=segment)
+                info["shard"] = index
+                info["sessions"] = server.scheduler.active_sessions
+                conn.send(("ok", info))
+            else:
+                conn.send(("err", f"unknown command {command!r}"))
+        except Exception as exc:  # surfaced parent-side, loop survives
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+
+
+class _ShardHandle:
+    """Parent-side handle: process + control pipe + endpoint."""
+
+    def __init__(self, ctx, segment, decoder_config, serve_config, index):
+        parent_conn, child_conn = ctx.Pipe()
+        self.conn = parent_conn
+        self.lock = threading.Lock()
+        self.index = index
+        self.host = serve_config.host
+        self.port: int | None = None
+        self.process = ctx.Process(
+            target=_shard_main,
+            args=(child_conn, segment, decoder_config, serve_config, index),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    def wait_ready(self, timeout: float = CONTROL_TIMEOUT_SECONDS) -> None:
+        with self.lock:
+            if not self.conn.poll(timeout):
+                raise ServeError(
+                    f"shard {self.index} did not report ready within "
+                    f"{timeout:g}s"
+                )
+            tag, value = self.conn.recv()
+        if tag != "ready":
+            raise ServeError(f"shard {self.index} failed to start: {value}")
+        self.port = value
+
+    def request(
+        self,
+        command: str,
+        payload=None,
+        timeout: float = CONTROL_TIMEOUT_SECONDS,
+    ):
+        with self.lock:
+            try:
+                self.conn.send((command, payload))
+                if not self.conn.poll(timeout):
+                    raise ServeError(
+                        f"shard {self.index} gave no reply to "
+                        f"{command!r} within {timeout:g}s"
+                    )
+                status, value = self.conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                raise ServeError(
+                    f"shard {self.index} control pipe failed during "
+                    f"{command!r}: {type(exc).__name__}"
+                ) from exc
+        if status != "ok":
+            raise ServeError(f"shard {self.index}: {value}")
+        return value
+
+    def shutdown(self, join_timeout: float = 10.0) -> None:
+        try:
+            self.request("stop")
+        except ServeError:
+            pass
+        self.process.join(timeout=join_timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck shard
+            self.process.kill()
+            self.process.join(timeout=join_timeout)
+        with self.lock:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
+class ShardedServer:
+    """N shard processes serving one shared-memory recognizer.
+
+    Construction packs; :meth:`start` spawns the shards and waits for
+    their ports.  Clients connect straight to ``endpoints`` (route by
+    :attr:`router`), or through
+    :class:`~repro.serve.client.ShardedClient` which does both.
+    """
+
+    def __init__(
+        self,
+        am: AmGraph,
+        lm: LmGraph,
+        scorer: AcousticScorer | None = None,
+        decoder_config: DecoderConfig | None = None,
+        serve_config: ServeConfig | None = None,
+        shards: int = 2,
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.config = serve_config or ServeConfig()
+        self.decoder_config = decoder_config or DecoderConfig()
+        self.shards = shards
+        self.router = ShardRouter(shards, virtual_nodes=virtual_nodes)
+        self._shm = pack_recognizer(am, lm, scorer, quantize=True)
+        if "fork" in multiprocessing.get_all_start_methods():
+            self._ctx = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - spawn-only platforms
+            self._ctx = multiprocessing.get_context("spawn")
+        self._handles: list[_ShardHandle] = []
+        self._started = False
+        self._stopped = False
+
+    @property
+    def segment_name(self) -> str:
+        return self._shm.segment_name
+
+    @property
+    def shared_nbytes(self) -> int:
+        return self._shm.nbytes
+
+    @property
+    def endpoints(self) -> list[tuple[str, int]]:
+        """``(host, port)`` per shard, in shard-index order."""
+        return [(handle.host, handle.port) for handle in self._handles]
+
+    def endpoint_for(self, key: str) -> tuple[str, int]:
+        return self.endpoints[self.router.shard_for(key)]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        loop = asyncio.get_running_loop()
+        self._handles = [
+            _ShardHandle(
+                self._ctx,
+                self._shm.segment_name,
+                self.decoder_config,
+                self.config,
+                index,
+            )
+            for index in range(self.shards)
+        ]
+        await asyncio.gather(
+            *(
+                loop.run_in_executor(None, handle.wait_ready)
+                for handle in self._handles
+            )
+        )
+
+    async def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(
+            *(
+                loop.run_in_executor(None, handle.shutdown)
+                for handle in self._handles
+            )
+        )
+        self._shm.unlink()
+
+    async def __aenter__(self) -> "ShardedServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- control plane ------------------------------------------------------
+
+    async def _request(self, handle: _ShardHandle, command, payload=None):
+        return await asyncio.get_running_loop().run_in_executor(
+            None, handle.request, command, payload
+        )
+
+    async def status(self) -> dict:
+        """One status view: per-shard statuses + rolled-up metrics.
+
+        Counters and gauges sum across shards (``active_sessions`` is
+        the cluster total); histograms don't merge exactly from
+        summaries, so latency shapes stay per-shard under ``shards``.
+        """
+        statuses = await asyncio.gather(
+            *(self._request(h, "status") for h in self._handles)
+        )
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        for status in statuses:
+            metrics = status.get("metrics", {})
+            for name, value in metrics.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+            for name, value in metrics.get("gauges", {}).items():
+                gauges[name] = gauges.get(name, 0) + value
+        return {
+            "type": "status",
+            "ok": all(s.get("ok") for s in statuses),
+            "shards": list(statuses),
+            "num_shards": len(statuses),
+            "active_sessions": sum(
+                s.get("active_sessions", 0) for s in statuses
+            ),
+            "metrics": {
+                "counters": dict(sorted(counters.items())),
+                "gauges": dict(sorted(gauges.items())),
+            },
+        }
+
+    async def memory_report(self) -> dict:
+        """Segment size plus each shard's RSS/USS (see serve bench)."""
+        infos = await asyncio.gather(
+            *(self._request(h, "meminfo") for h in self._handles)
+        )
+        return {
+            "segment": self._shm.segment_name,
+            "shared_nbytes": self._shm.nbytes,
+            "shards": list(infos),
+        }
+
+    # -- work stealing ------------------------------------------------------
+
+    async def rebalance(self, max_moves: int | None = None) -> list[dict]:
+        """Move sessions from the hottest shard to the coldest.
+
+        Deterministic work stealing: while the hottest shard holds at
+        least two sessions more than the coldest, its lexicographically
+        first exportable session is exported (snapshot + queued
+        batches), adopted by the coldest shard, and redirected —
+        connected clients see ``moved`` and follow it with ``resume``.
+        Returns the moves performed.
+        """
+        counts = [
+            (await self._request(handle, "status")).get(
+                "active_sessions", 0
+            )
+            for handle in self._handles
+        ]
+        moves: list[dict] = []
+        while max_moves is None or len(moves) < max_moves:
+            hot = max(range(len(counts)), key=lambda i: (counts[i], -i))
+            cold = min(range(len(counts)), key=lambda i: (counts[i], i))
+            if counts[hot] - counts[cold] < 2:
+                break
+            victims = await self._request(self._handles[hot], "exportable")
+            if not victims:
+                break
+            session_id = victims[0]
+            target = self._handles[cold]
+            handle = await self._request(
+                self._handles[hot],
+                "export",
+                (session_id, target.host, target.port, cold),
+            )
+            await self._request(target, "adopt", handle)
+            counts[hot] -= 1
+            counts[cold] += 1
+            moves.append(
+                {"session": session_id, "from": hot, "to": cold}
+            )
+        return moves

@@ -1,0 +1,55 @@
+"""Zero-copy shared-memory recognizer segments.
+
+``pack_recognizer`` flattens a recognizer's graph/LM/scorer arrays into
+one named shared-memory segment (manifest + checksums);
+``attach_recognizer`` maps it back as read-only numpy views —
+bit-identical decodes, one physical copy of the data no matter how many
+worker processes attach.  See :mod:`repro.shm.recognizer` for the
+memory story and :mod:`repro.shm.segments` for the segment format.
+"""
+
+from repro.shm.meminfo import (
+    process_memory,
+    rss_bytes,
+    segment_memory,
+    uss_bytes,
+)
+from repro.shm.recognizer import (
+    RECOGNIZER_SHM_VERSION,
+    AttachedRecognizer,
+    attach_recognizer,
+    bundle_quantize,
+    pack_recognizer,
+)
+from repro.shm.segments import (
+    SHM_FORMAT_VERSION,
+    SharedArrays,
+    ShmAttachError,
+    ShmChecksumError,
+    ShmError,
+    ShmVersionError,
+    attach_arrays,
+    pack_arrays,
+    segment_name,
+)
+
+__all__ = [
+    "RECOGNIZER_SHM_VERSION",
+    "SHM_FORMAT_VERSION",
+    "AttachedRecognizer",
+    "SharedArrays",
+    "ShmAttachError",
+    "ShmChecksumError",
+    "ShmError",
+    "ShmVersionError",
+    "attach_arrays",
+    "attach_recognizer",
+    "bundle_quantize",
+    "pack_arrays",
+    "pack_recognizer",
+    "process_memory",
+    "rss_bytes",
+    "segment_memory",
+    "segment_name",
+    "uss_bytes",
+]

@@ -1,0 +1,271 @@
+"""Named shared-memory segments with a self-describing manifest.
+
+One :class:`SharedArrays` segment holds any number of numpy arrays,
+laid out back to back (64-byte aligned) behind a small JSON manifest
+that records, per array, its dtype / shape / byte offset / CRC-32 —
+plus caller metadata (scalars and flags a reader needs to rebuild
+higher-level structures).  The segment is *self-describing*: attaching
+needs only the name.
+
+Attached arrays are **zero-copy read-only views** of the shared pages:
+N processes mapping the same segment pay for its bytes once, which is
+the process-scale version of the paper's shared-dataset argument — the
+recognizer's big tables live in one place, and per-process state stays
+small.  Contrast fork copy-on-write inheritance, where Python refcount
+churn quietly privatizes the very pages being "shared".
+
+Lifecycle: the packing process owns the segment and must
+:meth:`~SharedArrays.unlink` it (``close`` alone only drops this
+process's mapping); attachers just ``close``.  Attach after unlink
+raises :class:`ShmAttachError`; a corrupted payload raises
+:class:`ShmChecksumError`; a manifest written by a different layout
+version raises :class:`ShmVersionError`.
+"""
+
+from __future__ import annotations
+
+import json
+import secrets
+import zlib
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+#: Layout version of the segment header + manifest.  Bump on any
+#: incompatible change; attach refuses a mismatched segment outright
+#: rather than misreading offsets.
+SHM_FORMAT_VERSION = 1
+
+_MAGIC = b"RSHM"
+_ALIGN = 64
+_HEADER = 16  # magic (4) + version (4) + manifest length (8)
+
+#: Segment names created (and therefore resource-tracked) by this
+#: process.  An attach to one of these must NOT unregister the tracker
+#: entry — that entry belongs to the owner handle, whose ``unlink``
+#: will consume it.
+_OWNED: set[str] = set()
+
+
+class ShmError(RuntimeError):
+    """Base class for shared-memory segment errors."""
+
+
+class ShmAttachError(ShmError):
+    """The named segment does not exist (never packed, or unlinked)."""
+
+
+class ShmVersionError(ShmError):
+    """The segment was written by an incompatible layout version."""
+
+
+class ShmChecksumError(ShmError):
+    """An array's bytes do not match the manifest checksum."""
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Detach ``shm`` from the resource tracker (attach-only handles).
+
+    Python < 3.13 registers every ``SharedMemory`` with the resource
+    tracker, which unlinks "leaked" segments when *any* attaching
+    process exits — exactly wrong for a reader that never owned the
+    segment.  Unregistering keeps ownership where it belongs: the
+    packing process unlinks, everyone else just closes.
+    """
+    try:  # pragma: no cover - tracker internals differ across versions
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def segment_name(prefix: str = "repro") -> str:
+    """A collision-resistant segment name (``/dev/shm``-visible)."""
+    return f"{prefix}-{secrets.token_hex(6)}"
+
+
+class SharedArrays:
+    """A set of named numpy arrays in one shared-memory segment.
+
+    Access arrays via :attr:`arrays` (read-only views) and the packing
+    metadata via :attr:`meta`.  ``owner`` is True for the process that
+    packed the segment — the one responsible for :meth:`unlink`.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        arrays: dict[str, np.ndarray],
+        meta: dict,
+        manifest: dict,
+        owner: bool,
+    ) -> None:
+        self.shm = shm
+        self.arrays = arrays
+        self.meta = meta
+        self.manifest = manifest
+        self.owner = owner
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes (the arrays, excluding header/padding)."""
+        return sum(spec["nbytes"] for spec in self.manifest["arrays"].values())
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays = {}
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - lingering exported view
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only); idempotent."""
+        self.close()
+        _OWNED.discard(self.shm.name)
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.owner:
+            self.unlink()
+        else:
+            self.close()
+
+
+def pack_arrays(
+    arrays: dict[str, np.ndarray],
+    meta: dict | None = None,
+    name: str | None = None,
+) -> SharedArrays:
+    """Copy ``arrays`` into a new named segment; returns the owner handle.
+
+    The returned handle's views alias the shared pages (not the input
+    arrays), so the caller may drop its originals: this is the one copy
+    the data ever makes.
+    """
+    specs: dict[str, dict] = {}
+    offset = 0  # relative to the payload base
+    for key, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        offset = _align(offset)
+        specs[key] = {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "offset": offset,
+            "nbytes": int(array.nbytes),
+            "crc32": zlib.crc32(array.tobytes()) & 0xFFFFFFFF,
+        }
+        offset += int(array.nbytes)
+    manifest = {
+        "format_version": SHM_FORMAT_VERSION,
+        "meta": dict(meta or {}),
+        "arrays": specs,
+    }
+    blob = json.dumps(manifest, sort_keys=True).encode()
+    base = _align(_HEADER + len(blob))
+    total = max(1, base + offset)
+    shm = shared_memory.SharedMemory(
+        create=True, size=total, name=name or segment_name()
+    )
+    _OWNED.add(shm.name)
+    buf = shm.buf
+    buf[:4] = _MAGIC
+    buf[4:8] = SHM_FORMAT_VERSION.to_bytes(4, "little")
+    buf[8:16] = len(blob).to_bytes(8, "little")
+    buf[16 : 16 + len(blob)] = blob
+    views: dict[str, np.ndarray] = {}
+    for key, array in arrays.items():
+        spec = specs[key]
+        start = base + spec["offset"]
+        view = np.ndarray(
+            tuple(spec["shape"]),
+            dtype=np.dtype(spec["dtype"]),
+            buffer=buf,
+            offset=start,
+        )
+        view[...] = np.ascontiguousarray(array)
+        view.flags.writeable = False
+        views[key] = view
+    return SharedArrays(
+        shm, views, manifest["meta"], manifest, owner=True
+    )
+
+
+def attach_arrays(name: str, verify: bool = True) -> SharedArrays:
+    """Map an existing segment as read-only zero-copy views.
+
+    ``verify`` checks every array's CRC-32 against the manifest (one
+    sequential read of the shared pages — they stay shared; reading
+    never privatizes them).
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError as exc:
+        raise ShmAttachError(
+            f"shared segment {name!r} does not exist (never packed, "
+            f"or already unlinked)"
+        ) from exc
+    if shm.name not in _OWNED:
+        _untrack(shm)
+    try:
+        buf = shm.buf
+        if bytes(buf[:4]) != _MAGIC:
+            raise ShmVersionError(
+                f"segment {name!r} is not a repro.shm segment"
+            )
+        version = int.from_bytes(buf[4:8], "little")
+        if version != SHM_FORMAT_VERSION:
+            raise ShmVersionError(
+                f"segment {name!r} has layout version {version}, "
+                f"this reader supports {SHM_FORMAT_VERSION}"
+            )
+        blob_len = int.from_bytes(buf[8:16], "little")
+        manifest = json.loads(bytes(buf[16 : 16 + blob_len]))
+        if manifest["format_version"] != SHM_FORMAT_VERSION:
+            raise ShmVersionError(
+                f"segment {name!r} manifest declares version "
+                f"{manifest['format_version']}, this reader supports "
+                f"{SHM_FORMAT_VERSION}"
+            )
+        base = _align(_HEADER + blob_len)
+        views: dict[str, np.ndarray] = {}
+        for key, spec in manifest["arrays"].items():
+            view = np.ndarray(
+                tuple(spec["shape"]),
+                dtype=np.dtype(spec["dtype"]),
+                buffer=buf,
+                offset=base + spec["offset"],
+            )
+            view.flags.writeable = False
+            if verify:
+                crc = zlib.crc32(view.tobytes()) & 0xFFFFFFFF
+                if crc != spec["crc32"]:
+                    raise ShmChecksumError(
+                        f"array {key!r} of segment {name!r} fails its "
+                        f"checksum (manifest {spec['crc32']:#010x}, "
+                        f"read {crc:#010x})"
+                    )
+            views[key] = view
+        return SharedArrays(
+            shm, views, manifest["meta"], manifest, owner=False
+        )
+    except Exception:
+        shm.close()
+        raise

@@ -1,0 +1,230 @@
+"""Sharded serving tests: router, end-to-end parity, work stealing.
+
+A :class:`ShardedServer` packs the recognizer into one shared-memory
+segment and spawns shard processes that attach it; every transcript a
+shard serves must be bit-identical to a sequential streaming pass over
+the bundle-quantized recognizer (shards decode the quantized segment,
+so that — not the float64 parent — is the reference).  Rebalancing
+migrates live sessions between shards mid-stream; clients follow the
+``moved`` redirect transparently and the finals still match.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.asr.streaming import transcribe_streams
+from repro.core import DecoderConfig, OnTheFlyDecoder
+from repro.serve import (
+    ServeConfig,
+    ShardedClient,
+    ShardedServer,
+    ShardRouter,
+    run_load,
+)
+from repro.shm import bundle_quantize
+
+CONFIG = DecoderConfig(beam=14.0)
+BATCH_FRAMES = 8
+
+
+def _repro_segments() -> set[str]:
+    try:
+        return {
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith("repro-")
+        }
+    except FileNotFoundError:
+        return set()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    before = _repro_segments()
+    yield
+    leaked = _repro_segments() - before
+    assert not leaked, f"test leaked /dev/shm segments: {sorted(leaked)}"
+
+
+@pytest.fixture(scope="module")
+def quantized_results(tiny_task, tiny_scores):
+    """Ground truth: sequential streaming over the quantized graphs."""
+    am, lm = bundle_quantize(tiny_task.am, tiny_task.lm)
+    decoder = OnTheFlyDecoder(am, lm, CONFIG)
+    return transcribe_streams(decoder, tiny_scores, BATCH_FRAMES)
+
+
+def make_sharded(tiny_task, shards=2, **overrides) -> ShardedServer:
+    return ShardedServer(
+        tiny_task.am,
+        tiny_task.lm,
+        decoder_config=CONFIG,
+        serve_config=ServeConfig(max_sessions=8, **overrides),
+        shards=shards,
+    )
+
+
+class TestShardRouter:
+    def test_deterministic_across_instances(self):
+        keys = [f"session-{i}" for i in range(200)]
+        a = ShardRouter(3)
+        b = ShardRouter(3)
+        assert [a.shard_for(k) for k in keys] == [
+            b.shard_for(k) for k in keys
+        ]
+
+    def test_spread_reaches_every_shard(self):
+        keys = [f"u{i}" for i in range(200)]
+        counts = ShardRouter(4).spread(keys)
+        assert sum(counts) == len(keys)
+        assert all(count > 0 for count in counts)
+        # md5 over 64 virtual nodes per shard: no shard should own the
+        # overwhelming majority of a 200-key population.
+        assert max(counts) < 150
+
+    def test_consistent_hashing_limits_remap(self):
+        keys = [f"u{i}" for i in range(400)]
+        two, three = ShardRouter(2), ShardRouter(3)
+        moved = sum(
+            1 for k in keys if two.shard_for(k) != three.shard_for(k)
+        )
+        # Growing 2 -> 3 shards should remap roughly 1/3 of keys; far
+        # below the ~2/3 a modulo router would reshuffle.
+        assert moved / len(keys) < 0.5
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+        with pytest.raises(ValueError):
+            ShardRouter(2, virtual_nodes=0)
+
+
+class TestShardedServing:
+    def test_load_matches_sequential_and_spreads(
+        self, tiny_task, tiny_scores, quantized_results
+    ):
+        async def scenario():
+            async with make_sharded(tiny_task, shards=2) as server:
+                client = ShardedClient(server.endpoints)
+                try:
+                    report = await run_load(
+                        client,
+                        tiny_scores,
+                        concurrency=4,
+                        batch_frames=BATCH_FRAMES,
+                        seed=7,
+                    )
+                    status = await server.status()
+                    memory = await server.memory_report()
+                finally:
+                    await client.close()
+                return report, status, memory, server.router
+
+        report, status, memory, router = asyncio.run(scenario())
+
+        for outcome, want in zip(report.outcomes, quantized_results):
+            assert outcome.words == want.words
+            assert outcome.cost == want.cost
+            assert outcome.frames == want.stats.frames
+
+        # Per-shard admissions must match the router's deterministic
+        # placement of the loadgen's u<i> keys exactly.
+        per_shard = router.spread(
+            f"u{i}" for i in range(len(tiny_scores))
+        )
+        for shard_status in status["shards"]:
+            shard = shard_status["shard"]
+            admitted = shard_status["metrics"]["counters"].get(
+                "sessions_admitted", 0
+            )
+            assert admitted == per_shard[shard]
+        assert status["num_shards"] == 2
+        assert status["active_sessions"] == 0  # drained
+        assert (
+            status["metrics"]["counters"]["sessions_admitted"]
+            == len(tiny_scores)
+        )
+
+        # Zero-copy: no shard may privatize a meaningful fraction of
+        # the shared segment (read-only views never dirty its pages).
+        assert memory["shared_nbytes"] > 0
+        for info in memory["shards"]:
+            segment = info.get("segment")
+            if segment is None:  # /proc/<pid>/smaps unavailable
+                continue
+            assert segment["private_bytes"] * 10 <= memory["shared_nbytes"]
+
+    def test_endpoint_for_agrees_with_router(self, tiny_task):
+        async def scenario():
+            async with make_sharded(tiny_task, shards=2) as server:
+                return [
+                    (
+                        server.endpoint_for(key),
+                        server.endpoints[server.router.shard_for(key)],
+                    )
+                    for key in ("u0", "u1", "alpha", "beta")
+                ]
+
+        for via_server, via_router in asyncio.run(scenario()):
+            assert via_server == via_router
+
+
+class TestRebalance:
+    def test_mid_stream_migration_is_transparent(
+        self, tiny_task, tiny_scores, quantized_results
+    ):
+        """Load one shard, steal work onto the other, keep streaming:
+        clients follow the redirect and the finals stay bit-identical."""
+
+        async def scenario():
+            async with make_sharded(tiny_task, shards=2) as server:
+                hot = [
+                    key
+                    for key in (f"m{i}" for i in range(100))
+                    if server.router.shard_for(key) == 0
+                ][:4]
+                assert len(hot) == 4
+                client = ShardedClient(server.endpoints)
+                try:
+                    sessions = [await client.open(key=key) for key in hot]
+                    for session, scores in zip(sessions, tiny_scores):
+                        await session.push(scores[:BATCH_FRAMES])
+                    moves = await server.rebalance()
+                    finals = []
+                    for session, scores in zip(sessions, tiny_scores):
+                        for start in range(
+                            BATCH_FRAMES, scores.shape[0], BATCH_FRAMES
+                        ):
+                            await session.push(
+                                scores[start : start + BATCH_FRAMES]
+                            )
+                        finals.append(await session.finish())
+                    status = await server.status()
+                    redirects = [list(s.moves) for s in sessions]
+                finally:
+                    await client.close()
+                return moves, finals, status, redirects
+
+        moves, finals, status, redirects = asyncio.run(scenario())
+
+        # 4 sessions on shard 0, none on shard 1: stealing runs until
+        # the spread is within one -> exactly two migrations.
+        assert len(moves) == 2
+        assert all(move["from"] == 0 and move["to"] == 1 for move in moves)
+
+        counters = status["metrics"]["counters"]
+        assert counters["sessions_moved"] == len(moves)
+        assert counters["sessions_adopted"] == len(moves)
+
+        # Each migrated session's client observed (and followed) the
+        # redirect; un-migrated sessions saw none.
+        followed = [r for r in redirects if r]
+        assert len(followed) == len(moves)
+
+        for final, want in zip(finals, quantized_results):
+            assert final["words"] == want.words
+            assert final["cost"] == want.cost
+            assert final["frames"] == want.stats.frames
+        assert status["active_sessions"] == 0

@@ -1,0 +1,31 @@
+"""Shared-memory test fixtures.
+
+Every test in this package runs under a leak tripwire: any ``repro-*``
+entry still present in ``/dev/shm`` after a test that was not there
+before it fails the test.  Segment lifetime bugs (a pack without an
+unlink, an attach that kept the name registered) show up here instead
+of as machine-wide litter.
+"""
+
+import os
+
+import pytest
+
+
+def _repro_segments() -> set[str]:
+    try:
+        return {
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith("repro-")
+        }
+    except FileNotFoundError:  # non-Linux: nothing to watch
+        return set()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    before = _repro_segments()
+    yield
+    leaked = _repro_segments() - before
+    assert not leaked, f"test leaked /dev/shm segments: {sorted(leaked)}"

@@ -1,0 +1,106 @@
+"""Property test: shm-attached decode ≡ pickled-bundle decode, bitwise.
+
+The contract the sharded serving stack leans on: a recognizer attached
+from a shared segment (``pack_recognizer(quantize=True)`` →
+``attach_recognizer``) is indistinguishable from one loaded from an
+on-disk bundle (``save_recognizer`` → ``load_recognizer``) — same
+words, same costs bit-for-bit, and the same value for **every** decoder
+statistic and lookup/cache counter, across beams, vectorized/scalar
+paths, and preemptive-pruning settings.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.asr.persist import load_recognizer, save_recognizer
+from repro.core.decoder import DecoderConfig, OnTheFlyDecoder
+from repro.shm import (
+    ShmVersionError,
+    attach_recognizer,
+    pack_arrays,
+    pack_recognizer,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle(tiny_task, tiny_scorer, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("recognizer-bundle")
+    save_recognizer(directory, tiny_task.am, tiny_task.lm, tiny_scorer)
+    return load_recognizer(directory)
+
+
+@pytest.fixture(scope="module")
+def attached(tiny_task, tiny_scorer):
+    owner = pack_recognizer(tiny_task.am, tiny_task.lm, tiny_scorer)
+    handle = attach_recognizer(owner.segment_name)
+    yield handle
+    handle.close()
+    owner.unlink()
+
+
+def _assert_bit_identical(reference, candidate):
+    assert candidate.words == reference.words
+    assert candidate.word_ids == reference.word_ids
+    assert candidate.cost == reference.cost  # bitwise, no tolerance
+    assert candidate.finals == reference.finals
+    ref_stats, out_stats = reference.stats, candidate.stats
+    for spec in dataclasses.fields(ref_stats):
+        assert getattr(out_stats, spec.name) == getattr(
+            ref_stats, spec.name
+        ), f"stats.{spec.name} diverged"
+    # LookupStats equality skips compare=False cache fields; check every
+    # counter explicitly — cache behaviour is part of the contract.
+    for spec in dataclasses.fields(ref_stats.lookup):
+        assert getattr(out_stats.lookup, spec.name) == getattr(
+            ref_stats.lookup, spec.name
+        ), f"lookup.{spec.name} diverged"
+
+
+@given(
+    index=st.integers(min_value=0, max_value=5),
+    beam=st.sampled_from([6.0, 10.0, 14.0]),
+    vectorized=st.booleans(),
+    preemptive=st.booleans(),
+)
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_attached_decode_bit_identical_to_bundle(
+    bundle, attached, tiny_scores, index, beam, vectorized, preemptive
+):
+    config = DecoderConfig(
+        beam=beam, vectorized=vectorized, preemptive_pruning=preemptive
+    )
+    scores = tiny_scores[index]
+    reference = OnTheFlyDecoder(bundle.am, bundle.lm, config).decode(scores)
+    candidate = OnTheFlyDecoder(
+        attached.am, attached.lm, config, tables=attached.tables
+    ).decode(scores)
+    _assert_bit_identical(reference, candidate)
+
+
+def test_attached_scorer_bit_identical(bundle, attached, tiny_utterances):
+    for utterance in tiny_utterances[:3]:
+        np.testing.assert_array_equal(
+            attached.scorer.score(utterance.features),
+            bundle.scorer.score(utterance.features),
+        )
+
+
+def test_attached_symbols_match_bundle(bundle, attached):
+    assert list(attached.lm.words) == list(bundle.lm.words)
+    assert attached.am.fst.num_states == bundle.am.fst.num_states
+    assert attached.lm.fst.num_states == bundle.lm.fst.num_states
+    assert attached.am.chain_state_senone == bundle.am.chain_state_senone
+
+
+def test_attach_recognizer_rejects_plain_segment():
+    with pack_arrays({"x": np.arange(4)}, meta={}) as owner:
+        with pytest.raises(ShmVersionError, match="recognizer schema"):
+            attach_recognizer(owner.name)

@@ -1,0 +1,185 @@
+"""Lifecycle tests for the shared-memory segment layer.
+
+Pack/attach round-trips, read-only views, attach-after-unlink, checksum
+verification against in-place corruption, and header version skew —
+each failure mode must surface as its dedicated ``Shm*Error`` rather
+than a numpy shape explosion three layers later.
+"""
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.shm import segments
+from repro.shm.segments import (
+    SHM_FORMAT_VERSION,
+    ShmAttachError,
+    ShmChecksumError,
+    ShmVersionError,
+    attach_arrays,
+    pack_arrays,
+    segment_name,
+)
+
+
+def _sample_arrays() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(7)
+    return {
+        "weights": rng.standard_normal((13, 4)),
+        "offsets": np.arange(29, dtype=np.int64),
+        "flags": rng.integers(0, 2, size=17).astype(np.uint8),
+        "single": np.array([3.5], dtype=np.float32),
+        "empty": np.zeros((0,), dtype=np.int32),
+    }
+
+
+def _patch_segment(name: str, offset: int, data: bytes) -> None:
+    """Flip bytes of a live segment through a raw mapping.
+
+    Mirrors ``attach_arrays``' tracker guard: an owned segment's tracker
+    registration belongs to the owner handle and must survive this
+    drive-by mapping.
+    """
+    raw = shared_memory.SharedMemory(name=name)
+    if raw.name not in segments._OWNED:
+        segments._untrack(raw)
+    raw.buf[offset : offset + len(data)] = data
+    raw.close()
+
+
+class TestRoundTrip:
+    def test_pack_attach_round_trip(self):
+        arrays = _sample_arrays()
+        meta = {"preset": "tiny", "quantized": True, "count": 3}
+        with pack_arrays(arrays, meta=meta) as owner:
+            attached = attach_arrays(owner.name)
+            try:
+                assert set(attached.arrays) == set(arrays)
+                for key, original in arrays.items():
+                    view = attached.arrays[key]
+                    assert view.dtype == original.dtype
+                    assert view.shape == original.shape
+                    np.testing.assert_array_equal(view, original)
+                assert attached.meta == meta
+                assert attached.nbytes == owner.nbytes
+                assert attached.nbytes == sum(
+                    a.nbytes for a in arrays.values()
+                )
+                assert not attached.owner
+                assert owner.owner
+            finally:
+                attached.close()
+
+    def test_owner_views_alias_shared_pages_not_inputs(self):
+        source = np.arange(8, dtype=np.float64)
+        with pack_arrays({"x": source}) as owner:
+            source[:] = -1.0  # mutating the original must not leak in
+            np.testing.assert_array_equal(
+                owner.arrays["x"], np.arange(8, dtype=np.float64)
+            )
+
+    def test_non_contiguous_input_round_trips(self):
+        base = np.arange(24, dtype=np.int64).reshape(4, 6)
+        strided = base[:, ::2]
+        assert not strided.flags.c_contiguous
+        with pack_arrays({"s": strided}) as owner:
+            attached = attach_arrays(owner.name)
+            try:
+                np.testing.assert_array_equal(attached.arrays["s"], strided)
+            finally:
+                attached.close()
+
+    def test_views_are_read_only(self):
+        with pack_arrays(_sample_arrays()) as owner:
+            attached = attach_arrays(owner.name)
+            try:
+                for handle in (owner, attached):
+                    with pytest.raises(ValueError):
+                        handle.arrays["offsets"][0] = 99
+            finally:
+                attached.close()
+
+
+class TestLifecycle:
+    def test_attach_unknown_name(self):
+        with pytest.raises(ShmAttachError):
+            attach_arrays(segment_name())
+
+    def test_attach_after_unlink(self):
+        owner = pack_arrays(_sample_arrays())
+        name = owner.name
+        owner.unlink()
+        with pytest.raises(ShmAttachError):
+            attach_arrays(name)
+
+    def test_owner_context_manager_unlinks(self):
+        with pack_arrays(_sample_arrays()) as owner:
+            name = owner.name
+            attach_arrays(name).close()  # alive inside the block
+        with pytest.raises(ShmAttachError):
+            attach_arrays(name)
+
+    def test_attacher_context_manager_keeps_segment(self):
+        owner = pack_arrays(_sample_arrays())
+        try:
+            with attach_arrays(owner.name):
+                pass
+            again = attach_arrays(owner.name)  # close is not unlink
+            again.close()
+        finally:
+            owner.unlink()
+
+    def test_close_and_unlink_are_idempotent(self):
+        owner = pack_arrays(_sample_arrays())
+        attached = attach_arrays(owner.name)
+        attached.close()
+        attached.close()
+        assert attached.arrays == {}
+        owner.unlink()
+        owner.unlink()
+
+
+class TestCorruption:
+    def test_checksum_mismatch_detected(self):
+        arrays = _sample_arrays()
+        with pack_arrays(arrays) as owner:
+            blob_len = int.from_bytes(bytes(owner.shm.buf[8:16]), "little")
+            base = segments._align(segments._HEADER + blob_len)
+            spec = owner.manifest["arrays"]["weights"]
+            victim = base + spec["offset"]
+            original = bytes(owner.shm.buf[victim : victim + 1])
+            _patch_segment(
+                owner.name, victim, bytes([original[0] ^ 0xFF])
+            )
+            with pytest.raises(ShmChecksumError, match="weights"):
+                attach_arrays(owner.name)
+            # verify=False maps the damaged payload without checking.
+            unchecked = attach_arrays(owner.name, verify=False)
+            try:
+                assert not np.array_equal(
+                    unchecked.arrays["weights"], arrays["weights"]
+                )
+            finally:
+                unchecked.close()
+
+    def test_version_skew_rejected(self):
+        with pack_arrays(_sample_arrays()) as owner:
+            _patch_segment(
+                owner.name,
+                4,
+                (SHM_FORMAT_VERSION + 1).to_bytes(4, "little"),
+            )
+            with pytest.raises(ShmVersionError, match="layout version"):
+                attach_arrays(owner.name)
+            # And even with checksums off: version gates come first.
+            with pytest.raises(ShmVersionError):
+                attach_arrays(owner.name, verify=False)
+
+    def test_foreign_segment_rejected(self):
+        with pack_arrays(_sample_arrays()) as owner:
+            _patch_segment(owner.name, 0, b"NOPE")
+            with pytest.raises(
+                ShmVersionError, match="not a repro.shm segment"
+            ):
+                attach_arrays(owner.name)

@@ -54,6 +54,25 @@ recovery-sweep latency; both gates also apply to the ``recovery``
 section ``--serve``/``--serve-only`` put in ``BENCH_serve.json``.
 ``--serve-abort-fraction F`` makes a seeded fraction of load-generator
 sessions abandon their stream mid-utterance.
+
+Sharded serving has its own arm — the shard smoke::
+
+    PYTHONPATH=src python tools/perf_report.py --preset small --serve-shard \
+        --serve-shards 2 --serve-seed 1234 --fail-shard-scaling-below 1.6 \
+        --fail-segment-private-fraction-above 0.10
+
+``--serve-shard`` runs :func:`repro.experiments.serve_bench.measure_shards`
+alone: the same seeded load through one shard process and then
+``--serve-shards`` of them, every shard mapping one shared-memory
+recognizer segment, transcripts checked bit-exact against the
+sequential reference both times.  ``--fail-shard-scaling-below X``
+floors the frames/s ratio going 1 -> N shards (skipped with a warning
+on single-CPU machines, like ``--fail-parallel-below``);
+``--fail-segment-private-fraction-above F`` caps the fraction of the
+shared segment any shard privatized — the per-worker incremental
+memory of the recognizer, which stays ~0 while the segment is mapped
+rather than copied.  Both gates also apply to the ``sharding`` section
+``--serve``/``--serve-only`` put in ``BENCH_serve.json``.
 """
 
 from __future__ import annotations
@@ -194,6 +213,36 @@ def main(argv: list[str] | None = None) -> int:
         "their stream mid-utterance",
     )
     parser.add_argument(
+        "--serve-shard",
+        action="store_true",
+        help="run the sharded-serving smoke alone: seeded load through "
+        "1 then N shard processes over one shared recognizer segment, "
+        "transcripts must stay bit-exact",
+    )
+    parser.add_argument(
+        "--serve-shards",
+        type=int,
+        default=2,
+        help="shard count for the 1-vs-N comparison (0 with --serve "
+        "skips the sharding section)",
+    )
+    parser.add_argument(
+        "--fail-shard-scaling-below",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 if N-shard serving is below X times single-shard "
+        "frames/s (skipped with a warning on single-CPU machines)",
+    )
+    parser.add_argument(
+        "--fail-segment-private-fraction-above",
+        type=float,
+        default=None,
+        metavar="F",
+        help="exit 1 if any shard privatized more than fraction F of "
+        "the shared recognizer segment (per-worker incremental memory)",
+    )
+    parser.add_argument(
         "--fail-recovery-below",
         type=float,
         default=None,
@@ -216,7 +265,7 @@ def main(argv: list[str] | None = None) -> int:
     failures: list[str] = []
     notes: list[str] = []
 
-    if not (args.serve_only or args.serve_chaos):
+    if not (args.serve_only or args.serve_chaos or args.serve_shard):
         from repro.experiments.perf_decode import (
             check_report,
             write_bench_report,
@@ -247,6 +296,7 @@ def main(argv: list[str] | None = None) -> int:
             check_fusion_report,
             check_recovery_report,
             check_serve_report,
+            check_shard_report,
             write_bench_report as write_serve_report,
         )
 
@@ -260,6 +310,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.serve_seed,
             fusion_concurrency=args.serve_fusion_concurrency,
             abort_fraction=args.serve_abort_fraction,
+            shards=args.serve_shards,
         )
         print(serve_result.render())
         print(f"\nwrote {args.serve_output}")
@@ -287,6 +338,16 @@ def main(argv: list[str] | None = None) -> int:
         )
         failures.extend(recovery_failures)
         notes.extend(recovery_notes)
+        if "sharding" in serve_report:
+            shard_failures, shard_notes = check_shard_report(
+                serve_report["sharding"],
+                fail_shard_scaling_below=args.fail_shard_scaling_below,
+                fail_segment_private_fraction_above=(
+                    args.fail_segment_private_fraction_above
+                ),
+            )
+            failures.extend(shard_failures)
+            notes.extend(shard_notes)
     elif args.serve_chaos:
         from repro.experiments.serve_bench import (
             check_recovery_report,
@@ -314,6 +375,37 @@ def main(argv: list[str] | None = None) -> int:
         )
         failures.extend(recovery_failures)
         notes.extend(recovery_notes)
+    elif args.serve_shard:
+        from repro.experiments.serve_bench import (
+            check_shard_report,
+            measure_shards,
+        )
+
+        comparison = measure_shards(
+            preset=args.preset,
+            shards=args.serve_shards,
+            batch_frames=args.serve_batch_frames,
+            seed=args.serve_seed,
+        )
+        print(
+            f"serve-shard: {comparison['shards']} shards over one "
+            f"{comparison['shared_nbytes']}-byte shared segment; "
+            f"scaling {comparison['shard_scaling']}x "
+            f"({comparison['single_frames_per_second']} -> "
+            f"{comparison['sharded_frames_per_second']} frames/s), "
+            f"sessions per shard {comparison['sessions_per_shard']}, "
+            f"max segment privatization "
+            f"{comparison['max_segment_private_fraction']}"
+        )
+        shard_failures, shard_notes = check_shard_report(
+            comparison,
+            fail_shard_scaling_below=args.fail_shard_scaling_below,
+            fail_segment_private_fraction_above=(
+                args.fail_segment_private_fraction_above
+            ),
+        )
+        failures.extend(shard_failures)
+        notes.extend(shard_notes)
 
     for note in notes:
         print(f"OK: {note}" if "skipped" not in note else f"WARN: {note}")
