@@ -36,6 +36,12 @@ class GmmAcousticModel:
     log_weights: np.ndarray
     kind: ScorerKind = ScorerKind.GMM
 
+    #: Scoring is pure per-frame broadcasting (no cross-frame state, no
+    #: shape-dependent BLAS reductions), so scoring any chunking of the
+    #: frames is bitwise-identical to scoring them in one call — the
+    #: property the scoring pipeline needs to split utterances.
+    chunk_exact = True
+
     @classmethod
     def from_emissions(
         cls,

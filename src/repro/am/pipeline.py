@@ -1,0 +1,353 @@
+"""Asynchronous producer/consumer acoustic scoring pipeline.
+
+Decoding used to be frame-synchronous at every layer: score a whole
+utterance, then search it, then move to the next — the acoustic model
+and the Viterbi engine taking strict turns on the same thread.  This
+module splits them into a pipeline: a :class:`ScoringPipeline` owns a
+worker thread that turns feature matrices into score matrices *ahead*
+of the search, so the consumer decodes chunk/utterance ``k`` while the
+producer scores ``k+1``.  The numpy kernels inside every scorer release
+the GIL for the bulk of their work, so producer and consumer genuinely
+overlap on multi-core hosts (Lv et al., arXiv:2103.09063, make the same
+split for their asynchronous WFST decoder).
+
+Bit-parity is the contract everything in this repo leans on, and it
+shapes the design: scoring in chunks is only bitwise-identical to
+scoring the whole matrix for *per-frame* acoustic models.  The GMM
+scorer is pure per-frame broadcasting, so any chunking reproduces the
+one-shot matrix exactly; the MLP's BLAS matmuls are shape-dependent in
+the last bits, and the RNN carries recurrent state across frames, so
+neither may be chunk-scored.  Scorers advertise this with a
+``chunk_exact`` attribute (conservative default: ``False``), and the
+pipeline only splits submissions into ``chunk_frames`` pieces when the
+scorer declares exactness — otherwise each submission is scored whole,
+and the overlap comes from scoring submission ``k+1`` while the
+consumer searches submission ``k``.  Either way the score values the
+consumer sees are bitwise-identical to the synchronous path.
+
+Flow control: each submission's completed chunks land in a bounded
+queue (``depth``), so a slow consumer exerts backpressure on the
+scoring thread instead of letting scored-but-unsearched frames pile up
+without bound.  A scorer exception is caught on the worker, wrapped in
+the typed :class:`ScoringError`, and delivered to that submission's
+consumer at the point it would have read the poisoned chunk — the
+worker moves on to the next submission, so one bad utterance never
+wedges the pipeline.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+import numpy as np
+
+from repro.am.scorer import AcousticScorer
+
+#: Completed chunks a submission may hold scored-but-unconsumed before
+#: the worker blocks (per-stream backpressure bound).
+DEFAULT_DEPTH = 2
+
+_STOP = object()
+
+#: Non-data wake-up token the worker drops into a stream's queue after
+#: setting its done event, so a consumer blocked in ``get`` wakes
+#: immediately instead of sleeping out its poll timeout.
+_NUDGE = object()
+
+
+class ScoringError(RuntimeError):
+    """A scorer raised inside the pipeline worker.
+
+    Carries the original exception as ``__cause__``; consumers see this
+    typed error when they read the stream, not a hung queue.
+    """
+
+
+class PipelineClosed(ScoringError):
+    """The pipeline was closed while this submission was still queued."""
+
+
+def is_chunk_exact(scorer: AcousticScorer) -> bool:
+    """Whether chunked scoring is bitwise-identical to one-shot scoring.
+
+    Per-frame models (GMM) declare ``chunk_exact = True``; anything
+    whose arithmetic depends on the batch shape (BLAS matmuls in the
+    MLP) or on cross-frame state (the RNN reservoir) must not, and the
+    default for a scorer that says nothing is the safe ``False``.
+    """
+    return bool(getattr(scorer, "chunk_exact", False))
+
+
+def iter_feature_chunks(features: np.ndarray, chunk_frames: int):
+    """Row-wise views of ``features`` in ``chunk_frames`` pieces.
+
+    The last chunk is ragged when the frame count is not a multiple.
+    """
+    if chunk_frames <= 0:
+        raise ValueError("chunk_frames must be positive")
+    for start in range(0, features.shape[0], chunk_frames):
+        yield features[start : start + chunk_frames]
+
+
+class ScoreStream:
+    """Handle for one submitted feature matrix.
+
+    Iterate :meth:`chunks` to consume score chunks as the worker
+    finishes them (the streaming consumers), or call :meth:`result`
+    for the concatenated ``(frames, senones)`` matrix (the batch
+    consumers).  Both raise :class:`ScoringError` if the scorer failed
+    on this submission.
+    """
+
+    def __init__(self, frames: int, num_senones: int, depth: int) -> None:
+        self.frames = frames
+        self.num_senones = num_senones
+        self._queue: queue.Queue = queue.Queue(maxsize=max(depth, 1))
+        self._cancelled = threading.Event()
+        #: Set by the worker once nothing more will ever be queued for
+        #: this stream — an event, not a queue sentinel, so completion
+        #: is always deliverable even to a full queue.
+        self._done = threading.Event()
+        self._consumed = False
+        self._result: np.ndarray | None = None
+        self._error: ScoringError | None = None
+
+    def cancel(self) -> None:
+        """Drop this submission: unscored chunks are skipped and a
+        blocked producer is released."""
+        self._cancelled.set()
+        # Drain anything already queued so a blocked put wakes up.
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    @property
+    def done(self) -> bool:
+        """Whether the worker has finished (or failed) this submission
+        and every data chunk has been consumed."""
+        if not self._done.is_set():
+            return False
+        with self._queue.mutex:
+            return all(item is _NUDGE for item in self._queue.queue)
+
+    def chunks(self):
+        """Yield score chunks in submission order; raises on failure."""
+        if self._error is not None:
+            raise self._error
+        if self._consumed:
+            raise RuntimeError("score stream already consumed")
+        self._consumed = True
+        while True:
+            if self._done.is_set():
+                # Nothing more will ever be queued: drain without
+                # blocking and finish the moment the queue runs dry.
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    return
+            else:
+                # The timeout is a safety net only; completion arrives
+                # as the worker's nudge token (or a data chunk), so the
+                # consumer never sleeps out the poll period in practice.
+                try:
+                    item = self._queue.get(timeout=0.05)
+                except queue.Empty:
+                    continue
+            if item is _NUDGE:
+                continue
+            if isinstance(item, ScoringError):
+                self._error = item
+                raise item
+            yield item
+
+    def result(self) -> np.ndarray:
+        """The full score matrix, blocking until scoring completes."""
+        if self._result is None:
+            parts = list(self.chunks())
+            if parts:
+                self._result = np.concatenate(parts, axis=0)
+            else:
+                self._result = np.zeros((0, self.num_senones))
+        return self._result
+
+    # Worker-side helpers -------------------------------------------------
+
+    def _finish(self) -> None:
+        """Mark the stream complete and wake a blocked consumer.
+
+        The done event is the authoritative signal (always deliverable,
+        even to a full queue); the nudge token is a best-effort wake-up
+        so a consumer mid-``get`` returns now instead of after its poll
+        timeout.  A full queue skips the nudge — the consumer is about
+        to wake on real data anyway and re-checks the event first.
+        """
+        self._done.set()
+        try:
+            self._queue.put_nowait(_NUDGE)
+        except queue.Full:
+            pass
+
+    def _put(self, item, closing: threading.Event) -> bool:
+        """Blocking put that gives up on cancel/close; True if delivered."""
+        while not self._cancelled.is_set():
+            try:
+                self._queue.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                if closing.is_set():
+                    return False
+        return False
+
+
+class ScoringPipeline:
+    """Scores feature submissions on a worker thread, ahead of search.
+
+    ``chunk_frames`` bounds the scoring granularity for chunk-exact
+    scorers (``None`` or a non-chunk-exact scorer scores each
+    submission whole); ``depth`` bounds the completed chunks a
+    submission may buffer before the producer blocks (backpressure).
+
+    Usable as a context manager; :meth:`close` is idempotent, joins the
+    worker, and fails any still-queued submissions with
+    :class:`PipelineClosed` rather than leaving their consumers hung.
+    """
+
+    def __init__(
+        self,
+        scorer: AcousticScorer,
+        chunk_frames: int | None = None,
+        depth: int = DEFAULT_DEPTH,
+    ) -> None:
+        if chunk_frames is not None and chunk_frames <= 0:
+            raise ValueError("chunk_frames must be positive")
+        self.scorer = scorer
+        self.chunk_frames = chunk_frames if is_chunk_exact(scorer) else None
+        self.depth = depth
+        self._inbox: queue.Queue = queue.Queue()
+        self._closing = threading.Event()
+        self._abort = threading.Event()
+        self._worker: threading.Thread | None = None
+        self._lock = threading.Lock()
+        #: Submissions accepted / chunks scored, for introspection.
+        self.submitted = 0
+        self.chunks_scored = 0
+
+    # Lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "ScoringPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_worker(self) -> None:
+        with self._lock:
+            if self._worker is None:
+                self._worker = threading.Thread(
+                    target=self._run, name="scoring-pipeline", daemon=True
+                )
+                self._worker.start()
+
+    def close(self, cancel: bool = False) -> None:
+        """Stop the worker.  ``cancel=True`` also abandons the chunk
+        loop of the submission currently being produced."""
+        if cancel:
+            self._abort.set()
+        self._closing.set()
+        self._inbox.put(_STOP)
+        with self._lock:
+            worker, self._worker = self._worker, None
+        if worker is not None:
+            worker.join()
+        # Fail anything still queued so no consumer blocks forever.
+        while True:
+            try:
+                item = self._inbox.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                continue
+            stream, _ = item
+            stream._error = PipelineClosed("scoring pipeline closed")
+            stream._finish()
+
+    # Producer API --------------------------------------------------------
+
+    def submit(self, features: np.ndarray) -> ScoreStream:
+        """Queue one feature matrix for asynchronous scoring."""
+        if self._closing.is_set():
+            raise PipelineClosed("scoring pipeline closed")
+        features = np.asarray(features)
+        if features.ndim != 2:
+            raise ValueError(
+                f"feature matrix must be 2-D, got shape {features.shape}"
+            )
+        stream = ScoreStream(
+            frames=features.shape[0],
+            num_senones=self.scorer.num_senones,
+            depth=self.depth,
+        )
+        self.submitted += 1
+        self._inbox.put((stream, features))
+        self._ensure_worker()
+        return stream
+
+    def score_all(self, matrices) -> list[np.ndarray]:
+        """Pipeline a whole batch and block for every result (testing
+        convenience; real consumers interleave search between reads)."""
+        streams = [self.submit(m) for m in matrices]
+        return [s.result() for s in streams]
+
+    # Worker --------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._inbox.get()
+            if item is _STOP:
+                return
+            stream, features = item
+            if stream.cancelled:
+                stream._finish()
+                continue
+            try:
+                if self.chunk_frames is None:
+                    pieces = [features] if features.shape[0] else []
+                else:
+                    pieces = iter_feature_chunks(features, self.chunk_frames)
+                interrupted = False
+                for chunk in pieces:
+                    if stream.cancelled:
+                        break
+                    if self._abort.is_set():
+                        interrupted = True
+                        break
+                    scores = self.scorer.score(chunk)
+                    self.chunks_scored += 1
+                    if not stream._put(scores, self._closing):
+                        # Gave up mid-delivery: cancel is the consumer's
+                        # own drop, but a close-time stall would leave a
+                        # silently truncated stream — fail it instead.
+                        interrupted = not stream.cancelled
+                        break
+                if interrupted:
+                    error = PipelineClosed("scoring pipeline closed")
+                    stream._error = error
+                    try:
+                        stream._queue.put_nowait(error)
+                    except queue.Full:
+                        pass
+            except Exception as exc:  # noqa: BLE001 - typed re-raise
+                error = ScoringError(
+                    f"acoustic scorer {type(self.scorer).__name__} failed: "
+                    f"{exc}"
+                )
+                error.__cause__ = exc
+                stream._put(error, self._closing)
+            stream._finish()

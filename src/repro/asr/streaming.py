@@ -107,9 +107,25 @@ class StreamingSession:
     of the offline decoder's parity contract.
     """
 
-    def __init__(self, decoder: OnTheFlyDecoder, lookup=None) -> None:
+    def __init__(
+        self,
+        decoder: OnTheFlyDecoder,
+        lookup=None,
+        scorer=None,
+        pipeline=None,
+        pipeline_chunk_frames: int | None = None,
+    ) -> None:
         self.decoder = decoder
         config = decoder.config
+        # Raw-feature streaming (:meth:`push_features`) needs an
+        # acoustic scorer; sessions fed pre-scored matrices leave both
+        # unset.  A shared ``pipeline`` (serving layers) takes priority
+        # over a lazily-built private one.
+        self._scorer = scorer
+        self._pipeline = pipeline
+        self._owns_pipeline = False
+        self._pipeline_chunk_frames = pipeline_chunk_frames
+        self._pending = None  # in-flight ScoreStream (lag-1 pipelining)
         # Sessions default to the decoder's own lookup; a serving layer
         # running several sessions on one decoder passes each a
         # ``decoder.lookup.fork()`` instead, giving every session its
@@ -157,6 +173,11 @@ class StreamingSession:
         """
         if self._finished:
             raise RuntimeError("session already finished")
+        if self._pending is not None:
+            raise RuntimeError(
+                "a feature batch is still being scored; drain it "
+                "(push_features/finish) before taking a snapshot"
+            )
         if isinstance(self._table, SoaTokenTable):
             am, lm, cost, node = self._table.columns()
             am, lm, cost, node = am.copy(), lm.copy(), cost.copy(), node.copy()
@@ -253,12 +274,21 @@ class StreamingSession:
             raise RuntimeError("session already finished")
         if scores.ndim != 2:
             raise ValueError(f"bad score batch shape {scores.shape}")
+        # Width is validated *before* the zero-frame early return: a
+        # (0, k) batch with a wrong senone width is a malformed client
+        # payload and must be rejected, not silently accepted because
+        # it happens to carry no frames.  The one zero-frame shape with
+        # no width information — (0, 0), what an empty wire payload
+        # decodes to — stays a legal keep-alive.
+        if scores.shape[1] < self.decoder.am.num_senones and scores.shape != (
+            0,
+            0,
+        ):
+            raise ValueError(f"bad score batch shape {scores.shape}")
         if scores.shape[0] == 0:
             # A zero-frame batch is a legal keep-alive: no decoding
             # work, the running hypothesis is simply re-read.
             return self._partial()
-        if scores.shape[1] < self.decoder.am.num_senones:
-            raise ValueError(f"bad score batch shape {scores.shape}")
         decoder = self.decoder
         stats = self._stats
         lattice = self._lattice
@@ -326,6 +356,53 @@ class StreamingSession:
         self._table = current
         return self._partial()
 
+    def push_features(self, features: np.ndarray) -> PartialHypothesis:
+        """Consume raw features, scoring asynchronously ahead of search.
+
+        Lag-1 pipelining: this batch is submitted to the scoring
+        pipeline immediately, then the *previous* submission's scores —
+        complete or completing on the worker thread — are searched, so
+        the acoustic model scores batch ``n`` while the Viterbi engine
+        searches batch ``n-1``.  The returned partial therefore trails
+        :meth:`push` by one batch; :meth:`finish` drains the tail.
+        Scores reaching the search are bitwise-identical to scoring the
+        same batches synchronously (see :mod:`repro.am.pipeline`), so
+        final results and stats match the pre-scored path exactly.
+        A scorer failure surfaces here (or at :meth:`finish`) as a
+        typed :class:`~repro.am.pipeline.ScoringError`.
+        """
+        if self._finished:
+            raise RuntimeError("session already finished")
+        if self._pipeline is None:
+            if self._scorer is None:
+                raise RuntimeError(
+                    "session has no acoustic scorer; construct it with "
+                    "scorer= (or pipeline=) to push raw features"
+                )
+            from repro.am.pipeline import ScoringPipeline
+
+            self._pipeline = ScoringPipeline(
+                self._scorer, chunk_frames=self._pipeline_chunk_frames
+            )
+            self._owns_pipeline = True
+        stream = self._pipeline.submit(np.asarray(features))
+        pending, self._pending = self._pending, stream
+        partial = self._partial()
+        if pending is not None:
+            for chunk in pending.chunks():
+                partial = self.push(chunk)
+        return partial
+
+    def _drain_pending(self) -> None:
+        if self._pending is not None:
+            pending, self._pending = self._pending, None
+            for chunk in pending.chunks():
+                self.push(chunk)
+        if self._owns_pipeline and self._pipeline is not None:
+            self._pipeline.close()
+            self._pipeline = None
+            self._owns_pipeline = False
+
     def _partial(self) -> PartialHypothesis:
         best_cost = math.inf
         best_node = -1
@@ -361,6 +438,7 @@ class StreamingSession:
         """Terminate the utterance and return the final result."""
         if self._finished:
             raise RuntimeError("session already finished")
+        self._drain_pending()
         self._finished = True
         self._stats.frames = self._frames
         self._stats.lookup = self.decoder._lookup_delta(
@@ -402,9 +480,12 @@ def push_sessions(
         if session._finished:
             raise RuntimeError("session already finished")
         if scores.ndim != 2 or (
-            scores.shape[0]
-            and scores.shape[1] < session.decoder.am.num_senones
+            scores.shape[1] < session.decoder.am.num_senones
+            and scores.shape != (0, 0)
         ):
+            # Same rule as StreamingSession.push: width is checked even
+            # on zero-frame batches, with widthless (0, 0) keep-alives
+            # (an empty wire payload) exempt.
             raise ValueError(f"bad score batch shape {scores.shape}")
         matrices.append(np.ascontiguousarray(scores, dtype=np.float64))
     decoder = sessions[0].decoder

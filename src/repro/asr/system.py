@@ -98,8 +98,10 @@ class AsrSystem:
         config: DecoderConfig | None,
         parallelism: int,
         batch_size: int | None = None,
+        pipeline_chunk_frames: int | None = None,
     ):
-        """The cached DecodePool for one (config, parallelism, batch) key.
+        """The cached DecodePool for one (config, parallelism, batch,
+        pipeline) key.
 
         Pools persist across calls — workers warm up once, not per
         batch; :meth:`close` releases them.
@@ -111,6 +113,7 @@ class AsrSystem:
         key = (
             parallelism,
             batch_size,
+            pipeline_chunk_frames,
             None if config is None else astuple(config),
         )
         pool = self._pools.get(key)
@@ -122,6 +125,7 @@ class AsrSystem:
                 config=config,
                 parallelism=parallelism,
                 batch_size=batch_size,
+                pipeline_chunk_frames=pipeline_chunk_frames,
             )
             self._pools[key] = pool
         return pool
@@ -132,6 +136,7 @@ class AsrSystem:
         config: DecoderConfig | None = None,
         parallelism: int = 1,
         batch_size: int | None = None,
+        pipeline_chunk_frames: int | None = None,
     ) -> list[DecodeResult]:
         """Score and decode a batch with the software decoder.
 
@@ -141,11 +146,15 @@ class AsrSystem:
         per frame (:class:`repro.core.batch.BatchDecoder`).  On hosts
         with a single visible CPU a ``parallelism > 1`` request quietly
         becomes lockstep batching — process fan-out can't help there.
-        Every strategy returns bit-identical results in input order;
-        ``DecodeResult.strategy`` records which one ran.
+        ``pipeline_chunk_frames`` turns on the asynchronous scoring
+        pipeline: acoustic scores are produced on a worker thread ahead
+        of the search (:mod:`repro.am.pipeline`), overlapping the two
+        stages on any of the strategies.  Every strategy returns
+        bit-identical results in input order; ``DecodeResult.strategy``
+        records which one ran.
         """
         return self._pool_for(
-            config, parallelism, batch_size
+            config, parallelism, batch_size, pipeline_chunk_frames
         ).decode_utterances(utterances)
 
     def transcribe_streams(

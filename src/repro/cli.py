@@ -82,6 +82,7 @@ def cmd_decode(args: argparse.Namespace) -> int:
         config=config,
         parallelism=args.parallelism,
         batch_size=args.batch_size,
+        pipeline_chunk_frames=args.pipeline_chunk_frames,
     ) as pool:
         results = pool.decode_utterances(utterances)
     hypotheses = []
@@ -206,6 +207,9 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         fusion_concurrency=args.fusion_concurrency,
         abort_fraction=args.abort_fraction,
         shards=args.shards,
+        pipeline_concurrency=args.pipeline_concurrency,
+        payload=args.payload,
+        encoding=args.encoding,
     )
     print(report.render())
     return 0
@@ -256,6 +260,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="decode utterances in lockstep batches of this width "
         "(in-process; bit-identical to per-utterance decoding)",
+    )
+    p_decode.add_argument(
+        "--pipeline-chunk-frames",
+        type=int,
+        default=None,
+        help="score asynchronously ahead of the search in chunks of "
+        "this many frames (bit-identical; overlaps AM and Viterbi)",
     )
     p_decode.set_defaults(func=cmd_decode)
 
@@ -363,6 +374,28 @@ def main(argv: list[str] | None = None) -> int:
         default=2,
         help="shard count for the 1-vs-N sharded-serving comparison "
         "(0 skips the sharding section)",
+    )
+    p_serve_bench.add_argument(
+        "--payload",
+        choices=("scores", "features"),
+        default="scores",
+        help="what the load generator streams: pre-scored matrices "
+        "(exact) or raw features for server-side pipelined scoring "
+        "(parity-asserted against the score-payload reference)",
+    )
+    p_serve_bench.add_argument(
+        "--encoding",
+        choices=("list", "b64f32"),
+        default="list",
+        help="wire form for frame matrices: exact float64 lists or "
+        "the compact base64 float32 block (~7x smaller, quantizing)",
+    )
+    p_serve_bench.add_argument(
+        "--pipeline-concurrency",
+        type=int,
+        default=8,
+        help="feature-streaming sessions in the pipelined-vs-sync "
+        "scoring comparison (0 skips the pipeline section)",
     )
     p_serve_bench.set_defaults(func=cmd_serve_bench)
 

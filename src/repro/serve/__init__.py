@@ -33,6 +33,7 @@ from repro.serve.scheduler import (
     Scheduler,
     SchedulerConfig,
 )
+from repro.serve.scoring import ScoreHandle, ScoringService, resolve_batch
 from repro.serve.server import (
     InProcessClient,
     InProcessSession,
@@ -55,9 +56,12 @@ __all__ = [
     "MetricsRegistry",
     "ProcessEngine",
     "ProtocolError",
+    "resolve_batch",
     "run_load",
     "Scheduler",
     "SchedulerConfig",
+    "ScoreHandle",
+    "ScoringService",
     "ServeConfig",
     "ServeError",
     "ShardedClient",

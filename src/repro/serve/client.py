@@ -137,15 +137,31 @@ class TcpClient:
             await self._send(message)
             return await self._control.get()
 
-    async def open(self, key: str | None = None) -> "TcpSession":
+    async def open(
+        self,
+        key: str | None = None,
+        payload: str = protocol.PAYLOAD_SCORES,
+        encoding: str = protocol.ENCODING_LIST,
+    ) -> "TcpSession":
         """Open a session; raises :class:`Busy` on admission reject.
 
         ``key`` is accepted for interface parity with
         :class:`ShardedClient` (which routes on it); a single-endpoint
         client has nowhere else to send the session.
+
+        ``payload`` selects what FRAMES batches carry (``scores``, or
+        ``features`` for server-side pipelined scoring); ``encoding``
+        selects the wire form (exact ``list`` or compact ``b64f32``).
+        The server echoes the negotiated pair on STARTED and the
+        session sends accordingly.
         """
         del key
-        reply = await self._control_request({"type": protocol.START})
+        start = {"type": protocol.START}
+        if payload != protocol.PAYLOAD_SCORES:
+            start["payload"] = payload
+        if encoding != protocol.ENCODING_LIST:
+            start["encoding"] = encoding
+        reply = await self._control_request(start)
         if reply["type"] == protocol.BUSY:
             raise Busy(reply.get("reason", "busy"))
         if reply["type"] != protocol.STARTED:
@@ -153,7 +169,13 @@ class TcpClient:
         session_id = reply["session"]
         queue: asyncio.Queue = asyncio.Queue()
         self._sessions[session_id] = queue
-        return TcpSession(self, session_id, queue)
+        return TcpSession(
+            self,
+            session_id,
+            queue,
+            payload=reply.get("payload", payload),
+            encoding=reply.get("encoding", encoding),
+        )
 
     async def status(self) -> dict:
         reply = await self._control_request({"type": protocol.STATUS})
@@ -197,11 +219,20 @@ class TcpSession:
     """
 
     def __init__(
-        self, client: TcpClient, session_id: str, events: asyncio.Queue
+        self,
+        client: TcpClient,
+        session_id: str,
+        events: asyncio.Queue,
+        payload: str = protocol.PAYLOAD_SCORES,
+        encoding: str = protocol.ENCODING_LIST,
     ) -> None:
         self._client = client
         self.session_id = session_id
         self._events = events
+        #: Negotiated at open: which key FRAMES batches ride in and
+        #: how the matrix is encoded on the wire.
+        self.payload = payload
+        self.encoding = encoding
         #: Partial-hypothesis messages observed so far, in order.
         self.partials: list[dict] = []
         #: ``retrying``/``recovered`` notices observed so far, in order.
@@ -289,11 +320,17 @@ class TcpSession:
                     )
 
     async def push(self, scores: np.ndarray) -> dict:
-        """Send one batch and wait for its partial hypothesis."""
+        """Send one batch and wait for its partial hypothesis.
+
+        The batch rides in the key the session negotiated (``scores``
+        or ``features``), in the negotiated encoding.
+        """
         message = {
             "type": protocol.FRAMES,
             "session": self.session_id,
-            "scores": protocol.scores_to_payload(np.asarray(scores)),
+            self.payload: protocol.matrix_to_payload(
+                np.asarray(scores), self.encoding
+            ),
         }
         await self._client._send(message)
         while True:
@@ -383,7 +420,12 @@ class ShardedClient:
             client = await TcpClient.connect(*endpoint, peers=self._peers)
         return client
 
-    async def open(self, key: str | None = None) -> TcpSession:
+    async def open(
+        self,
+        key: str | None = None,
+        payload: str = protocol.PAYLOAD_SCORES,
+        encoding: str = protocol.ENCODING_LIST,
+    ) -> TcpSession:
         """Open a session on ``key``'s home shard.
 
         Without a key, shards are used round-robin — callers that
@@ -395,7 +437,7 @@ class ShardedClient:
             shard = self._round_robin % len(self.endpoints)
             self._round_robin += 1
         client = await self._client_for(self.endpoints[shard])
-        return await client.open()
+        return await client.open(payload=payload, encoding=encoding)
 
     async def status(self) -> dict:
         """Cluster status: per-shard views + summed counters/gauges."""

@@ -23,6 +23,7 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.serve import protocol
 from repro.serve.metrics import percentile
 from repro.serve.scheduler import Busy
 
@@ -59,6 +60,10 @@ class LoadReport:
     #: Sessions deliberately abandoned mid-stream (``abort_fraction``).
     aborted: int = 0
     abort_fraction: float = 0.0
+    #: What the sessions streamed (``scores`` or ``features``) and how
+    #: matrices crossed the wire.
+    payload: str = protocol.PAYLOAD_SCORES
+    encoding: str = protocol.ENCODING_LIST
     outcomes: list[UtteranceOutcome] = field(default_factory=list)
 
     @property
@@ -112,6 +117,8 @@ class LoadReport:
             "busy_rejections": self.busy_rejections,
             "aborted": self.aborted,
             "abort_fraction": self.abort_fraction,
+            "payload": self.payload,
+            "encoding": self.encoding,
             "latency": self.latency_summary(),
         }
 
@@ -123,6 +130,9 @@ async def run_load(
     batch_frames: int = 32,
     seed: int | None = None,
     abort_fraction: float = 0.0,
+    feature_matrices: list[np.ndarray] | None = None,
+    payload: str = protocol.PAYLOAD_SCORES,
+    encoding: str = protocol.ENCODING_LIST,
 ) -> LoadReport:
     """Replay every matrix once, ``concurrency`` sessions at a time.
 
@@ -144,6 +154,13 @@ async def run_load(
     eviction under real concurrent load.  Aborted utterances are
     counted on the report, not in ``outcomes``.  With the same ``seed``
     the same utterances abort at the same points.
+
+    ``payload="features"`` streams ``feature_matrices`` (required,
+    aligned 1:1 with ``score_matrices``'s indices) and lets the server
+    run the acoustic model — the pipelined-scoring serving mode.  The
+    same seed replays the same arrival pattern either way, so a
+    features run parity-asserts against a scores run.  ``encoding``
+    picks the wire form (exact ``list`` or compact ``b64f32``).
     """
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
@@ -151,7 +168,23 @@ async def run_load(
         raise ValueError("batch_frames must be positive")
     if not 0.0 <= abort_fraction <= 1.0:
         raise ValueError("abort_fraction must be within [0, 1]")
-    jobs = list(enumerate(score_matrices))
+    if payload not in protocol.PAYLOADS:
+        raise ValueError(
+            f"unknown payload {payload!r}; choose from {protocol.PAYLOADS}"
+        )
+    if payload == protocol.PAYLOAD_FEATURES:
+        if feature_matrices is None:
+            raise ValueError(
+                "payload='features' needs the feature_matrices to stream"
+            )
+        if len(feature_matrices) != len(score_matrices):
+            raise ValueError(
+                "feature_matrices must align 1:1 with score_matrices"
+            )
+        matrices = feature_matrices
+    else:
+        matrices = score_matrices
+    jobs = list(enumerate(matrices))
     if seed is not None:
         random.Random(seed).shuffle(jobs)
     # Abort plans draw from their own stream (offset seed) so turning
@@ -159,7 +192,7 @@ async def run_load(
     abort_rng = random.Random(None if seed is None else seed + 1)
     abort_after: dict[int, int] = {}
     if abort_fraction > 0.0:
-        for index, matrix in enumerate(score_matrices):
+        for index, matrix in enumerate(matrices):
             if abort_rng.random() >= abort_fraction:
                 continue
             batches = max(1, -(-matrix.shape[0] // batch_frames))
@@ -184,7 +217,9 @@ async def run_load(
                     # client routes it to its home shard, the plain
                     # clients ignore it — either way the mapping is a
                     # pure function of the input, seed-stable.
-                    session = await client.open(key=f"u{index}")
+                    session = await client.open(
+                        key=f"u{index}", payload=payload, encoding=encoding
+                    )
                     break
                 except Busy:
                     rejections += 1
@@ -243,5 +278,7 @@ async def run_load(
         busy_rejections=rejections,
         aborted=aborted,
         abort_fraction=abort_fraction,
+        payload=payload,
+        encoding=encoding,
         outcomes=ordered,
     )

@@ -50,10 +50,27 @@ and produce their partials on the new shard.
 
 Score batches cross the wire as nested lists of floats — verbose but
 dependency-free and exact (JSON doubles are the decoder's float64).
+
+Two START-time negotiations widen that:
+
+* ``payload``: ``scores`` (default — the classic pre-scored protocol)
+  or ``features``, where the client streams raw feature frames and the
+  *server* runs the acoustic model, pipelined ahead of the search
+  (:mod:`repro.am.pipeline`).  Feature batches ride in a ``features``
+  key of the same FRAMES message.
+* ``encoding``: ``list`` (default — exact float64 nested lists) or
+  ``b64f32``, a compact base64 little-endian float32 block roughly 7x
+  smaller on the wire.  float32 is lossy for float64 inputs (the
+  decode quantizes, exactly round-tripping anything float32 can
+  represent); both sides of the negotiation see the identical
+  quantized matrix, so transcripts stay deterministic.
+
+``STARTED`` echoes the negotiated pair back to the client.
 """
 
 from __future__ import annotations
 
+import base64
 import json
 
 import numpy as np
@@ -80,6 +97,16 @@ RESUME = "resume"
 NOTICE_TYPES = frozenset({RETRYING, RECOVERED})
 
 CLIENT_TYPES = frozenset({START, FRAMES, FINISH, CANCEL, STATUS, RESUME})
+
+#: START-time payload negotiation: what FRAMES batches carry.
+PAYLOAD_SCORES = "scores"
+PAYLOAD_FEATURES = "features"
+PAYLOADS = (PAYLOAD_SCORES, PAYLOAD_FEATURES)
+
+#: START-time encoding negotiation: how matrices cross the wire.
+ENCODING_LIST = "list"
+ENCODING_B64F32 = "b64f32"
+ENCODINGS = (ENCODING_LIST, ENCODING_B64F32)
 
 
 class ProtocolError(ValueError):
@@ -109,31 +136,102 @@ def decode_message(line: bytes | str) -> dict:
     return message
 
 
+def matrix_to_payload(
+    matrix: np.ndarray, encoding: str = ENCODING_LIST
+):
+    """A frame matrix (scores or features) in one of the wire forms.
+
+    ``list`` is the exact float64 nested-list form; ``b64f32`` packs
+    the matrix as a base64 little-endian float32 block with an explicit
+    shape — ~7x smaller, quantizing float64 inputs to float32.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ProtocolError(f"frame batch must be 2-D, got {matrix.shape}")
+    if encoding == ENCODING_LIST:
+        return matrix.tolist()
+    if encoding == ENCODING_B64F32:
+        packed = np.ascontiguousarray(matrix, dtype="<f4")
+        return {
+            "enc": ENCODING_B64F32,
+            "shape": [int(matrix.shape[0]), int(matrix.shape[1])],
+            "data": base64.b64encode(packed.tobytes()).decode("ascii"),
+        }
+    raise ProtocolError(
+        f"unknown matrix encoding {encoding!r}; choose from {ENCODINGS}"
+    )
+
+
+def payload_to_matrix(payload) -> np.ndarray:
+    """Any wire form back to a float64 (frames, width) matrix.
+
+    Self-describing: nested lists decode as exact float64, a ``b64f32``
+    object decodes its float32 block (the matrix both sides agree on).
+    """
+    if isinstance(payload, dict):
+        if payload.get("enc") != ENCODING_B64F32:
+            raise ProtocolError(
+                f"unknown matrix payload encoding {payload.get('enc')!r}"
+            )
+        shape = payload.get("shape")
+        if (
+            not isinstance(shape, list)
+            or len(shape) != 2
+            or not all(isinstance(n, int) and n >= 0 for n in shape)
+        ):
+            raise ProtocolError(f"bad b64f32 shape {shape!r}")
+        try:
+            raw = base64.b64decode(payload.get("data", ""), validate=True)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad b64f32 data: {exc}") from exc
+        expected = 4 * shape[0] * shape[1]
+        if len(raw) != expected:
+            raise ProtocolError(
+                f"b64f32 data is {len(raw)} bytes, shape {shape} "
+                f"needs {expected}"
+            )
+        block = np.frombuffer(raw, dtype="<f4").reshape(shape)
+        return block.astype(np.float64)
+    if not isinstance(payload, list):
+        raise ProtocolError("matrix must be a list of frame rows")
+    try:
+        matrix = np.asarray(payload, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad matrix payload: {exc}") from exc
+    if matrix.ndim == 1 and matrix.shape[0] == 0:
+        # An empty list is a legal zero-frame batch, but numpy gives
+        # it shape (0,); the session API wants 2-D.
+        matrix = matrix.reshape(0, 0)
+    if matrix.ndim != 2:
+        raise ProtocolError(
+            f"matrix payload must be 2-D, got shape {matrix.shape}"
+        )
+    return matrix
+
+
 def scores_to_payload(scores: np.ndarray) -> list[list[float]]:
-    """A score batch as the wire's nested-list form."""
-    scores = np.asarray(scores, dtype=np.float64)
-    if scores.ndim != 2:
-        raise ProtocolError(f"score batch must be 2-D, got {scores.shape}")
-    return scores.tolist()
+    """A score batch as the wire's nested-list form (exact float64)."""
+    return matrix_to_payload(scores, ENCODING_LIST)
 
 
 def payload_to_scores(payload) -> np.ndarray:
-    """The wire's nested lists back to a (frames, senones) matrix."""
-    if not isinstance(payload, list):
-        raise ProtocolError("scores must be a list of frame rows")
-    try:
-        scores = np.asarray(payload, dtype=np.float64)
-    except (TypeError, ValueError) as exc:
-        raise ProtocolError(f"bad score payload: {exc}") from exc
-    if scores.ndim == 1 and scores.shape[0] == 0:
-        # An empty list is a legal zero-frame batch, but numpy gives
-        # it shape (0,); the session API wants 2-D.
-        scores = scores.reshape(0, 0)
-    if scores.ndim != 2:
+    """The wire's score payload (either encoding) back to a matrix."""
+    return payload_to_matrix(payload)
+
+
+def negotiate_start(message: dict) -> tuple[str, str]:
+    """Validate a START message's (payload, encoding) pair."""
+    payload = message.get("payload", PAYLOAD_SCORES)
+    encoding = message.get("encoding", ENCODING_LIST)
+    if payload not in PAYLOADS:
         raise ProtocolError(
-            f"scores must form a 2-D matrix, got shape {scores.shape}"
+            f"unknown payload {payload!r}; choose from {PAYLOADS}"
         )
-    return scores
+    if encoding not in ENCODINGS:
+        raise ProtocolError(
+            f"unknown encoding {encoding!r}; choose from {ENCODINGS}"
+        )
+    return payload, encoding
 
 
 def partial_message(session_id: str, partial) -> dict:

@@ -35,6 +35,7 @@ import numpy as np
 from repro.serve import protocol
 from repro.serve.engine import TransientEngineError, WorkerTimeout
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.scoring import ScoreHandle, batch_frames, resolve_batch
 
 #: How often the loop re-checks timers when no work is queued.
 IDLE_POLL_SECONDS = 0.05
@@ -181,6 +182,10 @@ class Session:
     """One admitted stream and its scheduler-side state."""
 
     session_id: str
+    #: What this session's FRAMES batches carry (START negotiation);
+    #: ``features`` sessions queue :class:`~repro.serve.scoring.
+    #: ScoreHandle` objects instead of score matrices.
+    payload: str = protocol.PAYLOAD_SCORES
     queue: deque = field(default_factory=deque)
     events: asyncio.Queue = field(default_factory=asyncio.Queue)
     finish_requested: bool = False
@@ -238,7 +243,9 @@ class Scheduler:
     def draining(self) -> bool:
         return self._stopping
 
-    async def admit(self) -> Session:
+    async def admit(
+        self, payload: str = protocol.PAYLOAD_SCORES
+    ) -> Session:
         """Admit one session or raise :class:`Busy` — never queue."""
         if self._stopping:
             self.metrics.counter("sessions_rejected").inc()
@@ -264,7 +271,10 @@ class Scheduler:
             self.breaker.record_success()
         now = perf_counter()
         session = Session(
-            session_id=session_id, admitted_at=now, last_activity=now
+            session_id=session_id,
+            payload=payload,
+            admitted_at=now,
+            last_activity=now,
         )
         self._sessions[session_id] = session
         self._order.append(session_id)
@@ -275,9 +285,17 @@ class Scheduler:
     def get(self, session_id: str) -> Session | None:
         return self._sessions.get(session_id)
 
-    def push(self, session: Session, scores: np.ndarray) -> None:
+    def push(
+        self, session: Session, scores: np.ndarray | ScoreHandle
+    ) -> None:
         """Queue one frame batch or raise :class:`Busy` — never buffer
-        beyond the session's bound."""
+        beyond the session's bound.
+
+        ``scores`` is a score matrix or, for a ``features`` session, a
+        :class:`~repro.serve.scoring.ScoreHandle` already being scored
+        by the serving layer's pipeline; either counts against the
+        same ``max_queued_batches`` bound.
+        """
         if session.closed:
             raise Busy("session already closed")
         if session.finish_requested:
@@ -349,7 +367,11 @@ class Scheduler:
             raise Busy(f"unknown session {session_id!r}")
         if session.inflight:
             raise Busy(f"session {session_id!r} is mid-decode")
-        queued = [np.asarray(batch) for batch in session.queue]
+        # Queued ScoreHandles are resolved to plain matrices here: the
+        # handle's scoring thread stays behind, the scores travel.
+        # Migration is rare, so blocking briefly on an in-flight score
+        # is acceptable where a per-dispatch block would not be.
+        queued = [resolve_batch(batch) for batch in session.queue]
         session.queue.clear()
         snapshot = await self._run_engine(
             self.engine.export_session, session_id
@@ -359,6 +381,7 @@ class Scheduler:
         self._retire(session, "sessions_moved")
         return {
             "session_id": session_id,
+            "payload": session.payload,
             "snapshot": snapshot,
             "queued": queued,
             "frames_decoded": session.frames_decoded,
@@ -382,7 +405,10 @@ class Scheduler:
         )
         now = perf_counter()
         session = Session(
-            session_id=session_id, admitted_at=now, last_activity=now
+            session_id=session_id,
+            payload=handle.get("payload", protocol.PAYLOAD_SCORES),
+            admitted_at=now,
+            last_activity=now,
         )
         session.frames_decoded = handle.get("frames_decoded", 0)
         # Keep time-to-first-partial honest: an adopted session's
@@ -579,13 +605,54 @@ class Scheduler:
                 return value
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def _push_resolved(self, session_id: str, batch):
+        """Engine push with the batch resolved to scores first.
+
+        Runs on an engine executor thread, so a pipelined score still
+        in flight blocks the dispatch thread, never the event loop; a
+        synchronous-mode handle does its scoring right here (strict
+        turn-taking — the baseline the pipeline is measured against).
+        """
+        if isinstance(batch, ScoreHandle):
+            waited = perf_counter()
+            scores = batch.result()
+            self.metrics.counter("feature_batches_scored").inc()
+            self.metrics.histogram("scoring_wait_seconds").observe(
+                perf_counter() - waited
+            )
+        else:
+            scores = batch
+        return self.engine.push(session_id, scores)
+
+    def _push_many_resolved(self, items):
+        """Fused engine push with every batch resolved first.
+
+        Resolution failures raise before ``push_many`` runs, keeping
+        its raise-before-advance contract: the caller replays the
+        batches one at a time and the cached handle error fails only
+        the offending session.
+        """
+        resolved = []
+        for session_id, batch in items:
+            if isinstance(batch, ScoreHandle):
+                waited = perf_counter()
+                scores = batch.result()
+                self.metrics.counter("feature_batches_scored").inc()
+                self.metrics.histogram("scoring_wait_seconds").observe(
+                    perf_counter() - waited
+                )
+            else:
+                scores = batch
+            resolved.append((session_id, scores))
+        return self.engine.push_many(resolved)
+
     async def _decode_batch(self, session: Session) -> None:
         scores = session.queue.popleft()
         self._update_queue_gauge()
         started = perf_counter()
         try:
             partial = await self._call_engine(
-                [session], self.engine.push, session.session_id, scores
+                [session], self._push_resolved, session.session_id, scores
             )
         except Exception as exc:
             await self._fail(session, f"decode failed: {exc}")
@@ -609,7 +676,7 @@ class Scheduler:
             started = perf_counter()
             try:
                 partials = await self._call_engine(
-                    sessions, self.engine.push_many, items
+                    sessions, self._push_many_resolved, items
                 )
             except DeadlineExceeded as exc:
                 # The fused call may still be running in its executor
@@ -651,7 +718,7 @@ class Scheduler:
         partial,
         elapsed: float,
     ) -> None:
-        frames = int(scores.shape[0])
+        frames = batch_frames(scores)
         session.frames_decoded += frames
         self.metrics.counter("batches_decoded").inc()
         self.metrics.counter("frames_decoded").inc(frames)

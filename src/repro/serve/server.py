@@ -35,6 +35,7 @@ from repro.serve import protocol
 from repro.serve.engine import InlineEngine, ProcessEngine
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.scheduler import Busy, Scheduler, SchedulerConfig, Session
+from repro.serve.scoring import ScoringService
 
 
 class ServeError(RuntimeError):
@@ -74,6 +75,14 @@ class ServeConfig:
     #: Session-id prefix; a sharded deployment gives each shard its
     #: own so migrated session ids stay unique cluster-wide.
     session_id_prefix: str = "s"
+    #: ``features``-payload sessions only: score pushed feature batches
+    #: on a dedicated pipeline thread ahead of dispatch (True, the
+    #: default) or synchronously at dispatch time (False — the strict
+    #: turn-taking baseline the pipeline bench compares against).
+    pipeline_scoring: bool = True
+    #: Chunk granularity handed to the scoring pipeline; only
+    #: chunk-exact scorers are chunked (see :mod:`repro.am.pipeline`).
+    pipeline_chunk_frames: int | None = None
 
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(
@@ -147,6 +156,20 @@ class TranscriptionServer:
                 fuse=self.config.fuse_sessions,
                 max_fused_sessions=self.config.max_sessions,
             )
+        #: Serve-side acoustic scoring for ``features``-payload
+        #: sessions.  Owned here, not by engines: engines keep their
+        #: score-matrix interface, the scheduler resolves handles just
+        #: before dispatch.  ``None`` (no scorer available) rejects the
+        #: ``features`` negotiation at START.
+        self.scoring: ScoringService | None = (
+            ScoringService(
+                scorer,
+                pipelined=self.config.pipeline_scoring,
+                chunk_frames=self.config.pipeline_chunk_frames,
+            )
+            if scorer is not None
+            else None
+        )
         self.scheduler = Scheduler(
             self.engine,
             config=self.config.scheduler_config(),
@@ -190,6 +213,8 @@ class TranscriptionServer:
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self.engine.close()
+        if self.scoring is not None:
+            self.scoring.close()
 
     async def __aenter__(self) -> "TranscriptionServer":
         await self.start()
@@ -208,6 +233,7 @@ class TranscriptionServer:
             "draining": self.scheduler.draining,
             "active_sessions": self.scheduler.active_sessions,
             "breaker": self.scheduler.breaker.state,
+            "scoring": None if self.scoring is None else self.scoring.mode,
             "metrics": self.metrics.snapshot(),
         }
 
@@ -304,8 +330,20 @@ class TranscriptionServer:
     ) -> None:
         kind = message["type"]
         if kind == protocol.START:
+            payload, encoding = protocol.negotiate_start(message)
+            if (
+                payload == protocol.PAYLOAD_FEATURES
+                and self.scoring is None
+            ):
+                await send(
+                    protocol.error_message(
+                        "this server has no acoustic scorer; "
+                        "stream scores instead"
+                    )
+                )
+                return
             try:
-                session = await self.scheduler.admit()
+                session = await self.scheduler.admit(payload=payload)
             except Busy as exc:
                 await send(protocol.busy_message(exc.reason))
                 return
@@ -314,7 +352,12 @@ class TranscriptionServer:
                 self._pump(session, send)
             ))
             await send(
-                {"type": protocol.STARTED, "session": session.session_id}
+                {
+                    "type": protocol.STARTED,
+                    "session": session.session_id,
+                    "payload": payload,
+                    "encoding": encoding,
+                }
             )
         elif kind == protocol.STATUS:
             await send(self.status_message())
@@ -375,10 +418,29 @@ class TranscriptionServer:
                 return
             try:
                 if kind == protocol.FRAMES:
-                    scores = protocol.payload_to_scores(
-                        message.get("scores")
-                    )
-                    self.scheduler.push(session, scores)
+                    if session.payload == protocol.PAYLOAD_FEATURES:
+                        if "features" not in message:
+                            raise protocol.ProtocolError(
+                                "this session streams features; send a "
+                                "'features' key"
+                            )
+                        features = protocol.payload_to_matrix(
+                            message["features"]
+                        )
+                        # Pipelined mode: scoring starts on the service
+                        # thread *now*, overlapping whatever the engine
+                        # is searching.
+                        batch = self.scoring.submit(features)
+                    else:
+                        if "scores" not in message:
+                            raise protocol.ProtocolError(
+                                "this session streams scores; send a "
+                                "'scores' key"
+                            )
+                        batch = protocol.payload_to_scores(
+                            message["scores"]
+                        )
+                    self.scheduler.push(session, batch)
                 elif kind == protocol.FINISH:
                     self.scheduler.request_finish(session)
                 else:
@@ -412,13 +474,34 @@ class InProcessClient:
     def __init__(self, server: TranscriptionServer) -> None:
         self._server = server
 
-    async def open(self, key: str | None = None) -> "InProcessSession":
+    async def open(
+        self,
+        key: str | None = None,
+        payload: str = protocol.PAYLOAD_SCORES,
+        encoding: str = protocol.ENCODING_LIST,
+    ) -> "InProcessSession":
         """Open one streaming session; raises :class:`Busy` when the
         admission controller rejects it.  ``key`` is accepted for
-        interface parity with the sharded client and ignored."""
+        interface parity with the sharded client and ignored.
+
+        ``payload``/``encoding`` mirror the wire's START negotiation:
+        a ``features`` session pushes feature batches and the server
+        scores them; a non-``list`` encoding reproduces the wire's
+        quantization so transcripts match a TCP client's exactly.
+        """
         del key
-        session = await self._server.scheduler.admit()
-        return InProcessSession(self._server, session)
+        payload, encoding = protocol.negotiate_start(
+            {"type": protocol.START, "payload": payload, "encoding": encoding}
+        )
+        if (
+            payload == protocol.PAYLOAD_FEATURES
+            and self._server.scoring is None
+        ):
+            raise ServeError(
+                "this server has no acoustic scorer; stream scores instead"
+            )
+        session = await self._server.scheduler.admit(payload=payload)
+        return InProcessSession(self._server, session, encoding=encoding)
 
     async def status(self) -> dict:
         return self._server.status_message()
@@ -431,10 +514,14 @@ class InProcessSession:
     """One admitted stream driven through the in-process client."""
 
     def __init__(
-        self, server: TranscriptionServer, session: Session
+        self,
+        server: TranscriptionServer,
+        session: Session,
+        encoding: str = protocol.ENCODING_LIST,
     ) -> None:
         self._server = server
         self._session = session
+        self._encoding = encoding
         #: Partial-hypothesis messages observed so far, in order.
         self.partials: list[dict] = []
         #: ``retrying``/``recovered`` notices observed so far, in order
@@ -455,6 +542,24 @@ class InProcessSession:
                 self.partials.append(event)
             return event
 
+    def _submit(self, matrix: np.ndarray):
+        """One pushed matrix as what the scheduler actually queues.
+
+        Applies the negotiated encoding's quantization (so a ``b64f32``
+        in-process session decodes exactly what its TCP twin would)
+        and, on a ``features`` session, hands the batch to the server's
+        scoring service — in pipelined mode the scoring thread starts
+        on it immediately.
+        """
+        matrix = np.asarray(matrix)
+        if self._encoding != protocol.ENCODING_LIST:
+            matrix = protocol.payload_to_matrix(
+                protocol.matrix_to_payload(matrix, self._encoding)
+            )
+        if self._session.payload == protocol.PAYLOAD_FEATURES:
+            return self._server.scoring.submit(matrix)
+        return matrix
+
     async def push(self, scores: np.ndarray) -> dict:
         """Queue one batch and wait for its partial hypothesis.
 
@@ -463,7 +568,7 @@ class InProcessSession:
         next partial arrives) and :class:`ServeError` when the server
         dropped the session.
         """
-        self._server.scheduler.push(self._session, np.asarray(scores))
+        self._server.scheduler.push(self._session, self._submit(scores))
         event = await self._next_event()
         if event["type"] == protocol.PARTIAL:
             return event
@@ -480,7 +585,7 @@ class InProcessSession:
     def push_nowait(self, scores: np.ndarray) -> None:
         """Queue one batch without waiting (pipelined pushes); partials
         arrive via :meth:`finish`'s collection or :attr:`partials`."""
-        self._server.scheduler.push(self._session, np.asarray(scores))
+        self._server.scheduler.push(self._session, self._submit(scores))
 
     async def finish(self) -> dict:
         """End the utterance; returns the final message after draining

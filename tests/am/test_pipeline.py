@@ -1,0 +1,218 @@
+"""Scoring-pipeline tests: bit-parity, flow control, failure delivery.
+
+The pipeline's contract (see :mod:`repro.am.pipeline`): score values
+reaching the consumer are bitwise-identical to synchronous scoring at
+every chunk size (chunk-exact scorers) or submission granularity
+(everything else); a scorer failure arrives as a typed
+:class:`ScoringError` on that submission's consumer without wedging
+the worker; close and cancel never leave a consumer blocked.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.am.pipeline import (
+    PipelineClosed,
+    ScoringError,
+    ScoringPipeline,
+    is_chunk_exact,
+    iter_feature_chunks,
+)
+
+
+class FailingScorer:
+    """Chunk-exact scorer that blows up on a marked feature matrix."""
+
+    chunk_exact = True
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.num_senones = inner.num_senones
+
+    def score(self, features):
+        if features.shape[0] and not np.isfinite(features[0, 0]):
+            raise RuntimeError("acoustic model rejected the features")
+        return self.inner.score(features)
+
+
+class SlowScorer:
+    """Chunk-exact scorer with a hook to stall the worker mid-chunk."""
+
+    chunk_exact = True
+
+    def __init__(self, inner, gate: threading.Event):
+        self.inner = inner
+        self.num_senones = inner.num_senones
+        self.gate = gate
+
+    def score(self, features):
+        self.gate.wait(timeout=5.0)
+        return self.inner.score(features)
+
+
+@pytest.fixture
+def feat(tiny_utterances):
+    """Zero matrices with the scorer's real feature width."""
+    dim = tiny_utterances[0].features.shape[1]
+    return lambda frames: np.zeros((frames, dim))
+
+
+class TestChunkExactness:
+    def test_gmm_is_chunk_exact(self, tiny_scorer):
+        assert is_chunk_exact(tiny_scorer)
+
+    def test_unmarked_scorer_defaults_to_false(self):
+        class Bare:
+            num_senones = 4
+
+        assert not is_chunk_exact(Bare())
+
+    def test_iter_feature_chunks_covers_ragged_tail(self):
+        features = np.arange(70.0).reshape(7, 10)
+        chunks = list(iter_feature_chunks(features, 3))
+        assert [c.shape[0] for c in chunks] == [3, 3, 1]
+        assert np.array_equal(np.concatenate(chunks), features)
+
+    def test_iter_feature_chunks_validates(self):
+        with pytest.raises(ValueError):
+            list(iter_feature_chunks(np.zeros((3, 2)), 0))
+
+
+class TestBitParity:
+    @pytest.mark.parametrize("chunk_frames", [1, 3, 8, 16, 1000, None])
+    def test_every_chunk_size_is_bitwise_identical(
+        self, tiny_scorer, tiny_utterances, chunk_frames
+    ):
+        """All chunk sizes — including 1, a ragged tail, and
+        chunk > frames — reproduce one-shot scoring bit-for-bit."""
+        features = [u.features for u in tiny_utterances]
+        expected = [tiny_scorer.score(f) for f in features]
+        with ScoringPipeline(
+            tiny_scorer, chunk_frames=chunk_frames
+        ) as pipeline:
+            got = pipeline.score_all(features)
+        for a, b in zip(got, expected):
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b)
+
+    def test_non_chunk_exact_scorer_is_scored_whole(
+        self, tiny_scorer, tiny_utterances
+    ):
+        class Wrapped:
+            chunk_exact = False
+            num_senones = tiny_scorer.num_senones
+
+            def __init__(self):
+                self.calls = []
+
+            def score(self, features):
+                self.calls.append(features.shape[0])
+                return tiny_scorer.score(features)
+
+        scorer = Wrapped()
+        features = tiny_utterances[0].features[:11]
+        with ScoringPipeline(scorer, chunk_frames=4) as pipeline:
+            assert pipeline.chunk_frames is None
+            stream = pipeline.submit(features)
+            chunks = list(stream.chunks())
+        assert scorer.calls == [features.shape[0]]
+        assert len(chunks) == 1
+
+    def test_zero_frame_submission(self, tiny_scorer, feat):
+        with ScoringPipeline(tiny_scorer, chunk_frames=4) as pipeline:
+            result = pipeline.submit(feat(0)).result()
+        assert result.shape == (0, tiny_scorer.num_senones)
+
+    def test_interleaved_submissions_stay_ordered(
+        self, tiny_scorer, tiny_utterances
+    ):
+        """Streams submitted back-to-back resolve to their own
+        utterance's scores, in chunk order, regardless of overlap."""
+        features = [u.features for u in tiny_utterances]
+        with ScoringPipeline(tiny_scorer, chunk_frames=5) as pipeline:
+            streams = [pipeline.submit(f) for f in features]
+            for stream, feats in zip(streams, features):
+                assert np.array_equal(
+                    stream.result(), tiny_scorer.score(feats)
+                )
+
+
+class TestFailureAndLifecycle:
+    def test_scorer_exception_is_typed_and_does_not_wedge(
+        self, tiny_scorer, tiny_utterances
+    ):
+        """The poisoned submission raises ScoringError (cause attached);
+        the next submission still scores normally on the same worker."""
+        scorer = FailingScorer(tiny_scorer)
+        good = tiny_utterances[0].features
+        bad = good.copy()
+        bad[0, 0] = np.nan
+        with ScoringPipeline(scorer, chunk_frames=4) as pipeline:
+            poisoned = pipeline.submit(bad)
+            healthy = pipeline.submit(good)
+            with pytest.raises(ScoringError) as excinfo:
+                poisoned.result()
+            assert isinstance(excinfo.value.__cause__, RuntimeError)
+            assert np.array_equal(healthy.result(), tiny_scorer.score(good))
+            # The error is sticky: a re-read raises again, never hangs.
+            with pytest.raises(ScoringError):
+                list(poisoned.chunks())
+
+    def test_close_fails_queued_submissions(self, tiny_scorer, feat):
+        """close(cancel=True) while the worker is stalled: submissions
+        it never scored must fail typed, never resolve truncated."""
+        gate = threading.Event()
+        pipeline = ScoringPipeline(SlowScorer(tiny_scorer, gate))
+        stalled = pipeline.submit(feat(4))
+        queued = pipeline.submit(feat(4))
+        closer = threading.Thread(target=lambda: pipeline.close(cancel=True))
+        closer.start()
+        gate.set()
+        closer.join(timeout=5.0)
+        assert not closer.is_alive()
+        del stalled
+        with pytest.raises(PipelineClosed):
+            queued.result()
+        with pytest.raises(PipelineClosed):
+            pipeline.submit(feat(4))
+
+    def test_cancel_releases_a_blocked_producer(self, tiny_scorer, feat):
+        """depth=1 with no consumer blocks the worker on chunk 2;
+        cancelling the stream must unblock it for later submissions."""
+        with ScoringPipeline(
+            tiny_scorer, chunk_frames=2, depth=1
+        ) as pipeline:
+            abandoned = pipeline.submit(feat(10))
+            time.sleep(0.05)  # let the worker fill the depth-1 queue
+            abandoned.cancel()
+            follow_up = pipeline.submit(feat(4))
+            assert follow_up.result().shape == (4, tiny_scorer.num_senones)
+
+    def test_result_resolves_without_poll_stall(self, tiny_scorer, feat):
+        """Completion is event-driven: resolving a handful of small
+        submissions must not pay the 50 ms poll timeout per result."""
+        features = feat(4)
+        with ScoringPipeline(tiny_scorer) as pipeline:
+            pipeline.submit(features).result()  # warm the worker
+            start = time.perf_counter()
+            for _ in range(5):
+                pipeline.submit(features).result()
+            elapsed = time.perf_counter() - start
+        assert elapsed < 0.25  # 5 poll periods if completion polled
+
+    def test_stream_is_single_consumer(self, tiny_scorer, feat):
+        with ScoringPipeline(tiny_scorer) as pipeline:
+            stream = pipeline.submit(feat(4))
+            stream.result()
+            with pytest.raises(RuntimeError):
+                list(stream.chunks())
+
+    def test_validation(self, tiny_scorer):
+        with pytest.raises(ValueError):
+            ScoringPipeline(tiny_scorer, chunk_frames=0)
+        with ScoringPipeline(tiny_scorer) as pipeline:
+            with pytest.raises(ValueError):
+                pipeline.submit(np.zeros(3))

@@ -1,0 +1,233 @@
+"""Pipelined decoding must be bit-identical to the synchronous paths.
+
+The tentpole invariant: turning on the asynchronous scoring pipeline —
+at any chunk size, through any pool strategy, or via raw-feature
+streaming — changes *when* scoring happens, never *what* the search
+sees.  Transcripts, costs, every ``DecoderStats`` counter and the
+lookup/cache counters must match the score-then-search baseline
+exactly; a scorer failure must surface as a typed ``ScoringError``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.am.pipeline import ScoringError
+from repro.asr.parallel import DecodePool
+from repro.asr.streaming import StreamingSession
+from repro.core import DecoderConfig, OnTheFlyDecoder
+
+CONFIG = DecoderConfig(beam=14.0)
+
+
+@pytest.fixture(scope="module")
+def sync_results(tiny_task, tiny_scorer, tiny_utterances):
+    """The score-then-search baseline every pipelined run must match."""
+    with DecodePool(
+        tiny_task.am, tiny_task.lm, scorer=tiny_scorer, config=CONFIG
+    ) as pool:
+        return pool.decode_utterances(tiny_utterances)
+
+
+def assert_identical(got, want):
+    assert got.words == want.words
+    assert got.cost == want.cost
+    assert got.stats == want.stats  # every counter, incl. lookup deltas
+
+
+class TestPipelinedPool:
+    @pytest.mark.parametrize("chunk_frames", [1, 3, 8, 16, 1000])
+    def test_serial_pipelined_is_bit_identical(
+        self, tiny_task, tiny_scorer, tiny_utterances, sync_results,
+        chunk_frames,
+    ):
+        """Every chunk size — 1, a ragged tail, chunk > frames — yields
+        the synchronous words, costs and full stats tuple."""
+        with DecodePool(
+            tiny_task.am,
+            tiny_task.lm,
+            scorer=tiny_scorer,
+            config=CONFIG,
+            pipeline_chunk_frames=chunk_frames,
+        ) as pool:
+            assert pool.strategy == f"serial+pipe[{chunk_frames}]"
+            results = pool.decode_utterances(tiny_utterances)
+        assert len(results) == len(sync_results)
+        for got, want in zip(results, sync_results):
+            assert_identical(got, want)
+            assert got.strategy == f"serial+pipe[{chunk_frames}]"
+
+    def test_lockstep_pipelined_is_bit_identical(
+        self, tiny_task, tiny_scorer, tiny_utterances, sync_results
+    ):
+        """batch_size + pipeline: the fused kernels chew batch k while
+        the pipeline scores batch k+1; results stay synchronous."""
+        with DecodePool(
+            tiny_task.am,
+            tiny_task.lm,
+            scorer=tiny_scorer,
+            config=CONFIG,
+            batch_size=4,
+            pipeline_chunk_frames=8,
+        ) as pool:
+            assert pool.strategy == "batch[4]+pipe[8]"
+            results = pool.decode_utterances(tiny_utterances)
+        for got, want in zip(results, sync_results):
+            assert_identical(got, want)
+
+    def test_worker_pool_pipelined_is_bit_identical(
+        self, tiny_task, tiny_scorer, tiny_utterances, sync_results
+    ):
+        """Process fan-out: each worker overlaps scoring and search
+        through its own persistent pipeline."""
+        with DecodePool(
+            tiny_task.am,
+            tiny_task.lm,
+            scorer=tiny_scorer,
+            config=CONFIG,
+            parallelism=2,
+            single_cpu_fallback=False,
+            pipeline_chunk_frames=8,
+        ) as pool:
+            assert pool.strategy == "pool[2]+pipe[8]"
+            results = pool.decode_utterances(tiny_utterances)
+        for got, want in zip(results, sync_results):
+            assert_identical(got, want)
+
+    def test_validation(self, tiny_task, tiny_scorer):
+        with pytest.raises(ValueError):
+            DecodePool(
+                tiny_task.am,
+                tiny_task.lm,
+                scorer=tiny_scorer,
+                pipeline_chunk_frames=0,
+            )
+        with pytest.raises(ValueError):
+            DecodePool(tiny_task.am, tiny_task.lm, pipeline_chunk_frames=8)
+
+
+class TestAsrSystemPipelined:
+    def test_transcribe_pipeline_knob(
+        self, tiny_task, tiny_scorer, tiny_utterances, sync_results
+    ):
+        from repro.asr import AsrSystem
+
+        with AsrSystem(task=tiny_task, scorer=tiny_scorer) as system:
+            plain = system.transcribe(tiny_utterances, config=CONFIG)
+            piped = system.transcribe(
+                tiny_utterances, config=CONFIG, pipeline_chunk_frames=8
+            )
+            # Distinct pool cache entries: the knob is part of the key.
+            assert len(system._pools) == 2
+        assert all(r.strategy == "serial+pipe[8]" for r in piped)
+        for got, want in zip(piped, plain):
+            assert_identical(got, want)
+        for got, want in zip(piped, sync_results):
+            assert_identical(got, want)
+
+
+class TestPushFeatures:
+    def _decoder(self, tiny_task):
+        return OnTheFlyDecoder(tiny_task.am, tiny_task.lm, CONFIG)
+
+    @pytest.mark.parametrize("batch_frames", [1, 7, 16, 1000])
+    def test_feature_streaming_matches_score_streaming(
+        self, tiny_task, tiny_scorer, tiny_utterances, batch_frames
+    ):
+        """push_features at any batch split == push of the same batches
+        scored synchronously: final words, cost and stats identical."""
+        for utterance in tiny_utterances[:3]:
+            features = utterance.features
+            reference = StreamingSession(self._decoder(tiny_task))
+            for start in range(0, features.shape[0], batch_frames):
+                reference.push(
+                    tiny_scorer.score(features[start : start + batch_frames])
+                )
+            want = reference.finish()
+
+            session = StreamingSession(
+                self._decoder(tiny_task), scorer=tiny_scorer
+            )
+            for start in range(0, features.shape[0], batch_frames):
+                session.push_features(features[start : start + batch_frames])
+            got = session.finish()
+            assert_identical(got, want)
+
+    def test_partials_trail_by_one_batch(
+        self, tiny_task, tiny_scorer, tiny_utterances
+    ):
+        """Lag-1 pipelining: the n-th push_features returns the partial
+        after batch n-1; finish drains the tail."""
+        features = tiny_utterances[0].features
+        session = StreamingSession(
+            self._decoder(tiny_task), scorer=tiny_scorer
+        )
+        first = session.push_features(features[:8])
+        assert first.frames_consumed == 0
+        second = session.push_features(features[8:16])
+        assert second.frames_consumed == 8
+        final = session.finish()
+        assert final.stats.frames == 16
+
+    def test_zero_frame_batch_is_a_keepalive(
+        self, tiny_task, tiny_scorer, tiny_utterances
+    ):
+        features = tiny_utterances[0].features
+        width = features.shape[1]
+        session = StreamingSession(
+            self._decoder(tiny_task), scorer=tiny_scorer
+        )
+        session.push_features(features[:8])
+        session.push_features(np.zeros((0, width)))
+        session.push_features(features[8:])
+        got = session.finish()
+
+        reference = StreamingSession(self._decoder(tiny_task))
+        reference.push(tiny_scorer.score(features[:8]))
+        reference.push(tiny_scorer.score(features[8:]))
+        want = reference.finish()
+        assert_identical(got, want)
+
+    def test_scorer_failure_is_typed_and_session_survives_finish(
+        self, tiny_task, tiny_scorer, tiny_utterances
+    ):
+        class Failing:
+            chunk_exact = True
+            num_senones = tiny_scorer.num_senones
+
+            def score(self, features):
+                if not np.isfinite(features[0, 0]):
+                    raise RuntimeError("bad frame")
+                return tiny_scorer.score(features)
+
+        features = tiny_utterances[0].features.copy()
+        session = StreamingSession(self._decoder(tiny_task), scorer=Failing())
+        session.push_features(features[:8])
+        poisoned = features[8:16].copy()
+        poisoned[0, 0] = np.nan
+        # The bad batch is scored asynchronously: the error surfaces at
+        # the next interaction that consumes it, as a typed error.
+        with pytest.raises(ScoringError):
+            session.push_features(poisoned)
+            session.finish()
+
+    def test_push_without_scorer_rejected(self, tiny_task, tiny_utterances):
+        session = StreamingSession(self._decoder(tiny_task))
+        with pytest.raises(RuntimeError):
+            session.push_features(tiny_utterances[0].features[:8])
+
+
+class TestZeroFrameValidation:
+    def test_wrong_width_zero_frame_batch_rejected(
+        self, tiny_task, tiny_scores
+    ):
+        """The width check runs before the empty-batch early return: a
+        (0, k) batch with a wrong senone width is malformed even though
+        it carries no frames.  Only (0, 0) — the shape an empty wire
+        payload decodes to — stays a legal keep-alive."""
+        session = StreamingSession(
+            OnTheFlyDecoder(tiny_task.am, tiny_task.lm, CONFIG)
+        )
+        with pytest.raises(ValueError):
+            session.push(np.zeros((0, 2)))
+        partial = session.push(np.zeros((0, 0)))
+        assert partial.frames_consumed == 0

@@ -59,6 +59,101 @@ class TestScorePayload:
             protocol.scores_to_payload(np.zeros(3))
 
 
+class TestMatrixPayload:
+    def test_b64f32_round_trip_exact_for_float32_values(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.standard_normal((6, 5)).astype(np.float32)
+        matrix = matrix.astype(np.float64)  # float32-representable
+        payload = protocol.matrix_to_payload(matrix, protocol.ENCODING_B64F32)
+        back = protocol.payload_to_matrix(payload)
+        assert back.dtype == np.float64
+        assert np.array_equal(back, matrix)
+
+    def test_b64f32_quantizes_float64(self):
+        matrix = np.array([[1.0 + 1e-12]])
+        payload = protocol.matrix_to_payload(matrix, protocol.ENCODING_B64F32)
+        back = protocol.payload_to_matrix(payload)
+        assert back[0, 0] != matrix[0, 0]
+        assert back[0, 0] == np.float64(np.float32(matrix[0, 0]))
+
+    def test_b64f32_survives_json(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.standard_normal((4, 3)).astype(np.float32).astype(
+            np.float64
+        )
+        line = protocol.encode_message(
+            {
+                "type": "frames",
+                "features": protocol.matrix_to_payload(
+                    matrix, protocol.ENCODING_B64F32
+                ),
+            }
+        )
+        back = protocol.payload_to_matrix(
+            protocol.decode_message(line)["features"]
+        )
+        assert np.array_equal(back, matrix)
+
+    def test_b64f32_is_smaller_on_the_wire(self):
+        rng = np.random.default_rng(4)
+        matrix = rng.standard_normal((32, 40))
+        compact = protocol.encode_message(
+            {"m": protocol.matrix_to_payload(matrix, "b64f32")}
+        )
+        verbose = protocol.encode_message(
+            {"m": protocol.matrix_to_payload(matrix, "list")}
+        )
+        assert len(compact) * 3 < len(verbose)
+
+    def test_b64f32_zero_frame_matrix(self):
+        payload = protocol.matrix_to_payload(
+            np.zeros((0, 7)), protocol.ENCODING_B64F32
+        )
+        back = protocol.payload_to_matrix(payload)
+        assert back.shape == (0, 7)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"enc": "zstd", "shape": [1, 1], "data": ""},
+            {"enc": "b64f32", "shape": [1], "data": "AAAAAA=="},
+            {"enc": "b64f32", "shape": [1, -1], "data": ""},
+            {"enc": "b64f32", "shape": [2, 2], "data": "AAAAAA=="},
+            {"enc": "b64f32", "shape": [1, 1], "data": "!!!"},
+        ],
+    )
+    def test_bad_b64f32_payload_rejected(self, bad):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.payload_to_matrix(bad)
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.matrix_to_payload(np.zeros((1, 1)), "utf7")
+
+
+class TestNegotiateStart:
+    def test_defaults(self):
+        assert protocol.negotiate_start({"type": "start"}) == (
+            protocol.PAYLOAD_SCORES,
+            protocol.ENCODING_LIST,
+        )
+
+    def test_explicit_pair(self):
+        message = {"type": "start", "payload": "features", "encoding": "b64f32"}
+        assert protocol.negotiate_start(message) == ("features", "b64f32")
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            {"type": "start", "payload": "waveform"},
+            {"type": "start", "encoding": "gzip"},
+        ],
+    )
+    def test_unknown_values_rejected(self, message):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.negotiate_start(message)
+
+
 class TestServerMessages:
     def test_busy_and_error_session_field_optional(self):
         assert "session" not in protocol.busy_message("full")
